@@ -1,0 +1,572 @@
+(* Benchmark harness: regenerates every experiment of EXPERIMENTS.md.
+
+   The paper (IPPS 2007) is theoretical and publishes no measurement
+   tables; its claims are reproduced here as experiments E1-E7 plus two
+   "figures" (ASCII plots), followed by Bechamel micro-benchmarks of the
+   implementation itself.
+
+   Run with:  dune exec bench/main.exe            (full output)
+              dune exec bench/main.exe -- --fast  (skip micro-benchmarks) *)
+
+let section title =
+  Format.printf "@.%s@.%s@.@." title (String.make (String.length title) '=')
+
+let algos : Cst_baselines.Registry.algo list = Cst_baselines.Registry.all
+
+let widths = [ 1; 2; 4; 8; 16; 32; 64; 128 ]
+let sweep_n = 256
+
+let set_for_width ~seed w =
+  Cst_workloads.Gen_wn.with_width
+    (Cst_util.Prng.create (seed + w))
+    ~n:sweep_n ~width:w
+
+(* E1 — Theorem 4: correctness at scale. *)
+let e1 () =
+  section "E1 - Theorem 4: end-to-end delivery correctness";
+  let table =
+    Cst_report.Table.create
+      ~title:"random well-nested sets, full verification (10 seeds each)"
+      ~columns:[ "PEs"; "sets"; "comms"; "verified"; "failed" ]
+  in
+  List.iter
+    (fun n ->
+      let comms = ref 0 and ok = ref 0 and bad = ref 0 in
+      for seed = 1 to 10 do
+        let rng = Cst_util.Prng.create seed in
+        let density = 0.1 +. Cst_util.Prng.float rng 0.9 in
+        let set = Cst_workloads.Gen_wn.uniform rng ~n ~density in
+        comms := !comms + Cst_comm.Comm_set.size set;
+        let sched = Padr.schedule_exn set in
+        if (Padr.verify sched).ok then incr ok else incr bad
+      done;
+      Cst_report.Table.add_int_row table [ n; 10; !comms; !ok; !bad ])
+    [ 8; 64; 512; 2048 ];
+  Cst_report.Table.print table;
+  Format.printf "paper claim: every communication established (zero failures)@."
+
+(* E2 — Theorem 5: rounds = width, exactly, and only for the CSA. *)
+let e2 () =
+  section "E2 - Theorem 5: schedule length vs. width";
+  let table =
+    Cst_report.Table.create
+      ~title:
+        (Printf.sprintf "width-targeted sets on %d PEs: rounds per algorithm"
+           sweep_n)
+      ~columns:
+        ("width" :: "comms"
+        :: List.map (fun (a : Cst_baselines.Registry.algo) -> a.name) algos)
+  in
+  let topo = Cst.Topology.create ~leaves:sweep_n in
+  let csa_exact = ref true in
+  List.iter
+    (fun w ->
+      let set = set_for_width ~seed:100 w in
+      let rounds =
+        List.map
+          (fun (a : Cst_baselines.Registry.algo) ->
+            Padr.Schedule.num_rounds (a.run topo set))
+          algos
+      in
+      (match rounds with
+      | csa_rounds :: _ -> if csa_rounds <> w then csa_exact := false
+      | [] -> ());
+      Cst_report.Table.add_int_row table
+        (w :: Cst_comm.Comm_set.size set :: rounds))
+    widths;
+  Cst_report.Table.print table;
+  Format.printf "paper claim: CSA finishes in exactly w rounds -> %s@."
+    (if !csa_exact then "reproduced" else "NOT reproduced")
+
+(* E3 — Theorem 8: per-switch configuration cost, the headline contrast. *)
+let e3 () =
+  section "E3 - Theorem 8: max configuration writes per switch vs. width";
+  let table =
+    Cst_report.Table.create
+      ~title:
+        (Printf.sprintf
+           "width-targeted sets on %d PEs: max writes at any single switch"
+           sweep_n)
+      ~columns:
+        ("width"
+        :: List.map (fun (a : Cst_baselines.Registry.algo) -> a.name) algos)
+  in
+  let topo = Cst.Topology.create ~leaves:sweep_n in
+  let per_algo = Hashtbl.create 8 in
+  List.iter
+    (fun w ->
+      let set = set_for_width ~seed:100 w in
+      let cells =
+        List.map
+          (fun (a : Cst_baselines.Registry.algo) ->
+            let s = a.run topo set in
+            let v = s.power.max_writes_per_switch in
+            let pts =
+              Option.value ~default:[] (Hashtbl.find_opt per_algo a.name)
+            in
+            Hashtbl.replace per_algo a.name
+              ((float_of_int w, float_of_int v) :: pts);
+            v)
+          algos
+      in
+      Cst_report.Table.add_int_row table (w :: cells))
+    widths;
+  Cst_report.Table.print table;
+  Format.printf "@.least-squares slope of max-writes vs width:@.";
+  List.iter
+    (fun (a : Cst_baselines.Registry.algo) ->
+      let pts = Array.of_list (Hashtbl.find per_algo a.name) in
+      let fit = Cst_util.Stats.linear_fit pts in
+      Format.printf "  %-10s slope=%6.3f  (%s)@." a.name fit.slope
+        (if Float.abs fit.slope < 0.05 then "O(1) - constant in w"
+         else "grows with w"))
+    algos;
+  Format.printf
+    "paper claim: CSA O(1) vs Roy et al. O(w) per switch -> compare slopes@.";
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) per_algo []
+
+(* F1 — the headline figure. *)
+let f1 per_algo =
+  section "F1 - figure: per-switch configuration writes, CSA vs ID-scheduling";
+  let series =
+    List.filter_map
+      (fun name ->
+        Option.map
+          (fun pts ->
+            { Cst_report.Ascii_plot.label = name; points = List.rev pts })
+          (List.assoc_opt name per_algo))
+      [ "csa"; "roy-id" ]
+  in
+  Cst_report.Ascii_plot.print ~title:"max writes per switch vs width"
+    ~x_label:"width" ~y_label:"max writes/switch" series
+
+(* E4 — total power units. *)
+let e4 () =
+  section "E4 - total power (connection writes) and the structural floor";
+  let table =
+    Cst_report.Table.create
+      ~title:
+        (Printf.sprintf "total writes over the whole schedule (%d PEs)"
+           sweep_n)
+      ~columns:
+        [ "width"; "comms"; "floor"; "csa"; "eager-csa"; "roy-id"; "naive" ]
+  in
+  let topo = Cst.Topology.create ~leaves:sweep_n in
+  List.iter
+    (fun w ->
+      let set = set_for_width ~seed:100 w in
+      let floor_ = Cst_baselines.Bounds.min_total_connects topo set in
+      let total name =
+        let a = Option.get (Cst_baselines.Registry.find name) in
+        (a.run topo set).power.total_writes
+      in
+      Cst_report.Table.add_int_row table
+        [
+          w;
+          Cst_comm.Comm_set.size set;
+          floor_;
+          total "csa";
+          total "eager-csa";
+          total "roy-id";
+          total "naive";
+        ])
+    widths;
+  Cst_report.Table.print table;
+  Format.printf
+    "the CSA sits near the floor (each connection set once); per-round \
+     schedulers pay per participation@."
+
+(* E5 — Theorem 5 efficiency: constant words, messages, cycles. *)
+let e5 () =
+  section
+    "E5 - Theorem 5: locality and efficiency of the message-passing engine";
+  let table =
+    Cst_report.Table.create
+      ~title:"engine statistics at width 8 across tree sizes"
+      ~columns:
+        [
+          "PEs"; "rounds"; "cycles"; "cycles-model"; "messages";
+          "max-msg-words"; "state-words";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let rng = Cst_util.Prng.create 500 in
+      let set = Cst_workloads.Gen_wn.with_width rng ~n ~width:8 in
+      let topo = Cst.Topology.create ~leaves:n in
+      let sched, stats = Padr.Engine.run_exn topo set in
+      let levels = Cst.Topology.levels topo in
+      let rounds = Padr.Schedule.num_rounds sched in
+      let model = 1 + levels + (rounds * (levels + 2)) in
+      Cst_report.Table.add_int_row table
+        [
+          n; rounds; stats.cycles; model; stats.control_messages;
+          stats.max_message_words; stats.state_words_per_switch;
+        ])
+    [ 16; 64; 256; 1024; 4096 ];
+  Cst_report.Table.print table;
+  Format.printf
+    "message and storage sizes are constants; cycles follow \
+     (log n + w(log n + 2)) - Theta(w log n)@."
+
+(* E6 — cross-workload comparison. *)
+let e6 () =
+  section "E6 - all schedulers across the workload suite";
+  let n = 256 in
+  let table =
+    Cst_report.Table.create
+      ~title:(Printf.sprintf "named workloads on %d PEs" n)
+      ~columns:
+        [
+          "workload"; "comms"; "width"; "csa rnds"; "roy rnds"; "csa wr/sw";
+          "roy wr/sw"; "csa total"; "roy total";
+        ]
+  in
+  let topo = Cst.Topology.create ~leaves:n in
+  List.iter
+    (fun (g : Cst_workloads.Suite.gen) ->
+      let set = g.make (Cst_util.Prng.create 42) ~n in
+      let csa = Padr.Csa.run_exn topo set in
+      let roy = Cst_baselines.Roy_id.run topo set in
+      Cst_report.Table.add_row table
+        [
+          g.name;
+          string_of_int (Cst_comm.Comm_set.size set);
+          string_of_int csa.width;
+          string_of_int (Padr.Schedule.num_rounds csa);
+          string_of_int (Padr.Schedule.num_rounds roy);
+          string_of_int csa.power.max_writes_per_switch;
+          string_of_int roy.power.max_writes_per_switch;
+          string_of_int csa.power.total_writes;
+          string_of_int roy.power.total_writes;
+        ])
+    Cst_workloads.Suite.all;
+  Cst_report.Table.print table
+
+(* E7 — ablation: lazy carry-over vs eager clearing. *)
+let e7 () =
+  section "E7 - ablation: PADR lazy carry-over vs eager per-round clearing";
+  let table =
+    Cst_report.Table.create
+      ~title:
+        (Printf.sprintf
+           "CSA decisions, two reconfiguration disciplines (%d PEs)" sweep_n)
+      ~columns:
+        [
+          "width"; "lazy conn"; "lazy disc"; "eager conn"; "eager disc";
+          "eager/lazy";
+        ]
+  in
+  let topo = Cst.Topology.create ~leaves:sweep_n in
+  List.iter
+    (fun w ->
+      let set = set_for_width ~seed:100 w in
+      let lz = Padr.Csa.run_exn topo set in
+      let eg = Padr.Csa.run_exn ~eager_clear:true topo set in
+      let levents (s : Padr.Schedule.t) =
+        s.power.total_connects + s.power.total_disconnects
+      in
+      Cst_report.Table.add_row table
+        [
+          string_of_int w;
+          string_of_int lz.power.total_connects;
+          string_of_int lz.power.total_disconnects;
+          string_of_int eg.power.total_connects;
+          string_of_int eg.power.total_disconnects;
+          Cst_report.Table.cell_float
+            (float_of_int (levents eg) /. float_of_int (max 1 (levents lz)));
+        ])
+    widths;
+  Cst_report.Table.print table;
+  Format.printf
+    "the outermost-first selection does most of the work; carry-over \
+     removes the residual churn@."
+
+(* E8 — beyond the paper: arbitrary sets as well-nested waves. *)
+let e8 () =
+  section "E8 - extension: arbitrary (crossing) sets as CSA waves";
+  let n = 256 in
+  let table =
+    Cst_report.Table.create
+      ~title:(Printf.sprintf "wave cover of crossing patterns (%d PEs)" n)
+      ~columns:
+        [
+          "pattern"; "comms"; "clique-bound"; "waves"; "rounds";
+          "writes"; "max wr/sw";
+        ]
+  in
+  let rng = Cst_util.Prng.create 808 in
+  let patterns =
+    List.map
+      (fun stage ->
+        ( Printf.sprintf "butterfly s=%d" stage,
+          Cst_workloads.Gen_arbitrary.butterfly ~n ~stage ))
+      [ 0; 2; 4; 6 ]
+    @ [
+        ( "random pairs 64",
+          Cst_workloads.Gen_arbitrary.random_pairs rng ~n ~pairs:64 );
+        ( "bit-reversal",
+          Cst_workloads.Gen_arbitrary.bit_reversal_sample rng ~n );
+      ]
+  in
+  List.iter
+    (fun (name, set) ->
+      let right, left = Cst_comm.Decompose.split set in
+      let bound =
+        max
+          (Cst_comm.Wn_cover.clique_lower_bound right)
+          (Cst_comm.Wn_cover.clique_lower_bound (Cst_comm.Mirror.set left))
+      in
+      let w = Padr.Waves.schedule_exn set in
+      assert (Padr.Waves.deliveries w = Cst_comm.Comm_set.matching set);
+      Cst_report.Table.add_row table
+        [
+          name;
+          string_of_int (Cst_comm.Comm_set.size set);
+          string_of_int bound;
+          string_of_int (Padr.Waves.num_waves w);
+          string_of_int w.rounds;
+          string_of_int w.power.total_writes;
+          string_of_int w.power.max_writes_per_switch;
+        ])
+    patterns;
+  Cst_report.Table.print table;
+  Format.printf
+    "the cover meets the crossing-clique lower bound on structured patterns@."
+
+(* E9 — extension: computational algorithms under PADR (Blelloch scan). *)
+let e9 () =
+  section "E9 - extension: parallel prefix under PADR";
+  let table =
+    Cst_report.Table.create
+      ~title:"Blelloch scan on the CST (sum of random arrays)"
+      ~columns:
+        [
+          "PEs"; "supersteps"; "rounds"; "writes"; "max wr/sw"; "correct";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let rng = Cst_util.Prng.create (n + 5) in
+      let a = Array.init n (fun _ -> Cst_util.Prng.int rng 1000) in
+      let r = Cst_algos.Scan.run Cst_algos.Scan.sum a in
+      let ok =
+        r.inclusive
+        = Cst_algos.Scan.inclusive_reference Cst_algos.Scan.sum a
+      in
+      Cst_report.Table.add_row table
+        [
+          string_of_int n;
+          string_of_int r.stats.supersteps;
+          string_of_int r.stats.rounds;
+          string_of_int r.stats.power.total_writes;
+          string_of_int r.stats.power.max_writes_per_switch;
+          string_of_bool ok;
+        ])
+    [ 16; 64; 256; 1024 ];
+  Cst_report.Table.print table;
+  Format.printf
+    "3 log n + 1 supersteps, one width-1 round each; per-switch writes \
+     stay small because consecutive levels reuse configurations@."
+
+(* E10 — traffic study over time (the NoC usage). *)
+let e10 () =
+  section "E10 - traffic trace: energy/latency over 30 phases";
+  let rng = Cst_util.Prng.create 3030 in
+  let trace = Cst_sim.Traffic.random_well_nested rng ~leaves:256 ~phases:30 () in
+  let results = Cst_sim.Runner.compare_all trace in
+  let table =
+    Cst_report.Table.create
+      ~title:(Format.asprintf "%a" Cst_sim.Traffic.pp trace)
+      ~columns:[ "scheduler"; "rounds"; "writes"; "max wr/sw"; "vs padr" ]
+  in
+  let padr = List.assoc "padr" results in
+  List.iter
+    (fun (name, (r : Cst_sim.Runner.result)) ->
+      Cst_report.Table.add_row table
+        [
+          name;
+          string_of_int r.rounds;
+          string_of_int r.power.total_writes;
+          string_of_int r.power.max_writes_per_switch;
+          Cst_report.Table.cell_float (Cst_sim.Runner.energy_ratio r padr);
+        ])
+    results;
+  Cst_report.Table.print table;
+  Format.printf
+    "cross-phase carry-over compounds the per-schedule savings@."
+
+(* E11 — link utilization and round occupancy of CSA schedules. *)
+let e11 () =
+  section "E11 - link utilization and occupancy of CSA schedules";
+  let table =
+    Cst_report.Table.create
+      ~title:"traffic-engineering view (256 PEs)"
+      ~columns:
+        [
+          "workload"; "width"; "rounds"; "max link use"; "mean comms/round";
+          "max comms/round";
+        ]
+  in
+  List.iter
+    (fun name ->
+      match Cst_workloads.Suite.find name with
+      | None -> ()
+      | Some g ->
+          let set = g.make (Cst_util.Prng.create 42) ~n:256 in
+          let sched = Padr.schedule_exn set in
+          let occ = Cst_report.Schedule_stats.occupancy sched in
+          Cst_report.Table.add_row table
+            [
+              name;
+              string_of_int sched.width;
+              string_of_int occ.rounds;
+              string_of_int (Cst_report.Schedule_stats.max_link_use sched);
+              Cst_report.Table.cell_float occ.mean_per_round;
+              string_of_int occ.max_per_round;
+            ])
+    [ "uniform"; "dense"; "pairs"; "onion"; "comb"; "blocks" ];
+  Cst_report.Table.print table;
+  Format.printf
+    "the busiest directed link is used in every round (max link use = \
+     width): CSA schedules leave no slack on the bottleneck@."
+
+(* F2 — scaling figure: wall-clock time of a full schedule. *)
+let f2 () =
+  section "F2 - figure: scheduling time vs tree size (dense traffic)";
+  let time_once f =
+    let t0 = Sys.time () in
+    f ();
+    Sys.time () -. t0
+  in
+  let points =
+    List.map
+      (fun n ->
+        let rng = Cst_util.Prng.create 7 in
+        let set = Cst_workloads.Gen_wn.uniform rng ~n ~density:1.0 in
+        let topo = Cst.Topology.create ~leaves:n in
+        let reps = if n <= 1024 then 5 else 2 in
+        let dt =
+          time_once (fun () ->
+              for _ = 1 to reps do
+                ignore (Padr.Csa.run_exn ~keep_configs:false topo set)
+              done)
+          /. float_of_int reps
+        in
+        (n, dt))
+      [ 64; 128; 256; 512; 1024; 2048; 4096; 8192 ]
+  in
+  let table =
+    Cst_report.Table.create ~title:"full CSA schedule, mean wall-clock"
+      ~columns:[ "PEs"; "ms" ]
+  in
+  List.iter
+    (fun (n, dt) ->
+      Cst_report.Table.add_row table
+        [ string_of_int n; Cst_report.Table.cell_float (dt *. 1000.0) ])
+    points;
+  Cst_report.Table.print table;
+  Cst_report.Ascii_plot.print ~title:"schedule time vs PEs" ~x_label:"PEs"
+    ~y_label:"seconds"
+    [
+      {
+        Cst_report.Ascii_plot.label = "csa";
+        points = List.map (fun (n, dt) -> (float_of_int n, dt)) points;
+      };
+    ]
+
+(* Bechamel micro-benchmarks. *)
+let microbench () =
+  section "micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let open Toolkit in
+  let n = 1024 in
+  let rng = Cst_util.Prng.create 7 in
+  let set = Cst_workloads.Gen_wn.uniform rng ~n ~density:1.0 in
+  let topo = Cst.Topology.create ~leaves:n in
+  let onion = Cst_workloads.Gen_wn.onion ~n ~width:64 in
+  let tests =
+    Test.make_grouped ~name:"cst"
+      [
+        Test.make ~name:"phase1/1024"
+          (Staged.stage (fun () -> ignore (Padr.Phase1.run topo set)));
+        Test.make ~name:"width/1024"
+          (Staged.stage (fun () ->
+               ignore (Cst_comm.Width.width ~leaves:n set)));
+        Test.make ~name:"csa-full/1024-dense"
+          (Staged.stage (fun () ->
+               ignore (Padr.Csa.run_exn ~keep_configs:false topo set)));
+        Test.make ~name:"csa-full/1024-onion64"
+          (Staged.stage (fun () ->
+               ignore (Padr.Csa.run_exn ~keep_configs:false topo onion)));
+        Test.make ~name:"roy-id/1024-onion64"
+          (Staged.stage (fun () ->
+               ignore (Cst_baselines.Roy_id.run topo onion)));
+        Test.make ~name:"engine/1024-dense"
+          (Staged.stage (fun () ->
+               ignore (Padr.Engine.run_exn ~keep_configs:false topo set)));
+        Test.make ~name:"wellnested-check/1024"
+          (Staged.stage (fun () ->
+               ignore (Cst_comm.Well_nested.is_well_nested set)));
+        Test.make ~name:"gen-uniform/1024"
+          (Staged.stage (fun () ->
+               ignore
+                 (Cst_workloads.Gen_wn.uniform
+                    (Cst_util.Prng.create 3)
+                    ~n ~density:1.0)));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table =
+    Cst_report.Table.create ~title:"per-call cost"
+      ~columns:[ "benchmark"; "time/run" ]
+  in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (e :: _) -> e
+          | _ -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Cst_report.Table.add_row table [ name; pretty ])
+    rows;
+  Cst_report.Table.print table
+
+let () =
+  let fast = Array.exists (( = ) "--fast") Sys.argv in
+  Format.printf
+    "Reproduction harness: El-Boghdadi, \"Power-Aware Routing for \
+     Well-Nested Communications On The Circuit Switched Tree\" (IPPS 2007)@.";
+  e1 ();
+  e2 ();
+  let per_algo = e3 () in
+  f1 per_algo;
+  e4 ();
+  e5 ();
+  e6 ();
+  e7 ();
+  e8 ();
+  e9 ();
+  e10 ();
+  e11 ();
+  f2 ();
+  if not fast then microbench ();
+  Format.printf "@.done.@."

@@ -1,0 +1,1 @@
+bin/cstool.ml: Arg Array Cmd Cmdliner Cst Cst_baselines Cst_comm Cst_report Cst_util Cst_workloads Format Fun List Padr Printf String Term

@@ -1,0 +1,1 @@
+bin/fuzz.ml: Array Cst Cst_algos Cst_baselines Cst_comm Cst_util Cst_workloads Format List Padr String Sys

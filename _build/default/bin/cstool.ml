@@ -1,0 +1,407 @@
+(* cstool — command-line front end for the CST/PADR library.
+
+   Subcommands:
+     gen    generate a workload and print/save it as a comm-set file
+     info   validate a set and print its statistics
+     route  schedule a set with a chosen algorithm, optionally verifying
+     sweep  width sweep comparing algorithms (the E3 experiment, ad hoc) *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_set path =
+  match Cst_comm.Comm_set.of_string (read_file path) with
+  | Ok s -> Ok s
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+
+let gen_set ~workload ~n ~seed =
+  match Cst_workloads.Suite.find workload with
+  | None ->
+      Error
+        (Printf.sprintf "unknown workload %S (known: %s)" workload
+           (String.concat ", " Cst_workloads.Suite.names))
+  | Some g -> (
+      try Ok (g.make (Cst_util.Prng.create seed) ~n)
+      with Invalid_argument m ->
+        Error (Printf.sprintf "workload %s rejects n=%d: %s" workload n m))
+
+let obtain_set file workload n seed =
+  match (file, workload) with
+  | Some path, None -> load_set path
+  | None, Some w -> gen_set ~workload:w ~n ~seed
+  | None, None -> Error "provide either a FILE or --workload"
+  | Some _, Some _ -> Error "provide either a FILE or --workload, not both"
+
+(* common args *)
+let file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Communication-set file (see cstool gen).")
+
+let workload_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "w"; "workload" ] ~docv:"NAME"
+        ~doc:
+          (Printf.sprintf "Generate the workload instead of reading a file. \
+                           One of: %s."
+             (String.concat ", " Cst_workloads.Suite.names)))
+
+let n_arg =
+  Arg.(value & opt int 64 & info [ "n" ] ~docv:"N" ~doc:"Number of PEs for generated workloads.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let exit_err msg =
+  Format.eprintf "cstool: %s@." msg;
+  exit 1
+
+(* gen *)
+let gen_cmd =
+  let run workload n seed out =
+    match gen_set ~workload ~n ~seed with
+    | Error e -> exit_err e
+    | Ok set -> (
+        let text = Cst_comm.Comm_set.to_string set in
+        match out with
+        | None -> print_string text
+        | Some path ->
+            let oc = open_out path in
+            output_string oc text;
+            close_out oc;
+            Format.printf "wrote %d communications over %d PEs to %s@."
+              (Cst_comm.Comm_set.size set)
+              (Cst_comm.Comm_set.n set)
+              path)
+  in
+  let workload =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workload name.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default: stdout).")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a communication-set file")
+    Term.(const run $ workload $ n_arg $ seed_arg $ out)
+
+(* info *)
+let info_cmd =
+  let run file workload n seed =
+    match obtain_set file workload n seed with
+    | Error e -> exit_err e
+    | Ok set ->
+        Format.printf "PEs:            %d@." (Cst_comm.Comm_set.n set);
+        Format.printf "communications: %d@." (Cst_comm.Comm_set.size set);
+        Format.printf "width:          %d@." (Cst_comm.Width.width_auto set);
+        let right, left = Cst_comm.Decompose.split set in
+        Format.printf "orientation:    %d right, %d left@."
+          (Cst_comm.Comm_set.size right)
+          (Cst_comm.Comm_set.size left);
+        (match Cst_comm.Well_nested.check right with
+        | Ok forest ->
+            Format.printf "right part:     well-nested, depth %d@."
+              (Cst_comm.Nest_forest.max_depth forest)
+        | Error v ->
+            Format.printf "right part:     NOT well-nested (%a)@."
+              Cst_comm.Well_nested.pp_violation v);
+        if Cst_comm.Comm_set.n set <= 128 then
+          Format.printf "@.%s" (Cst_report.Arc_diagram.render_set set);
+        if Cst_comm.Comm_set.size left > 0 then
+          match Cst_comm.Well_nested.check (Cst_comm.Mirror.set left) with
+          | Ok forest ->
+              Format.printf "left part:      well-nested, depth %d@."
+                (Cst_comm.Nest_forest.max_depth forest)
+          | Error v ->
+              Format.printf "left part:      NOT well-nested (%a)@."
+                Cst_comm.Well_nested.pp_violation v
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Validate a set and print statistics")
+    Term.(const run $ file_arg $ workload_arg $ n_arg $ seed_arg)
+
+(* route *)
+let route_cmd =
+  let run file workload n seed algo verbose no_verify =
+    match obtain_set file workload n seed with
+    | Error e -> exit_err e
+    | Ok set -> (
+        match Cst_baselines.Registry.find algo with
+        | None ->
+            exit_err
+              (Printf.sprintf "unknown algorithm %S (known: %s)" algo
+                 (String.concat ", " Cst_baselines.Registry.names))
+        | Some a -> (
+            let leaves =
+              Cst_util.Bits.ceil_pow2 (max 2 (Cst_comm.Comm_set.n set))
+            in
+            let topo = Cst.Topology.create ~leaves in
+            match a.run topo set with
+            | exception Invalid_argument m -> exit_err m
+            | sched ->
+                if verbose then Format.printf "%a@." Padr.Schedule.pp sched
+                else
+                  Format.printf
+                    "%s: %d communications, width %d -> %d rounds, %d power \
+                     units (%d writes), max %d connects/switch@."
+                    a.name
+                    (Cst_comm.Comm_set.size set)
+                    sched.width
+                    (Padr.Schedule.num_rounds sched)
+                    sched.power.total_connects sched.power.total_writes
+                    sched.power.max_connects_per_switch;
+                if not no_verify then begin
+                  let report =
+                    Padr.Verify.schedule
+                      ~check_rounds_optimal:a.round_optimal topo set sched
+                  in
+                  Format.printf "verification: %a@." Padr.Verify.pp_report
+                    report;
+                  if not report.ok then exit 1
+                end))
+  in
+  let algo =
+    Arg.(
+      value & opt string "csa"
+      & info [ "a"; "algo" ] ~docv:"ALGO"
+          ~doc:
+            (Printf.sprintf "Scheduler: %s."
+               (String.concat ", " Cst_baselines.Registry.names)))
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every round.")
+  in
+  let no_verify =
+    Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip verification.")
+  in
+  Cmd.v
+    (Cmd.info "route" ~doc:"Schedule a set on the CST")
+    Term.(
+      const run $ file_arg $ workload_arg $ n_arg $ seed_arg $ algo $ verbose
+      $ no_verify)
+
+(* sweep *)
+let sweep_cmd =
+  let run n widths algos seed csv =
+    let algos =
+      List.map
+        (fun name ->
+          match Cst_baselines.Registry.find name with
+          | Some a -> a
+          | None -> exit_err (Printf.sprintf "unknown algorithm %S" name))
+        algos
+    in
+    let topo = Cst.Topology.create ~leaves:n in
+    let table =
+      Cst_report.Table.create
+        ~title:(Printf.sprintf "width sweep on %d PEs" n)
+        ~columns:
+          ("width"
+          :: List.concat_map
+               (fun (a : Cst_baselines.Registry.algo) ->
+                 [ a.name ^ ":rounds"; a.name ^ ":maxwrites" ])
+               algos)
+    in
+    let rows = ref [] in
+    List.iter
+      (fun w ->
+        let rng = Cst_util.Prng.create (seed + w) in
+        let set = Cst_workloads.Gen_wn.with_width rng ~n ~width:w in
+        let cells =
+          List.concat_map
+            (fun (a : Cst_baselines.Registry.algo) ->
+              let s = a.run topo set in
+              [
+                string_of_int (Padr.Schedule.num_rounds s);
+                string_of_int s.power.max_writes_per_switch;
+              ])
+            algos
+        in
+        let row = string_of_int w :: cells in
+        Cst_report.Table.add_row table row;
+        rows := row :: !rows)
+      widths;
+    Cst_report.Table.print table;
+    match csv with
+    | None -> ()
+    | Some path ->
+        Cst_report.Csv.write_file ~path
+          ~header:
+            ("width"
+            :: List.concat_map
+                 (fun (a : Cst_baselines.Registry.algo) ->
+                   [ a.name ^ "_rounds"; a.name ^ "_maxwrites" ])
+                 algos)
+          (List.rev !rows);
+        Format.printf "wrote %s@." path
+  in
+  let widths =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4; 8; 16; 32 ]
+      & info [ "widths" ] ~docv:"W,W,..." ~doc:"Widths to sweep.")
+  in
+  let algos =
+    Arg.(
+      value
+      & opt (list string) [ "csa"; "roy-id" ]
+      & info [ "algos" ] ~docv:"A,A,..." ~doc:"Algorithms to compare.")
+  in
+  let csv =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Also write CSV.")
+  in
+  let n =
+    Arg.(value & opt int 256 & info [ "n" ] ~docv:"N" ~doc:"PE count (power of two).")
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Compare algorithms across widths")
+    Term.(const run $ n $ widths $ algos $ seed_arg $ csv)
+
+(* waves: schedule arbitrary (crossing / mixed-orientation) sets *)
+let waves_cmd =
+  let run file workload n seed butterfly pairs =
+    let input =
+      match (butterfly, pairs) with
+      | Some stage, None -> (
+          try Ok (Cst_workloads.Gen_arbitrary.butterfly ~n ~stage)
+          with Invalid_argument m -> Error m)
+      | None, Some p -> (
+          try
+            Ok
+              (Cst_workloads.Gen_arbitrary.random_pairs
+                 (Cst_util.Prng.create seed)
+                 ~n ~pairs:p)
+          with Invalid_argument m -> Error m)
+      | Some _, Some _ -> Error "choose one of --butterfly / --random-pairs"
+      | None, None -> obtain_set file workload n seed
+    in
+    match input with
+    | Error e -> exit_err e
+    | Ok set -> (
+        match Padr.Waves.schedule set with
+        | Error e -> exit_err (Format.asprintf "%a" Padr.pp_error e)
+        | Ok w ->
+            Format.printf "%a@." Padr.Waves.pp w;
+            let right, left = Cst_comm.Decompose.split set in
+            Format.printf
+              "cover: %d right layer(s), %d left layer(s); crossing clique \
+               lower bound %d@."
+              (List.length (Cst_comm.Wn_cover.layers right))
+              (List.length
+                 (Cst_comm.Wn_cover.layers (Cst_comm.Mirror.set left)))
+              (max
+                 (Cst_comm.Wn_cover.clique_lower_bound right)
+                 (Cst_comm.Wn_cover.clique_lower_bound
+                    (Cst_comm.Mirror.set left)));
+            let ok =
+              Padr.Waves.deliveries w = Cst_comm.Comm_set.matching set
+            in
+            Format.printf "deliveries match the set: %b@." ok;
+            if not ok then exit 1)
+  in
+  let butterfly =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "butterfly" ] ~docv:"STAGE"
+          ~doc:"Use butterfly exchange stage $(docv) as the input set.")
+  in
+  let pairs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "random-pairs" ] ~docv:"M"
+          ~doc:"Use $(docv) random arbitrary pairs as the input set.")
+  in
+  Cmd.v
+    (Cmd.info "waves"
+       ~doc:"Schedule an arbitrary set as a sequence of CSA waves")
+    Term.(
+      const run $ file_arg $ workload_arg $ n_arg $ seed_arg $ butterfly
+      $ pairs)
+
+(* dot: Graphviz export of a round's configured network *)
+let dot_cmd =
+  let run file workload n seed round out =
+    match obtain_set file workload n seed with
+    | Error e -> exit_err e
+    | Ok set -> (
+        match Padr.schedule set with
+        | Error e -> exit_err (Format.asprintf "%a" Padr.pp_error e)
+        | Ok sched ->
+            if round < 1 || round > Padr.Schedule.num_rounds sched then
+              exit_err
+                (Printf.sprintf "round %d out of range (schedule has %d)"
+                   round
+                   (Padr.Schedule.num_rounds sched));
+            let topo = Cst.Topology.create ~leaves:sched.leaves in
+            let net = Cst.Net.create topo in
+            Array.iter
+              (fun (node, cfg) -> Cst.Net.reconfigure net ~node cfg)
+              sched.rounds.(round - 1).configs;
+            let dot = Cst.Dot.of_net net in
+            (match out with
+            | None -> print_string dot
+            | Some path ->
+                Cst.Dot.write_file ~path dot;
+                Format.printf "wrote %s (render with: dot -Tsvg %s)@." path
+                  path))
+  in
+  let round =
+    Arg.(value & opt int 1 & info [ "r"; "round" ] ~docv:"ROUND" ~doc:"Round to render (1-based).")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default: stdout).")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export a scheduled round as Graphviz")
+    Term.(const run $ file_arg $ workload_arg $ n_arg $ seed_arg $ round $ out)
+
+(* stats: post-hoc schedule analysis *)
+let stats_cmd =
+  let run file workload n seed =
+    match obtain_set file workload n seed with
+    | Error e -> exit_err e
+    | Ok set -> (
+        match Padr.schedule set with
+        | Error e -> exit_err (Format.asprintf "%a" Padr.pp_error e)
+        | Ok sched ->
+            let occ = Cst_report.Schedule_stats.occupancy sched in
+            Format.printf
+              "%d communications in %d rounds (width %d): mean %.2f per \
+               round, max %d, min %d@."
+              occ.comms occ.rounds sched.width occ.mean_per_round
+              occ.max_per_round occ.min_per_round;
+            Format.printf "max link use: %d@."
+              (Cst_report.Schedule_stats.max_link_use sched);
+            Cst_report.Table.print
+              (Cst_report.Schedule_stats.per_round_table sched);
+            let audit =
+              Padr.Invariants.audit
+                (Cst.Topology.create ~leaves:sched.leaves)
+                set
+            in
+            Format.printf "register audit: %a@." Padr.Invariants.pp_report
+              audit)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Analyse a CSA schedule (occupancy, links, audit)")
+    Term.(const run $ file_arg $ workload_arg $ n_arg $ seed_arg)
+
+let () =
+  let doc = "power-aware routing on the circuit switched tree" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "cstool" ~version:"1.0.0" ~doc)
+          [
+            gen_cmd; info_cmd; route_cmd; sweep_cmd; waves_cmd; dot_cmd;
+            stats_cmd;
+          ]))

@@ -1,0 +1,128 @@
+(* Differential fuzzer: hammers every scheduler with random sets and
+   cross-checks all of the paper's invariants.  Complements the qcheck
+   properties with longer runs and cross-implementation comparisons;
+   prints the reproducing seed on failure.
+
+   Run with:  dune exec bin/fuzz.exe -- [iterations] [seed] *)
+
+let failures = ref 0
+
+let complain seed fmt =
+  Format.kasprintf
+    (fun msg ->
+      incr failures;
+      Format.printf "FAIL (seed %d): %s@." seed msg)
+    fmt
+
+let check_well_nested seed rng =
+  let n = 1 lsl (2 + Cst_util.Prng.int rng 7) in
+  let density = 0.05 +. Cst_util.Prng.float rng 0.95 in
+  let set = Cst_workloads.Gen_wn.uniform rng ~n ~density in
+  let topo = Cst.Topology.create ~leaves:n in
+  let expected = Cst_comm.Comm_set.matching set in
+  let width = Cst_comm.Width.width ~leaves:n set in
+  (* the CSA, functional and message-passing *)
+  let spec = Padr.Csa.run_exn topo set in
+  let report = Padr.verify spec in
+  if not report.ok then
+    complain seed "csa verification: %s" (String.concat "; " report.issues);
+  if Padr.Schedule.num_rounds spec <> width then
+    complain seed "csa rounds %d <> width %d"
+      (Padr.Schedule.num_rounds spec)
+      width;
+  let eng, stats = Padr.Engine.run_exn topo set in
+  if Padr.Schedule.all_deliveries eng <> expected then
+    complain seed "engine deliveries diverge";
+  if
+    Padr.Schedule.num_rounds eng <> Padr.Schedule.num_rounds spec
+    || eng.power.total_connects <> spec.power.total_connects
+  then complain seed "engine/spec mismatch";
+  if stats.max_message_words > 4 || stats.state_words_per_switch <> 5 then
+    complain seed "engine exceeded constant word sizes";
+  (* every baseline *)
+  List.iter
+    (fun (a : Cst_baselines.Registry.algo) ->
+      let s = a.run topo set in
+      if Padr.Schedule.all_deliveries s <> expected then
+        complain seed "%s deliveries diverge" a.name;
+      if Padr.Schedule.num_rounds s < width then
+        complain seed "%s beat the width bound" a.name;
+      if s.power.max_writes_per_switch < spec.power.max_writes_per_switch
+      then
+        complain seed "%s wrote less than the CSA (%d < %d)" a.name
+          s.power.max_writes_per_switch spec.power.max_writes_per_switch)
+    Cst_baselines.Registry.all;
+  (* native left vs mirrored right *)
+  let left_native =
+    Padr.Left.run_exn topo (Cst_comm.Mirror.set set)
+  in
+  let reflect =
+    List.map
+      (fun (a, b) -> (Cst_comm.Mirror.pe ~n a, Cst_comm.Mirror.pe ~n b))
+      (Padr.Schedule.all_deliveries spec)
+    |> List.sort compare
+  in
+  if Padr.Schedule.all_deliveries left_native <> reflect then
+    complain seed "native left scheduler diverges from mirroring"
+
+let check_arbitrary seed rng =
+  let n = 1 lsl (2 + Cst_util.Prng.int rng 6) in
+  let set =
+    match Cst_util.Prng.int rng 3 with
+    | 0 -> Cst_workloads.Gen_arbitrary.random_pairs rng ~n ~pairs:(n / 3)
+    | 1 ->
+        Cst_workloads.Gen_arbitrary.butterfly ~n
+          ~stage:(Cst_util.Prng.int rng (Cst_util.Bits.ilog2 n))
+    | _ -> Cst_workloads.Gen_arbitrary.bit_reversal_sample rng ~n
+  in
+  let w = Padr.Waves.schedule_exn set in
+  if Padr.Waves.deliveries w <> Cst_comm.Comm_set.matching set then
+    complain seed "waves deliveries diverge";
+  let right, left = Cst_comm.Decompose.split set in
+  let bound =
+    max
+      (Cst_comm.Wn_cover.clique_lower_bound right)
+      (Cst_comm.Wn_cover.clique_lower_bound (Cst_comm.Mirror.set left))
+  in
+  if Padr.Waves.num_waves w < bound then
+    complain seed "wave cover beat its clique lower bound"
+
+let check_algos seed rng =
+  let n = 1 lsl (1 + Cst_util.Prng.int rng 6) in
+  let a = Array.init n (fun _ -> Cst_util.Prng.int_in rng (-1000) 1000) in
+  let r = Cst_algos.Scan.run Cst_algos.Scan.sum a in
+  if r.exclusive <> Cst_algos.Scan.exclusive_reference Cst_algos.Scan.sum a
+  then complain seed "scan diverges";
+  if n <= 64 then begin
+    let sorted, _ = Cst_algos.Sort.run a in
+    let expect = Array.copy a in
+    Array.sort compare expect;
+    if sorted <> expect then complain seed "sort diverges"
+  end
+
+let () =
+  let iterations =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 300
+  in
+  let base_seed =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 0xC57
+  in
+  for i = 1 to iterations do
+    let seed = base_seed + i in
+    let rng = Cst_util.Prng.create seed in
+    (match i mod 3 with
+    | 0 -> check_well_nested seed rng
+    | 1 -> check_arbitrary seed rng
+    | _ -> check_algos seed rng);
+    if i mod 100 = 0 then
+      Format.printf "... %d/%d iterations, %d failure(s)@." i iterations
+        !failures
+  done;
+  if !failures = 0 then begin
+    Format.printf "fuzz: %d iterations, all invariants held@." iterations;
+    exit 0
+  end
+  else begin
+    Format.printf "fuzz: %d failure(s)@." !failures;
+    exit 1
+  end

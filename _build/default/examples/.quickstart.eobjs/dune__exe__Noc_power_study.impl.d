@@ -1,0 +1,1 @@
+examples/noc_power_study.ml: Cst_report Cst_sim Cst_util Format List

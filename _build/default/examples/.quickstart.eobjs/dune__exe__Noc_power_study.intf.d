@@ -1,0 +1,1 @@
+examples/noc_power_study.mli:

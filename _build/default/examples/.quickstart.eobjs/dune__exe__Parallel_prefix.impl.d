@@ -1,0 +1,1 @@
+examples/parallel_prefix.ml: Array Cst_algos Cst_util Cst_workloads Format Padr

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cst Cst_comm Cst_report Format List Padr

@@ -1,0 +1,1 @@
+examples/segmentable_bus.ml: Cst_workloads Format List Padr Segbus

@@ -1,0 +1,1 @@
+examples/segmentable_bus.mli:

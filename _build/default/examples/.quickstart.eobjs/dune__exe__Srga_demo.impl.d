@@ -1,0 +1,1 @@
+examples/srga_demo.ml: Array Broadcast Cst_comm Cst_srga Cst_util Cst_workloads Format Grid List Matvec Padr Row_sched

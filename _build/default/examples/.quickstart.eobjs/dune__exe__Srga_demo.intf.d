@@ -1,0 +1,1 @@
+examples/srga_demo.mli:

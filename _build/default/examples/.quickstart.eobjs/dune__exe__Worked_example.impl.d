@@ -1,0 +1,1 @@
+examples/worked_example.ml: Array Cst Cst_comm Cst_workloads Format List Padr

@@ -1,0 +1,56 @@
+(* The CST as a network-on-chip interconnect: a traffic study.
+
+   A 256-PE CST carries a 40-phase trace of random well-nested traffic (a
+   phase models one communication step of an application).  The same trace
+   runs under the PADR runner (persistent networks, carry-over across
+   phases) and under every per-round baseline; we compare latency (rounds,
+   clock cycles) and energy (configuration writes) over the whole run.
+
+   Run with:  dune exec examples/noc_power_study.exe *)
+
+let () =
+  let rng = Cst_util.Prng.create 2007 in
+  let trace =
+    Cst_sim.Traffic.random_well_nested rng ~leaves:256 ~phases:40 ()
+  in
+  Format.printf "%a@.@." Cst_sim.Traffic.pp trace;
+
+  let results = Cst_sim.Runner.compare_all trace in
+
+  (* A few phases in detail, PADR vs the ID baseline. *)
+  let padr = List.assoc "padr" results in
+  let roy = List.assoc "roy-id" results in
+  Format.printf "first phases (PADR vs roy-id):@.";
+  List.iteri
+    (fun i ((p : Cst_sim.Runner.phase_result), (r : Cst_sim.Runner.phase_result)) ->
+      if i < 5 then
+        Format.printf
+          "  %-9s %3d comms, width %2d | padr %2d rounds / %4d writes | \
+           roy %2d rounds / %4d writes@."
+          p.label p.comms p.width p.rounds p.writes r.rounds r.writes)
+    (List.combine padr.phases roy.phases);
+  Format.printf "  ...@.@.";
+
+  let table =
+    Cst_report.Table.create ~title:"whole-trace totals"
+      ~columns:[ "scheduler"; "rounds"; "cycles"; "writes"; "connects"; "max wr/sw" ]
+  in
+  List.iter
+    (fun (name, (r : Cst_sim.Runner.result)) ->
+      Cst_report.Table.add_row table
+        [
+          name;
+          string_of_int r.rounds;
+          string_of_int r.cycles;
+          string_of_int r.power.total_writes;
+          string_of_int r.power.total_connects;
+          string_of_int r.power.max_writes_per_switch;
+        ])
+    results;
+  Cst_report.Table.print table;
+
+  Format.printf
+    "@.energy: PADR spends %.1f%% of the ID baseline's configuration writes@."
+    (100.0 *. Cst_sim.Runner.energy_ratio padr roy);
+  Format.printf "latency: %d vs %d rounds over the trace@." padr.rounds
+    roy.rounds

@@ -1,0 +1,1 @@
+lib/algos/scan.ml: Array Cst_comm Cst_util List Printf Superstep

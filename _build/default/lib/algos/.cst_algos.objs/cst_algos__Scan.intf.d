@@ -1,0 +1,1 @@
+lib/algos/scan.mli: Superstep

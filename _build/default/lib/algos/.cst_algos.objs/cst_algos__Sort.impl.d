@@ -1,0 +1,1 @@
+lib/algos/sort.ml: Array Cst_comm Cst_util Fun List Printf Superstep

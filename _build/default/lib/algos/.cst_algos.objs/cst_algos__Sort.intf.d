@@ -1,0 +1,1 @@
+lib/algos/sort.mli: Superstep

@@ -1,0 +1,1 @@
+lib/algos/superstep.ml: Array Cst Cst_comm Cst_util List Padr Printf

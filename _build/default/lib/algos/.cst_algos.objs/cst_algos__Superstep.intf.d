@@ -1,0 +1,1 @@
+lib/algos/superstep.mli: Cst_comm Padr

@@ -1,0 +1,193 @@
+type op = { f : int -> int -> int; zero : int }
+
+let sum = { f = ( + ); zero = 0 }
+let max_op = { f = max; zero = min_int }
+let min_op = { f = min; zero = max_int }
+
+let exclusive_reference op a =
+  let acc = ref op.zero in
+  Array.map
+    (fun x ->
+      let out = !acc in
+      acc := op.f !acc x;
+      out)
+    a
+
+let inclusive_reference op a =
+  let acc = ref op.zero in
+  Array.map
+    (fun x ->
+      acc := op.f !acc x;
+      !acc)
+    a
+
+let comm src dst = Cst_comm.Comm.make ~src ~dst
+
+(* Block geometry of level d over n PEs: blocks of size 2^{d+1}; [m] is
+   the last index of the left half, [e] the last index of the block. *)
+let blocks ~n ~d =
+  let size = 1 lsl (d + 1) in
+  List.init (n / size) (fun b ->
+      let lo = b * size in
+      (lo + (size / 2) - 1, lo + size - 1))
+
+(* The Blelloch sweeps over an arbitrary monoid; state is (value, stash):
+   the down-sweep's left phase stashes the overwritten value for the
+   right phase to fold in. *)
+
+let value (v, _stash) = v
+
+let up_step gf ~n ~d =
+  {
+    Superstep.label = Printf.sprintf "up-sweep level %d" d;
+    pattern =
+      (fun _ ->
+        Cst_comm.Comm_set.create_exn ~n
+          (List.map (fun (m, e) -> comm m e) (blocks ~n ~d)));
+    absorb =
+      (fun states deliveries ->
+        let next = Array.copy states in
+        List.iter
+          (fun (src, dst) ->
+            let v, stash = next.(dst) in
+            next.(dst) <- (gf (value states.(src)) v, stash))
+          deliveries;
+        next);
+  }
+
+let clear_root ~n gzero =
+  {
+    Superstep.label = "clear root";
+    pattern = (fun _ -> Cst_comm.Comm_set.empty ~n);
+    absorb =
+      (fun states _ ->
+        let next = Array.copy states in
+        let _, stash = next.(n - 1) in
+        next.(n - 1) <- (gzero, stash);
+        next);
+  }
+
+(* Down-sweep level d, phase A: block end sends its value down-left; the
+   receiver stashes its old value before overwriting. *)
+let down_a ~n ~d =
+  {
+    Superstep.label = Printf.sprintf "down-sweep level %d (left)" d;
+    pattern =
+      (fun _ ->
+        Cst_comm.Comm_set.create_exn ~n
+          (List.map (fun (m, e) -> comm e m) (blocks ~n ~d)));
+    absorb =
+      (fun states deliveries ->
+        let next = Array.copy states in
+        List.iter
+          (fun (src, dst) ->
+            let v, _ = next.(dst) in
+            next.(dst) <- (value states.(src), v))
+          deliveries;
+        next);
+  }
+
+(* Phase B: the stashed old value travels right and is folded in. *)
+let down_b gf ~n ~d =
+  {
+    Superstep.label = Printf.sprintf "down-sweep level %d (right)" d;
+    pattern =
+      (fun _ ->
+        Cst_comm.Comm_set.create_exn ~n
+          (List.map (fun (m, e) -> comm m e) (blocks ~n ~d)));
+    absorb =
+      (fun states deliveries ->
+        let next = Array.copy states in
+        List.iter
+          (fun (src, dst) ->
+            let _, stash = states.(src) in
+            let v, s = next.(dst) in
+            (* the destination holds the incoming prefix, the stashed
+               left-half reduction folds in on the right *)
+            next.(dst) <- (gf v stash, s))
+          deliveries;
+        next);
+  }
+
+let generic_program ~name gf gzero ~n =
+  if n < 2 || not (Cst_util.Bits.is_power_of_two n) then
+    invalid_arg "Scan: n must be a power of two >= 2";
+  let k = Cst_util.Bits.ilog2 n in
+  let up = List.init k (fun d -> up_step gf ~n ~d) in
+  let down =
+    List.concat
+      (List.init k (fun i ->
+           let d = k - 1 - i in
+           [ down_a ~n ~d; down_b gf ~n ~d ]))
+  in
+  { Superstep.name; steps = up @ [ clear_root ~n gzero ] @ down }
+
+let generic_exclusive ~name gf gzero input =
+  let n = Array.length input in
+  let prog = generic_program ~name gf gzero ~n in
+  let init = Array.map (fun v -> (v, gzero)) input in
+  let final, stats = Superstep.run prog ~init in
+  (Array.map value final, stats)
+
+let program op ~n = generic_program ~name:"blelloch-scan" op.f op.zero ~n
+
+type result = {
+  exclusive : int array;
+  inclusive : int array;
+  stats : Superstep.stats;
+}
+
+let run op a =
+  let exclusive, stats =
+    generic_exclusive ~name:"blelloch-scan" op.f op.zero a
+  in
+  let inclusive = Array.mapi (fun i ex -> op.f ex a.(i)) exclusive in
+  { exclusive; inclusive; stats }
+
+let reduce op a =
+  let n = Array.length a in
+  if n < 2 || not (Cst_util.Bits.is_power_of_two n) then
+    invalid_arg "Scan.reduce: input length must be a power of two >= 2";
+  let k = Cst_util.Bits.ilog2 n in
+  let prog =
+    {
+      Superstep.name = "reduce";
+      steps = List.init k (fun d -> up_step op.f ~n ~d);
+    }
+  in
+  let init = Array.map (fun v -> (v, op.zero)) a in
+  let final, stats = Superstep.run prog ~init in
+  (value final.(n - 1), stats)
+
+(* Segmented scan: the classic pair monoid over (value, segment-start).
+   Combining (v1, f1) then (v2, f2): a later segment start discards the
+   left prefix.  Associative, so the plain Blelloch program applies. *)
+
+let seg_combine op (v1, f1) (v2, f2) =
+  ((if f2 then v2 else op.f v1 v2), f1 || f2)
+
+let segmented_reference op a ~flags =
+  let acc = ref op.zero in
+  Array.mapi
+    (fun i x ->
+      if flags.(i) then acc := x else acc := op.f !acc x;
+      !acc)
+    a
+
+let segmented op a ~flags =
+  let n = Array.length a in
+  if Array.length flags <> n then
+    invalid_arg "Scan.segmented: flags length mismatch";
+  let input = Array.mapi (fun i v -> (v, flags.(i))) a in
+  let exclusive, stats =
+    generic_exclusive ~name:"segmented-scan" (seg_combine op)
+      (op.zero, false) input
+  in
+  (* inclusive within segments: fold each element onto its exclusive
+     prefix, restarting at flags *)
+  let inclusive =
+    Array.mapi
+      (fun i (pv, _) -> if flags.(i) then a.(i) else op.f pv a.(i))
+      exclusive
+  in
+  (inclusive, stats)

@@ -1,0 +1,49 @@
+(** Parallel prefix (Blelloch scan) on the CST.
+
+    The work-efficient two-sweep scan maps perfectly onto well-nested
+    communication: every up-sweep level sends, within each block, from the
+    end of the left half to the end of the block — disjoint intervals,
+    width 1, one CSA round.  The down-sweep exchanges the same two
+    positions per block, realized as two width-1 supersteps (one per
+    direction).  A scan over [n = 2^k] PEs therefore takes [3k + O(1)]
+    supersteps, each a single round, with O(1) configuration changes per
+    switch across the whole computation.
+
+    Operations must be associative; [zero] is the identity. *)
+
+type op = { f : int -> int -> int; zero : int }
+
+val sum : op
+val max_op : op
+val min_op : op
+
+val exclusive_reference : op -> int array -> int array
+(** Sequential specification: [out.(i) = fold f zero a.(0..i-1)]. *)
+
+val inclusive_reference : op -> int array -> int array
+
+val program : op -> n:int -> (int * int) Superstep.program
+(** The Blelloch program over [n = 2^k] PEs.  State is [(value, aux)];
+    the exclusive scan ends in the [value] component. *)
+
+type result = {
+  exclusive : int array;
+  inclusive : int array;
+  stats : Superstep.stats;
+}
+
+val run : op -> int array -> result
+(** Requires a power-of-two input length of at least 2. *)
+
+val reduce : op -> int array -> int * Superstep.stats
+(** Up-sweep only; the combined value of the whole array. *)
+
+val segmented :
+  op -> int array -> flags:bool array -> int array * Superstep.stats
+(** Inclusive {e segmented} scan: prefixes restart wherever [flags] is
+    true (position 0 is an implicit start).  Runs the same Blelloch
+    program over the standard (value, flag) pair monoid — the
+    segmentable-bus computation pattern on the CST. *)
+
+val segmented_reference : op -> int array -> flags:bool array -> int array
+(** Sequential specification of {!segmented}. *)

@@ -1,0 +1,138 @@
+let is_sorted a =
+  let ok = ref true in
+  for i = 0 to Array.length a - 2 do
+    if a.(i) > a.(i + 1) then ok := false
+  done;
+  !ok
+
+(* Neighbour pairs starting at [offset] (0 = even phase, 1 = odd). *)
+let pairs ~n ~offset =
+  let rec go i acc =
+    if i + 1 >= n then List.rev acc else go (i + 2) ((i, i + 1) :: acc)
+  in
+  go offset []
+
+let forward_set ~n ~offset =
+  Cst_comm.Comm_set.create_exn ~n
+    (List.map (fun (a, b) -> Cst_comm.Comm.make ~src:a ~dst:b) (pairs ~n ~offset))
+
+let backward_set ~n ~offset =
+  Cst_comm.Comm_set.create_exn ~n
+    (List.map (fun (a, b) -> Cst_comm.Comm.make ~src:b ~dst:a) (pairs ~n ~offset))
+
+(* State is (value, stash): the right PE of a pair stashes the loser to
+   return it in the second superstep. *)
+let compare_exchange ~n ~offset =
+  [
+    {
+      Superstep.label = Printf.sprintf "compare offset %d" offset;
+      pattern = (fun _ -> forward_set ~n ~offset);
+      absorb =
+        (fun st deliveries ->
+          let next = Array.copy st in
+          List.iter
+            (fun (src, dst) ->
+              let vs, _ = st.(src) and vd, _ = st.(dst) in
+              next.(dst) <- (max vs vd, min vs vd))
+            deliveries;
+          next);
+    };
+    {
+      Superstep.label = Printf.sprintf "return offset %d" offset;
+      pattern = (fun _ -> backward_set ~n ~offset);
+      absorb =
+        (fun st deliveries ->
+          let next = Array.copy st in
+          List.iter
+            (fun (src, dst) ->
+              let _, stash = st.(src) in
+              let _, aux = next.(dst) in
+              next.(dst) <- (stash, aux))
+            deliveries;
+          next);
+    };
+  ]
+
+(* Bitonic compare-exchange at stride [j] within blocks of [k]: lower
+   partner i (bit j clear) sends its value up; the upper partner keeps
+   the winner for its end (direction decided by bit k of the index) and
+   stashes the loser for the return trip. *)
+let bitonic_steps ~n ~k ~j =
+  let pairs =
+    List.filter_map
+      (fun i -> if i land j = 0 then Some (i, i lor j) else None)
+      (List.init n Fun.id)
+  in
+  let forward =
+    Cst_comm.Comm_set.create_exn ~n
+      (List.map (fun (a, b) -> Cst_comm.Comm.make ~src:a ~dst:b) pairs)
+  in
+  let backward =
+    Cst_comm.Comm_set.create_exn ~n
+      (List.map (fun (a, b) -> Cst_comm.Comm.make ~src:b ~dst:a) pairs)
+  in
+  [
+    {
+      Superstep.label = Printf.sprintf "bitonic k=%d j=%d compare" k j;
+      pattern = (fun _ -> forward);
+      absorb =
+        (fun st deliveries ->
+          let next = Array.copy st in
+          List.iter
+            (fun (src, dst) ->
+              let ascending = dst land k = 0 in
+              let vs, _ = st.(src) and vd, _ = st.(dst) in
+              if ascending then next.(dst) <- (max vs vd, min vs vd)
+              else next.(dst) <- (min vs vd, max vs vd))
+            deliveries;
+          next);
+    };
+    {
+      Superstep.label = Printf.sprintf "bitonic k=%d j=%d return" k j;
+      pattern = (fun _ -> backward);
+      absorb =
+        (fun st deliveries ->
+          let next = Array.copy st in
+          List.iter
+            (fun (src, dst) ->
+              let _, stash = st.(src) in
+              let _, aux = next.(dst) in
+              next.(dst) <- (stash, aux))
+            deliveries;
+          next);
+    };
+  ]
+
+let bitonic a =
+  let n = Array.length a in
+  if n < 2 || not (Cst_util.Bits.is_power_of_two n) then
+    invalid_arg "Sort.bitonic: input length must be a power of two >= 2";
+  let steps = ref [] in
+  let k = ref 2 in
+  while !k <= n do
+    let j = ref (!k / 2) in
+    while !j >= 1 do
+      steps := bitonic_steps ~n ~k:!k ~j:!j :: !steps;
+      j := !j / 2
+    done;
+    k := !k * 2
+  done;
+  let prog =
+    { Superstep.name = "bitonic-sort"; steps = List.concat (List.rev !steps) }
+  in
+  let init = Array.map (fun v -> (v, 0)) a in
+  let final, stats = Superstep.run prog ~init in
+  (Array.map fst final, stats)
+
+let run a =
+  let n = Array.length a in
+  if n < 2 || not (Cst_util.Bits.is_power_of_two n) then
+    invalid_arg "Sort.run: input length must be a power of two >= 2";
+  let steps =
+    List.concat
+      (List.init n (fun phase -> compare_exchange ~n ~offset:(phase mod 2)))
+  in
+  let prog = { Superstep.name = "odd-even-sort"; steps } in
+  let init = Array.map (fun v -> (v, 0)) a in
+  let final, stats = Superstep.run prog ~init in
+  (Array.map fst final, stats)

@@ -1,0 +1,21 @@
+(** Odd-even transposition sort on the CST.
+
+    The classic array-processor sort: alternating compare-exchange phases
+    between even and odd neighbour pairs.  Each compare-exchange is two
+    CST supersteps — values travel right over the width-1 pair set, losers
+    travel back over its mirror — so [n] phases cost [2n] supersteps of
+    one round each.  Every pattern reuses one of two configurations, so
+    the whole sort keeps per-switch configuration changes constant: the
+    strongest illustration of PADR on a full algorithm. *)
+
+val run : int array -> int array * Superstep.stats
+(** Sorts ascending.  Requires a power-of-two length of at least 2. *)
+
+val bitonic : int array -> int array * Superstep.stats
+(** Bitonic sort: O(log² n) compare-exchange stages, each a stride-[j]
+    butterfly — a {e crossing} pattern that the superstep harness covers
+    with [j] CSA waves per direction.  Contrasts with {!run}: fewer
+    supersteps, more waves per superstep; a realistic stress test of the
+    wave scheduler under computation.  Requires a power-of-two length. *)
+
+val is_sorted : int array -> bool

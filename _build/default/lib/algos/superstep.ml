@@ -1,0 +1,79 @@
+type 'a step = {
+  label : string;
+  pattern : 'a array -> Cst_comm.Comm_set.t;
+  absorb : 'a array -> (int * int) list -> 'a array;
+}
+
+type 'a program = { name : string; steps : 'a step list }
+
+type stats = {
+  supersteps : int;
+  waves : int;
+  rounds : int;
+  cycles : int;
+  power : Padr.Schedule.power;
+}
+
+let run ?leaves program ~init =
+  let n = Array.length init in
+  if n < 1 then invalid_arg "Superstep.run: no PEs";
+  let leaves =
+    match leaves with
+    | Some l -> l
+    | None -> Cst_util.Bits.ceil_pow2 (max 2 n)
+  in
+  let topo = Cst.Topology.create ~leaves in
+  (* One persistent network per orientation: configurations carry over
+     between supersteps exactly as between rounds. *)
+  let net_right = Cst.Net.create topo in
+  let net_left = Cst.Net.create topo in
+  let waves = ref 0 and rounds = ref 0 and cycles = ref 0 in
+  let run_layers net layers =
+    List.concat_map
+      (fun layer ->
+        let sched = Padr.Csa.run_exn ~net topo layer in
+        incr waves;
+        rounds := !rounds + Padr.Schedule.num_rounds sched;
+        cycles := !cycles + sched.cycles;
+        Padr.Schedule.all_deliveries sched)
+      layers
+  in
+  let states = ref init in
+  List.iter
+    (fun step ->
+      let set = step.pattern !states in
+      if Cst_comm.Comm_set.n set <> n then
+        invalid_arg
+          (Printf.sprintf "Superstep.run: step %S uses %d PEs, program has %d"
+             step.label (Cst_comm.Comm_set.n set) n);
+      let right, left = Cst_comm.Decompose.split set in
+      let right_deliveries =
+        run_layers net_right (Cst_comm.Wn_cover.layers right)
+      in
+      let left_deliveries =
+        run_layers net_left
+          (Cst_comm.Wn_cover.layers (Cst_comm.Mirror.set left))
+        |> List.map (fun (src, dst) ->
+               (Cst_comm.Mirror.pe ~n src, Cst_comm.Mirror.pe ~n dst))
+      in
+      let deliveries = List.sort compare (right_deliveries @ left_deliveries) in
+      if deliveries <> Cst_comm.Comm_set.matching set then
+        invalid_arg
+          (Printf.sprintf "Superstep.run: step %S deliveries diverge"
+             step.label);
+      states := step.absorb !states deliveries)
+    program.steps;
+  let power =
+    Padr.Schedule.combine_power
+      (Padr.Schedule.power_of_meter (Cst.Net.meter net_right))
+      (Padr.Schedule.mirror_power topo
+         (Padr.Schedule.power_of_meter (Cst.Net.meter net_left)))
+  in
+  ( !states,
+    {
+      supersteps = List.length program.steps;
+      waves = !waves;
+      rounds = !rounds;
+      cycles = !cycles;
+      power;
+    } )

@@ -1,0 +1,1 @@
+lib/baseline/bounds.ml: Array Cst Cst_comm List

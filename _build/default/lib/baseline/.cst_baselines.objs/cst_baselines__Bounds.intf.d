@@ -1,0 +1,1 @@
+lib/baseline/bounds.mli: Cst Cst_comm

@@ -1,0 +1,1 @@
+lib/baseline/depth_sched.ml: Array Cst_comm Format List Round_runner

@@ -1,0 +1,1 @@
+lib/baseline/depth_sched.mli: Cst Cst_comm Padr

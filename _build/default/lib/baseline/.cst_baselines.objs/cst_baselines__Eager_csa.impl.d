@@ -1,0 +1,1 @@
+lib/baseline/eager_csa.ml: Padr

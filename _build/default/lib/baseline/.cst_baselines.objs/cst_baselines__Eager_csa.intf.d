@@ -1,0 +1,1 @@
+lib/baseline/eager_csa.mli: Cst Cst_comm Padr

@@ -1,0 +1,1 @@
+lib/baseline/greedy.ml: Array Cst Cst_comm List Round_runner

@@ -1,0 +1,1 @@
+lib/baseline/greedy.mli: Cst Cst_comm Padr

@@ -1,0 +1,1 @@
+lib/baseline/naive.ml: Array Cst_comm List Round_runner

@@ -1,0 +1,1 @@
+lib/baseline/naive.mli: Cst Cst_comm Padr

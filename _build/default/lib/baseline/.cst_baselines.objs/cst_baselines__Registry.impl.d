@@ -1,0 +1,1 @@
+lib/baseline/registry.ml: Cst Cst_comm Depth_sched Eager_csa Greedy List Naive Padr Roy_id

@@ -1,0 +1,1 @@
+lib/baseline/registry.mli: Cst Cst_comm Padr

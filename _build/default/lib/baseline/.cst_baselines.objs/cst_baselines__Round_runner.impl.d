@@ -1,0 +1,1 @@
+lib/baseline/round_runner.ml: Array Cst Cst_comm List Padr Printf

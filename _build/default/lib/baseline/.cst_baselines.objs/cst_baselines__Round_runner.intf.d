@@ -1,0 +1,1 @@
+lib/baseline/round_runner.mli: Cst Cst_comm Padr

@@ -1,0 +1,1 @@
+lib/baseline/roy_id.ml: Array Cst Cst_comm Int List Round_runner

@@ -1,0 +1,1 @@
+lib/baseline/roy_id.mli: Cst Cst_comm Padr

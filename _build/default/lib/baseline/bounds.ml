@@ -1,0 +1,34 @@
+let rounds topo set =
+  Cst_comm.Width.width ~leaves:(Cst.Topology.leaves topo) set
+
+let min_connects_per_switch topo set =
+  let leaves = Cst.Topology.leaves topo in
+  let demands = Array.make (2 * leaves) [] in
+  let note node conn =
+    if not (List.mem conn demands.(node)) then
+      demands.(node) <- conn :: demands.(node)
+  in
+  Array.iter
+    (fun (c : Cst_comm.Comm.t) ->
+      (* Walk the unique tree path, recording the connection each switch
+         must provide for this communication. *)
+      let a = ref (Cst.Topology.node_of_pe topo c.src)
+      and b = ref (Cst.Topology.node_of_pe topo c.dst) in
+      let lca = Cst.Topology.lca topo !a !b in
+      while Cst.Topology.parent topo !a <> lca do
+        let p = Cst.Topology.parent topo !a in
+        note p (Cst.Topology.child_side topo !a, Cst.Side.P);
+        a := p
+      done;
+      while Cst.Topology.parent topo !b <> lca do
+        let p = Cst.Topology.parent topo !b in
+        note p (Cst.Side.P, Cst.Topology.child_side topo !b);
+        b := p
+      done;
+      note lca
+        (Cst.Topology.child_side topo !a, Cst.Topology.child_side topo !b))
+    (Cst_comm.Comm_set.comms set);
+  Array.map List.length demands
+
+let min_total_connects topo set =
+  Array.fold_left ( + ) 0 (min_connects_per_switch topo set)

@@ -1,0 +1,18 @@
+(** Lower bounds against which schedules are judged.
+
+    {e Rounds}: no schedule finishes in fewer rounds than the set's width
+    (each round moves at most one communication over a directed link).
+
+    {e Power}: a switch must set every distinct connection demanded by at
+    least one communication routed through it, so the number of distinct
+    (input, output) pairs over all tree paths lower-bounds its connects.
+    The CSA's per-switch connects should sit near this floor. *)
+
+val rounds : Cst.Topology.t -> Cst_comm.Comm_set.t -> int
+(** The width lower bound. *)
+
+val min_connects_per_switch :
+  Cst.Topology.t -> Cst_comm.Comm_set.t -> int array
+(** Indexed by internal node id; entry 0 and leaf entries are 0. *)
+
+val min_total_connects : Cst.Topology.t -> Cst_comm.Comm_set.t -> int

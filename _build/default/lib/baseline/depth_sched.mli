@@ -1,0 +1,17 @@
+(** Nesting-depth scheduling — the "obvious" ID assignment.
+
+    Round [r] performs every communication at nesting depth [r].
+    Same-depth members of a well-nested set never nest and never cross,
+    hence are disjoint and compatible, so the partition is always valid.
+    The round count is the {e maximum nesting depth}, which can exceed the
+    width (e.g. [{(0,7),(2,3)}] has depth 2 but width 1): depth-ID
+    scheduling is correct but not round-optimal, a useful contrast to the
+    width-exact CSA (the distinction Section 4 of the paper relies on). *)
+
+val run : Cst.Topology.t -> Cst_comm.Comm_set.t -> Padr.Schedule.t
+(** Requires a right-oriented {e well-nested} set (raises
+    [Invalid_argument] otherwise — depth is undefined for crossing
+    sets). *)
+
+val rounds_needed : Cst_comm.Comm_set.t -> int
+(** Max nesting depth; what [run] will use. *)

@@ -1,0 +1,11 @@
+(** Ablation: the CSA's round decisions with eager reconfiguration.
+
+    Identical round structure and deliveries to {!Padr}, but each switch is
+    reconfigured every round to exactly the connections that round needs —
+    connections no longer demanded are torn down immediately instead of
+    persisting (no PADR carry-over).  Contrasting its power ledger against
+    the lazy CSA isolates how much of the power saving comes from the
+    carry-over discipline versus from the outermost-first selection. *)
+
+val run : Cst.Topology.t -> Cst_comm.Comm_set.t -> Padr.Schedule.t
+(** Raises [Invalid_argument] on invalid input (see {!Padr.schedule}). *)

@@ -1,0 +1,18 @@
+let batches topo set =
+  let rec rounds remaining acc =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+        let batch, rest =
+          List.fold_left
+            (fun (batch, rest) c ->
+              if List.exists (Cst.Compat.conflict topo c) batch then
+                (batch, c :: rest)
+              else (c :: batch, rest))
+            ([], []) remaining
+        in
+        rounds (List.rev rest) (List.rev batch :: acc)
+  in
+  rounds (Array.to_list (Cst_comm.Comm_set.comms set)) []
+
+let run topo set = Round_runner.run ~name:"greedy" topo set (batches topo set)

@@ -1,0 +1,14 @@
+(** Greedy maximal-batch scheduling.
+
+    Repeatedly sweeps the remaining communications left to right, packing
+    each into the current round unless it conflicts with one already
+    packed.  Round counts are at least the width and usually close to it;
+    like every per-round scheduler it pays O(w) configuration changes at
+    busy switches.  Serves as a second comparator showing that round
+    optimality alone does not give power optimality. *)
+
+val run : Cst.Topology.t -> Cst_comm.Comm_set.t -> Padr.Schedule.t
+(** Requires a right-oriented set. *)
+
+val batches : Cst.Topology.t -> Cst_comm.Comm_set.t -> Cst_comm.Comm.t list list
+(** The batch partition; exposed for tests. *)

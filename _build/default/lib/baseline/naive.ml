@@ -1,0 +1,5 @@
+let run topo set =
+  let batches =
+    List.map (fun c -> [ c ]) (Array.to_list (Cst_comm.Comm_set.comms set))
+  in
+  Round_runner.run ~name:"naive" topo set batches

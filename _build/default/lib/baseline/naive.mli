@@ -1,0 +1,7 @@
+(** One communication per round — the trivial correct scheduler.
+
+    M rounds for M communications and per-switch reconfiguration on nearly
+    every round it participates in; the floor every other algorithm should
+    beat. *)
+
+val run : Cst.Topology.t -> Cst_comm.Comm_set.t -> Padr.Schedule.t

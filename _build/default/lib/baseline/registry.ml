@@ -1,0 +1,65 @@
+type algo = {
+  name : string;
+  description : string;
+  round_optimal : bool;
+  power_optimal : bool;
+  run : Cst.Topology.t -> Cst_comm.Comm_set.t -> Padr.Schedule.t;
+}
+
+let csa =
+  {
+    name = "csa";
+    description = "the paper's power-aware CSA (lazy reconfiguration)";
+    round_optimal = true;
+    power_optimal = true;
+    run = (fun topo set -> Padr.Csa.run_exn topo set);
+  }
+
+let eager_csa =
+  {
+    name = "eager-csa";
+    description = "CSA round decisions with eager per-round reconfiguration";
+    round_optimal = true;
+    power_optimal = false;
+    run = Eager_csa.run;
+  }
+
+let roy_id =
+  {
+    name = "roy-id";
+    description = "ID-based rounds (Roy-Vaidyanathan-Trahan style)";
+    round_optimal = false;
+    power_optimal = false;
+    run = Roy_id.run;
+  }
+
+let depth =
+  {
+    name = "depth";
+    description = "one round per nesting depth (correct, not round-optimal)";
+    round_optimal = false;
+    power_optimal = false;
+    run = Depth_sched.run;
+  }
+
+let greedy =
+  {
+    name = "greedy";
+    description = "greedy maximal compatible batches";
+    round_optimal = false;
+    power_optimal = false;
+    run = Greedy.run;
+  }
+
+let naive =
+  {
+    name = "naive";
+    description = "one communication per round";
+    round_optimal = false;
+    power_optimal = false;
+    run = Naive.run;
+  }
+
+let all = [ csa; eager_csa; roy_id; depth; greedy; naive ]
+let find name = List.find_opt (fun a -> a.name = name) all
+let names = List.map (fun a -> a.name) all

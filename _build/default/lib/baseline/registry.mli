@@ -1,0 +1,24 @@
+(** Name-indexed registry of every scheduler in the repository, for the
+    CLI and the benchmark harness. *)
+
+type algo = {
+  name : string;
+  description : string;
+  round_optimal : bool;
+      (** guarantees exactly-width rounds on well-nested input *)
+  power_optimal : bool;  (** guarantees O(1) configuration changes *)
+  run : Cst.Topology.t -> Cst_comm.Comm_set.t -> Padr.Schedule.t;
+}
+
+val csa : algo
+val eager_csa : algo
+val roy_id : algo
+val depth : algo
+val greedy : algo
+val naive : algo
+
+val all : algo list
+(** In presentation order, CSA first. *)
+
+val find : string -> algo option
+val names : string list

@@ -1,0 +1,97 @@
+let config_for_batch topo batch =
+  let leaves = Cst.Topology.leaves topo in
+  let wants = Array.make leaves Cst.Switch_config.empty in
+  let connect node ~output ~input =
+    try wants.(node) <- Cst.Switch_config.set wants.(node) ~output ~input
+    with Invalid_argument _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Round_runner.config_for_batch: conflicting demands at switch %d"
+           node)
+  in
+  List.iter
+    (fun (c : Cst_comm.Comm.t) ->
+      if not (Cst_comm.Comm.is_right_oriented c) then
+        invalid_arg "Round_runner.config_for_batch: left-oriented member";
+      let s_leaf = Cst.Topology.node_of_pe topo c.src in
+      let d_leaf = Cst.Topology.node_of_pe topo c.dst in
+      let lca = Cst.Topology.lca topo s_leaf d_leaf in
+      (* Upward legs: every switch strictly between the source leaf and the
+         LCA forwards its child input to the parent output. *)
+      let rec up node =
+        let p = Cst.Topology.parent topo node in
+        if p <> lca then begin
+          connect p ~output:Cst.Side.P ~input:(Cst.Topology.child_side topo node);
+          up p
+        end
+        else node
+      in
+      let rec down node =
+        let p = Cst.Topology.parent topo node in
+        if p <> lca then begin
+          connect p
+            ~output:(Cst.Topology.child_side topo node)
+            ~input:Cst.Side.P;
+          down p
+        end
+        else node
+      in
+      let s_child = up s_leaf and d_child = down d_leaf in
+      (* At the LCA the source-side child input turns toward the
+         destination-side child output. *)
+      connect lca
+        ~output:(Cst.Topology.child_side topo d_child)
+        ~input:(Cst.Topology.child_side topo s_child))
+    batch;
+  wants
+
+let run ~name:_ topo set batches =
+  let leaves = Cst.Topology.leaves topo in
+  let scheduled =
+    List.sort Cst_comm.Comm.compare (List.concat batches)
+  in
+  let members =
+    List.sort Cst_comm.Comm.compare
+      (Array.to_list (Cst_comm.Comm_set.comms set))
+  in
+  if not (List.equal Cst_comm.Comm.equal scheduled members) then
+    invalid_arg "Round_runner.run: batches do not partition the set";
+  let net = Cst.Net.create topo in
+  let rounds =
+    List.mapi
+      (fun i batch ->
+        let wants = config_for_batch topo batch in
+        for node = 1 to leaves - 1 do
+          Cst.Net.reconfigure net ~node wants.(node)
+        done;
+        let sources =
+          List.sort compare (List.map (fun (c : Cst_comm.Comm.t) -> c.src) batch)
+        in
+        let dests =
+          List.sort compare (List.map (fun (c : Cst_comm.Comm.t) -> c.dst) batch)
+        in
+        List.iter (fun pe -> Cst.Net.pe_write net ~pe pe) sources;
+        let deliveries = Cst.Data_plane.transfer net ~sources in
+        assert (List.length deliveries = List.length batch);
+        let configs =
+          let acc = ref [] in
+          for node = leaves - 1 downto 1 do
+            let cfg = Cst.Net.config net node in
+            if not (Cst.Switch_config.is_empty cfg) then
+              acc := (node, cfg) :: !acc
+          done;
+          Array.of_list !acc
+        in
+        { Padr.Schedule.index = i + 1; sources; dests; deliveries; configs })
+      batches
+  in
+  let levels = Cst.Topology.levels topo in
+  let num_rounds = List.length batches in
+  {
+    Padr.Schedule.leaves;
+    set;
+    width = Cst_comm.Width.width ~leaves set;
+    rounds = Array.of_list rounds;
+    power = Padr.Schedule.power_of_meter (Cst.Net.meter net);
+    cycles = levels + (num_rounds * (levels + 1));
+  }

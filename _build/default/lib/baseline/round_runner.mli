@@ -1,0 +1,30 @@
+(** Shared execution harness for round-partition schedulers.
+
+    Every baseline in this library reduces to "partition the set into
+    compatible per-round batches, then drive the network round by round".
+    The runner turns such a partition into a {!Padr.Schedule.t}: it derives
+    each round's switch configurations from the communications' tree paths,
+    installs them (counting power exactly as for the CSA), moves the data
+    through the physical data plane and snapshots the rounds.
+
+    Baselines reconfigure {e per round from scratch} — a switch's desired
+    configuration is exactly what the round's batch needs.  Transitions are
+    still charged via {!Cst.Switch_config.diff}, so a connection that
+    happens to be identical in consecutive rounds costs nothing; the O(w)
+    configuration changes of ID-based scheduling arise from the batches
+    actually demanding different connections, not from naive accounting. *)
+
+val config_for_batch :
+  Cst.Topology.t -> Cst_comm.Comm.t list -> Cst.Switch_config.t array
+(** Per-internal-node configurations realizing a compatible batch of
+    right-oriented communications.  Raises [Invalid_argument] if the batch
+    is not compatible (conflicting connection demands). *)
+
+val run :
+  name:string ->
+  Cst.Topology.t ->
+  Cst_comm.Comm_set.t ->
+  Cst_comm.Comm.t list list ->
+  Padr.Schedule.t
+(** [run ~name topo set batches] executes the batches in order.  Checks
+    that the batches partition [set]. *)

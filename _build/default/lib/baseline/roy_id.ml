@@ -1,0 +1,36 @@
+let assign_ids topo set =
+  let comms = Array.to_list (Cst_comm.Comm_set.comms set) in
+  (* Innermost first: shorter spans cannot enclose longer ones. *)
+  let order =
+    List.sort
+      (fun a b ->
+        match Int.compare (Cst_comm.Comm.span a) (Cst_comm.Comm.span b) with
+        | 0 -> Cst_comm.Comm.compare a b
+        | c -> c)
+      comms
+  in
+  let assigned = ref [] in
+  List.iter
+    (fun c ->
+      let taken =
+        List.filter_map
+          (fun (c', id) ->
+            if Cst.Compat.conflict topo c c' then Some id else None)
+          !assigned
+      in
+      let rec mex i = if List.mem i taken then mex (i + 1) else i in
+      assigned := (c, mex 0) :: !assigned)
+    order;
+  List.rev !assigned
+
+let num_ids topo set =
+  List.fold_left (fun acc (_, id) -> max acc (id + 1)) 0 (assign_ids topo set)
+
+let run topo set =
+  let ids = assign_ids topo set in
+  let max_id = List.fold_left (fun acc (_, id) -> max acc id) (-1) ids in
+  let batches =
+    List.init (max_id + 1) (fun r ->
+        List.filter_map (fun (c, id) -> if id = r then Some c else None) ids)
+  in
+  Round_runner.run ~name:"roy-id" topo set batches

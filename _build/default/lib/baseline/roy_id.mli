@@ -1,0 +1,22 @@
+(** ID-based scheduling in the style of Roy, Vaidyanathan and Trahan,
+    "Routing Multiple Width Communications on the Circuit Switched Tree"
+    (IJFCS 17(2), 2006) — the comparator of the paper's Theorem 8
+    discussion.
+
+    Each communication receives an integer ID such that equal IDs never
+    conflict; round [r] then performs every communication with ID [r].
+    IDs are assigned greedily, innermost communication first, as the
+    smallest ID not used by any conflicting already-processed
+    communication; for well-nested sets this yields Θ(w) rounds (w = set
+    width).  Because consecutive rounds serve unrelated batches, a busy
+    switch is reconfigured on almost every round: O(w) configuration
+    changes — the behaviour the CSA improves to O(1). *)
+
+val assign_ids : Cst.Topology.t -> Cst_comm.Comm_set.t -> (Cst_comm.Comm.t * int) list
+(** Greedy conflict colouring; IDs start at 0.  Exposed for tests. *)
+
+val num_ids : Cst.Topology.t -> Cst_comm.Comm_set.t -> int
+
+val run : Cst.Topology.t -> Cst_comm.Comm_set.t -> Padr.Schedule.t
+(** Requires a right-oriented set (well-nestedness is not required; any
+    conflict structure can be coloured). *)

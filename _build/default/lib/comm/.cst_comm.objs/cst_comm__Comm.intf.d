@@ -1,0 +1,1 @@
+lib/comm/comm.mli: Format

@@ -1,0 +1,1 @@
+lib/comm/comm_set.ml: Array Buffer Comm Format List Printf String

@@ -1,0 +1,1 @@
+lib/comm/comm_set.mli: Comm Format

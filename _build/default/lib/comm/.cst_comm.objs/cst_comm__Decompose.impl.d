@@ -1,0 +1,1 @@
+lib/comm/decompose.ml: Comm Comm_set

@@ -1,0 +1,1 @@
+lib/comm/decompose.mli: Comm_set

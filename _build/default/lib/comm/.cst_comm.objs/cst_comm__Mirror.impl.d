@@ -1,0 +1,1 @@
+lib/comm/mirror.ml: Array Comm Comm_set

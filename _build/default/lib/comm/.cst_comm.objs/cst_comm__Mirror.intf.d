@@ -1,0 +1,1 @@
+lib/comm/mirror.mli: Comm Comm_set

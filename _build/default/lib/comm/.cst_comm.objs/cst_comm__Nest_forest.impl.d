@@ -1,0 +1,1 @@
+lib/comm/nest_forest.ml: Array Comm_set List

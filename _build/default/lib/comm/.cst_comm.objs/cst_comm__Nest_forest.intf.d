@@ -1,0 +1,1 @@
+lib/comm/nest_forest.mli: Comm_set

@@ -1,0 +1,1 @@
+lib/comm/paren.ml: Array Comm Comm_set Format List Printf Result String

@@ -1,0 +1,1 @@
+lib/comm/paren.mli: Comm_set

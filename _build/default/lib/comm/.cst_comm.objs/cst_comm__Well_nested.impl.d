@@ -1,0 +1,1 @@
+lib/comm/well_nested.ml: Array Comm Comm_set Format List Nest_forest Result

@@ -1,0 +1,1 @@
+lib/comm/well_nested.mli: Comm Comm_set Format Nest_forest

@@ -1,0 +1,1 @@
+lib/comm/width.ml: Array Comm Comm_set Cst_util

@@ -1,0 +1,1 @@
+lib/comm/width.mli: Comm Comm_set

@@ -1,0 +1,1 @@
+lib/comm/wn_cover.ml: Array Comm Comm_set Int List

@@ -1,0 +1,1 @@
+lib/comm/wn_cover.mli: Comm_set

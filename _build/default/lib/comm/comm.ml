@@ -1,0 +1,27 @@
+type t = { src : int; dst : int }
+
+let make ~src ~dst =
+  if src < 0 || dst < 0 then invalid_arg "Comm.make: negative endpoint";
+  if src = dst then invalid_arg "Comm.make: src = dst";
+  { src; dst }
+
+let compare a b =
+  match Int.compare a.src b.src with 0 -> Int.compare a.dst b.dst | c -> c
+
+let equal a b = a.src = b.src && a.dst = b.dst
+let is_right_oriented c = c.src < c.dst
+let is_left_oriented c = c.src > c.dst
+let lo c = min c.src c.dst
+let hi c = max c.src c.dst
+let span c = hi c - lo c
+
+let nests_in inner outer = lo outer < lo inner && hi inner < hi outer
+
+let crosses a b =
+  let a1 = lo a and a2 = hi a and b1 = lo b and b2 = hi b in
+  (a1 < b1 && b1 < a2 && a2 < b2) || (b1 < a1 && a1 < b2 && b2 < a2)
+
+let disjoint a b = hi a < lo b || hi b < lo a
+
+let pp fmt c = Format.fprintf fmt "%d->%d" c.src c.dst
+let to_string c = Format.asprintf "%a" pp c

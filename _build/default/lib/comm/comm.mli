@@ -1,0 +1,48 @@
+(** A single point-to-point communication between two PEs of a CST.
+
+    PEs are numbered [0 .. n-1] left to right along the leaves of the tree.
+    A communication carries one word from [src] to [dst].  The paper's
+    algorithm handles {e right-oriented} communications ([src < dst]); left
+    oriented ones are handled by mirroring (see {!Mirror}). *)
+
+type t = { src : int; dst : int }
+
+val make : src:int -> dst:int -> t
+(** Requires [src <> dst] and both non-negative. *)
+
+val compare : t -> t -> int
+(** Total order: by [src], then [dst]. *)
+
+val equal : t -> t -> bool
+
+val is_right_oriented : t -> bool
+(** [src < dst]. *)
+
+val is_left_oriented : t -> bool
+(** [src > dst]. *)
+
+val lo : t -> int
+(** Smaller endpoint. *)
+
+val hi : t -> int
+(** Larger endpoint. *)
+
+val span : t -> int
+(** [hi - lo]. *)
+
+val nests_in : t -> t -> bool
+(** [nests_in inner outer]: the closed interval of [inner] lies strictly
+    inside the open interval of [outer].  Endpoint-disjointness is assumed. *)
+
+val crosses : t -> t -> bool
+(** Two communications {e cross} when their intervals overlap without
+    nesting ([s1 < s2 < d1 < d2] up to symmetry).  A right-oriented set is
+    well-nested iff no two of its members cross. *)
+
+val disjoint : t -> t -> bool
+(** Intervals do not intersect at all. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints ["src->dst"]. *)
+
+val to_string : t -> string

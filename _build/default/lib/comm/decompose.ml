@@ -1,0 +1,7 @@
+let split set =
+  let right = Comm_set.filter set Comm.is_right_oriented in
+  let left = Comm_set.filter set Comm.is_left_oriented in
+  (right, left)
+
+let is_oriented set =
+  Comm_set.is_right_oriented set || Comm_set.is_left_oriented set

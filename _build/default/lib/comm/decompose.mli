@@ -1,0 +1,12 @@
+(** Orientation decomposition.
+
+    "Any set can be decomposed into two sets each of them is oriented"
+    (paper §2.1).  A mixed-orientation set splits into its right-oriented
+    members and its left-oriented members; each part is scheduled
+    separately (the left part after mirroring). *)
+
+val split : Comm_set.t -> Comm_set.t * Comm_set.t
+(** [(right, left)] partition.  Both parts share the original [n]. *)
+
+val is_oriented : Comm_set.t -> bool
+(** All members share one orientation (or the set is empty). *)

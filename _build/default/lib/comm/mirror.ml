@@ -1,0 +1,10 @@
+let pe ~n p =
+  if p < 0 || p >= n then invalid_arg "Mirror.pe: out of range";
+  n - 1 - p
+
+let comm ~n (c : Comm.t) = Comm.make ~src:(pe ~n c.src) ~dst:(pe ~n c.dst)
+
+let set s =
+  let n = Comm_set.n s in
+  Comm_set.create_exn ~n
+    (Array.to_list (Array.map (comm ~n) (Comm_set.comms s)))

@@ -1,0 +1,16 @@
+(** Left/right mirroring of communication sets.
+
+    The paper treats right-oriented sets; a left-oriented set is handled by
+    reflecting PE positions ([p -> n-1-p]), scheduling the reflected
+    (now right-oriented) set, and reflecting the resulting schedule back
+    (paper §2.1: "Dealing with right oriented sets can be adjusted easily
+    to left oriented sets"). *)
+
+val pe : n:int -> int -> int
+(** [pe ~n p = n - 1 - p]. *)
+
+val comm : n:int -> Comm.t -> Comm.t
+(** Reflects both endpoints; flips orientation. *)
+
+val set : Comm_set.t -> Comm_set.t
+(** Reflects every communication; an involution. *)

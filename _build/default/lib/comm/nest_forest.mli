@@ -1,0 +1,36 @@
+(** Nesting structure of a well-nested right-oriented set.
+
+    Communications of a well-nested set form a forest under direct nesting:
+    the parent of a communication is the innermost communication strictly
+    enclosing it.  Depths start at 1 for outermost (root) communications.
+    Note that nesting depth is {e not} the same as the set's width — width
+    is link congestion (see {!Width}); depth only upper-bounds it. *)
+
+type t
+
+val build : Comm_set.t -> t
+(** Requires a valid well-nested right-oriented set (checked; raises
+    [Invalid_argument] otherwise). *)
+
+val size : t -> int
+(** Number of communications. *)
+
+val parent : t -> int -> int option
+(** Index of the directly-enclosing communication, if any. *)
+
+val children : t -> int -> int list
+(** Directly nested communications, left to right. *)
+
+val roots : t -> int list
+(** Outermost communications, left to right. *)
+
+val depth : t -> int -> int
+(** Nesting depth of communication [i] (roots have depth 1). *)
+
+val max_depth : t -> int
+(** 0 for an empty set. *)
+
+val depths : t -> int array
+
+val iter_dfs : t -> (int -> unit) -> unit
+(** Pre-order traversal, roots left to right. *)

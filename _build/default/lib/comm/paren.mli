@@ -1,0 +1,29 @@
+(** Parenthesis view of right-oriented communication sets.
+
+    A right-oriented set over [n] PEs corresponds to a length-[n] token
+    string: PE [p] contributes ['('] if it is a source, [')'] if it is a
+    destination and ['.'] if idle.  The set is well-nested exactly when the
+    parenthesis string is balanced (paper §2.1, Figure 2). *)
+
+type token = Open | Close | Blank
+
+val tokens : Comm_set.t -> token array
+(** Token per PE.  Requires a right-oriented set. *)
+
+val to_string : Comm_set.t -> string
+(** E.g. ["((.)).()"]. *)
+
+val of_string : string -> (Comm_set.t, string) result
+(** Builds a well-nested right-oriented set from a balanced string of
+    ['('], [')'] and ['.'] (['_'] and [' '] also accepted as blanks).
+    Fails on unbalanced strings. *)
+
+val is_balanced : token array -> bool
+(** Stack test: every close has a pending open, nothing left pending. *)
+
+val match_pairs : token array -> ((int * int) list, string) result
+(** Matching of opens to closes by the standard stack discipline; the pair
+    list is the unique well-nested matching of the token string. *)
+
+val max_depth : token array -> int
+(** Maximum nesting depth of a balanced token string. *)

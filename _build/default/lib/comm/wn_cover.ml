@@ -1,0 +1,70 @@
+let check_right set =
+  if not (Comm_set.is_right_oriented set) then
+    invalid_arg "Wn_cover: set must be right-oriented"
+
+let layers set =
+  check_right set;
+  let order =
+    List.sort
+      (fun (a : Comm.t) (b : Comm.t) ->
+        match Int.compare a.src b.src with
+        | 0 -> Int.compare b.dst a.dst
+        | c -> c)
+      (Array.to_list (Comm_set.comms set))
+  in
+  let layers = ref [] in
+  (* layers are kept as reversed member lists *)
+  List.iter
+    (fun c ->
+      let rec place = function
+        | [] -> [ [ c ] ]
+        | layer :: rest ->
+            if List.exists (Comm.crosses c) layer then layer :: place rest
+            else (c :: layer) :: rest
+      in
+      layers := place !layers)
+    order;
+  List.map
+    (fun members -> Comm_set.create_exn ~n:(Comm_set.n set) members)
+    !layers
+
+let num_layers set = List.length (layers set)
+
+let clique_lower_bound set =
+  check_right set;
+  let comms = Array.to_list (Comm_set.comms set) in
+  if comms = [] then 0
+  else begin
+    (* For each boundary t, the communications straddling t conflict
+       pairwise exactly when both their sources and destinations are
+       co-monotone: the largest pairwise-crossing family straddling t is
+       the longest increasing subsequence of destinations, with sources
+       sorted ascending.  Maximise over boundaries. *)
+    let boundaries =
+      List.sort_uniq compare
+        (List.concat_map (fun (c : Comm.t) -> [ c.src + 1; c.dst ]) comms)
+    in
+    let lis xs =
+      (* O(k log k) patience sorting on a strictly increasing sequence *)
+      let tails = ref [] in
+      List.iter
+        (fun x ->
+          let rec insert = function
+            | [] -> [ x ]
+            | t :: rest when t >= x -> x :: rest
+            | t :: rest -> t :: insert rest
+          in
+          tails := insert !tails)
+        xs;
+      List.length !tails
+    in
+    List.fold_left
+      (fun best t ->
+        let straddling =
+          List.filter (fun (c : Comm.t) -> c.src < t && t <= c.dst) comms
+          |> List.sort (fun (a : Comm.t) b -> Int.compare a.src b.src)
+          |> List.map (fun (c : Comm.t) -> c.dst)
+        in
+        max best (lis straddling))
+      1 boundaries
+  end

@@ -1,0 +1,26 @@
+(** Covering an arbitrary oriented set by well-nested layers.
+
+    The CSA schedules well-nested sets only; an arbitrary right-oriented
+    set (e.g. a shift, a butterfly stage, a random permutation) contains
+    {e crossing} pairs.  Since crossings — not nesting — are the only
+    obstruction, any right-oriented set partitions into layers that are
+    each well-nested, and the CST performs the set as a sequence of CSA
+    waves (the "other communication patterns" extension the paper's
+    conclusion proposes).
+
+    Layers are built first-fit over communications ordered outermost-first
+    (by source ascending, destination descending): each communication
+    joins the first layer it crosses nothing in.  A lower bound on the
+    achievable number of layers is the largest pairwise-crossing family
+    ({!clique_lower_bound}); well-nested inputs always yield one layer. *)
+
+val layers : Comm_set.t -> Comm_set.t list
+(** Requires a right-oriented set (raises [Invalid_argument] otherwise).
+    Every layer is well-nested over the same [n]; layers partition the
+    set; the empty set yields no layers. *)
+
+val num_layers : Comm_set.t -> int
+
+val clique_lower_bound : Comm_set.t -> int
+(** Size of a largest family of pairwise-crossing communications: every
+    cover needs at least this many layers.  0 for the empty set. *)

@@ -1,0 +1,1 @@
+lib/core/padr.ml: Csa Csa_state Cst Cst_comm Cst_util Downmsg Engine Invariants Left List Option Phase1 Result Round Schedule Verify Waves

@@ -1,0 +1,1 @@
+lib/core/padr.mli: Csa Csa_state Cst Cst_comm Downmsg Engine Format Invariants Left Phase1 Round Schedule Verify Waves

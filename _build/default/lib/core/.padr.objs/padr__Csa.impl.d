@@ -1,0 +1,1 @@
+lib/core/csa.ml: Array Cst Cst_comm Format List Phase1 Round Schedule

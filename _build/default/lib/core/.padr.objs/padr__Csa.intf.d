@@ -1,0 +1,1 @@
+lib/core/csa.mli: Cst Cst_comm Format Schedule

@@ -1,0 +1,1 @@
+lib/core/csa_state.ml: Format

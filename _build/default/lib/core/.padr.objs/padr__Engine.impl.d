@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Csa Csa_state Cst Cst_comm Downmsg Format List Phase1 Round Schedule

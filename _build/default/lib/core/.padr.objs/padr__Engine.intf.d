@@ -1,0 +1,1 @@
+lib/core/engine.mli: Csa Cst Cst_comm Schedule

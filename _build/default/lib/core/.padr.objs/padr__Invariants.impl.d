@@ -1,0 +1,1 @@
+lib/core/invariants.ml: Array Csa_state Cst Cst_comm Format List Phase1 Round

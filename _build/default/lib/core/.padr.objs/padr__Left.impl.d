@@ -1,0 +1,1 @@
+lib/core/left.ml: Array Csa Csa_state Cst Cst_comm Downmsg Format List Round Schedule

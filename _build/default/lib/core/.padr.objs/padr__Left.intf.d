@@ -1,0 +1,1 @@
+lib/core/left.mli: Csa Cst Cst_comm Schedule

@@ -1,0 +1,1 @@
+lib/core/phase1.ml: Array Csa_state Cst Cst_comm

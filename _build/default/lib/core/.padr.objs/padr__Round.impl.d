@@ -1,0 +1,1 @@
+lib/core/round.ml: Array Csa_state Cst Downmsg List

@@ -1,0 +1,1 @@
+lib/core/round.mli: Csa_state Cst Downmsg

@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Cst Cst_comm Format List

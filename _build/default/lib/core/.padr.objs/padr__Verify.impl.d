@@ -1,0 +1,1 @@
+lib/core/verify.ml: Array Cst Cst_comm Format List Schedule

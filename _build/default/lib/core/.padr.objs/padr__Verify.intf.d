@@ -1,0 +1,1 @@
+lib/core/verify.mli: Cst Cst_comm Format Schedule

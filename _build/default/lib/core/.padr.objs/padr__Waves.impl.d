@@ -1,0 +1,1 @@
+lib/core/waves.ml: Csa Cst Cst_comm Cst_util Format List Schedule

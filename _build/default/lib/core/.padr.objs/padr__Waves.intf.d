@@ -1,0 +1,1 @@
+lib/core/waves.mli: Csa Cst_comm Format Schedule

@@ -1,0 +1,103 @@
+type error =
+  | Too_large of { n : int; leaves : int }
+  | Not_well_nested of Cst_comm.Well_nested.violation
+
+let pp_error fmt = function
+  | Too_large { n; leaves } ->
+      Format.fprintf fmt "set over %d PEs does not fit a %d-leaf CST" n leaves
+  | Not_well_nested v ->
+      Format.fprintf fmt "set is not schedulable by the CSA: %a"
+        Cst_comm.Well_nested.pp_violation v
+
+let snapshot_configs net topo =
+  let acc = ref [] in
+  for node = Cst.Topology.leaves topo - 1 downto 1 do
+    let cfg = Cst.Net.config net node in
+    if not (Cst.Switch_config.is_empty cfg) then acc := (node, cfg) :: !acc
+  done;
+  Array.of_list !acc
+
+let run ?trace ?(keep_configs = true) ?(eager_clear = false) ?net topo set =
+  let leaves = Cst.Topology.leaves topo in
+  if Cst_comm.Comm_set.n set > leaves then
+    Error (Too_large { n = Cst_comm.Comm_set.n set; leaves })
+  else
+    match Cst_comm.Well_nested.check set with
+    | Error v -> Error (Not_well_nested v)
+    | Ok _forest ->
+        let width = Cst_comm.Width.width ~leaves set in
+        let phase1 = Phase1.run topo set in
+        Cst.Trace.emit trace
+          (Cst.Trace.Phase1_done { levels = Cst.Topology.levels topo });
+        let net =
+          match net with
+          | Some net ->
+              if Cst.Topology.leaves (Cst.Net.topology net) <> leaves then
+                invalid_arg "Csa.run: net topology mismatch";
+              net
+          | None -> Cst.Net.create topo
+        in
+        let meter_baseline = Cst.Power_meter.copy (Cst.Net.meter net) in
+        let remaining = ref (Phase1.total_matched phase1) in
+        let rounds = ref [] in
+        let index = ref 0 in
+        while !remaining > 0 do
+          incr index;
+          Cst.Trace.emit trace (Cst.Trace.Round_start !index);
+          let out = Round.sweep topo phase1.states in
+          if out.matched_count = 0 then
+            failwith "Csa.run: no progress (internal invariant broken)";
+          for node = 1 to leaves - 1 do
+            let prev = Cst.Net.config net node in
+            (if eager_clear then Cst.Net.reconfigure net ~node out.wants.(node)
+             else Cst.Net.reconfigure_lazy net ~node ~want:out.wants.(node));
+            let now = Cst.Net.config net node in
+            if not (Cst.Switch_config.equal prev now) then
+              Cst.Trace.emit trace
+                (Cst.Trace.Reconfigured
+                   { round = !index; node; config = now })
+          done;
+          List.iter (fun pe -> Cst.Net.pe_write net ~pe pe) out.sources;
+          let deliveries = Cst.Data_plane.transfer net ~sources:out.sources in
+          List.iter
+            (fun (src, dst) ->
+              Cst.Trace.emit trace
+                (Cst.Trace.Delivered { round = !index; src; dst }))
+            deliveries;
+          (* Every scheduled communication produces exactly one active
+             source and one delivery. *)
+          assert (List.length out.sources = out.matched_count);
+          assert (List.length deliveries = out.matched_count);
+          remaining := !remaining - out.matched_count;
+          let configs =
+            if keep_configs then snapshot_configs net topo else [||]
+          in
+          rounds :=
+            {
+              Schedule.index = !index;
+              sources = out.sources;
+              dests = out.dests;
+              deliveries;
+              configs;
+            }
+            :: !rounds
+        done;
+        Cst.Trace.emit trace (Cst.Trace.Finished { rounds = !index });
+        let levels = Cst.Topology.levels topo in
+        Ok
+          {
+            Schedule.leaves;
+            set;
+            width;
+            rounds = Array.of_list (List.rev !rounds);
+            power =
+              Schedule.power_of_meter
+                (Cst.Power_meter.diff_since (Cst.Net.meter net)
+                   ~baseline:meter_baseline);
+            cycles = levels + (!index * (levels + 1));
+          }
+
+let run_exn ?trace ?keep_configs ?eager_clear ?net topo set =
+  match run ?trace ?keep_configs ?eager_clear ?net topo set with
+  | Ok s -> s
+  | Error e -> invalid_arg (Format.asprintf "%a" pp_error e)

@@ -1,0 +1,40 @@
+(** The Configuration and Scheduling Algorithm (paper §3).
+
+    Runs Phase 1 once, then Phase 2 rounds until every communication has
+    been performed.  Switch reconfiguration is {e lazy} (PADR): a switch's
+    live configuration is only touched where the round's decisions require
+    it, which is what yields O(1) configuration changes per switch
+    (Theorem 8).  Setting [eager_clear] reconfigures each switch to exactly
+    the round's connections, clearing everything else — the behaviour the
+    ablation experiment contrasts against. *)
+
+type error =
+  | Too_large of { n : int; leaves : int }
+  | Not_well_nested of Cst_comm.Well_nested.violation
+
+val pp_error : Format.formatter -> error -> unit
+
+val run :
+  ?trace:Cst.Trace.t ->
+  ?keep_configs:bool ->
+  ?eager_clear:bool ->
+  ?net:Cst.Net.t ->
+  Cst.Topology.t ->
+  Cst_comm.Comm_set.t ->
+  (Schedule.t, error) result
+(** [run topo set] schedules a right-oriented well-nested [set].
+    [keep_configs] (default true) stores per-round configuration snapshots
+    in the schedule for verification; disable for timing benchmarks.
+    [net] runs the schedule on an existing network whose switch
+    configurations persist from earlier runs — the PADR carry-over across
+    consecutive communication phases; the reported power is this run's
+    share only.  The net's topology must equal [topo]. *)
+
+val run_exn :
+  ?trace:Cst.Trace.t ->
+  ?keep_configs:bool ->
+  ?eager_clear:bool ->
+  ?net:Cst.Net.t ->
+  Cst.Topology.t ->
+  Cst_comm.Comm_set.t ->
+  Schedule.t

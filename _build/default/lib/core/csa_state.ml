@@ -1,0 +1,21 @@
+type t = {
+  mutable m : int;
+  mutable sl : int;
+  mutable dl : int;
+  mutable sr : int;
+  mutable dr : int;
+}
+
+let zero () = { m = 0; sl = 0; dl = 0; sr = 0; dr = 0 }
+let make ~m ~sl ~dl ~sr ~dr = { m; sl; dl; sr; dr }
+let copy t = { t with m = t.m }
+
+let equal a b =
+  a.m = b.m && a.sl = b.sl && a.dl = b.dl && a.sr = b.sr && a.dr = b.dr
+
+let is_drained t = t.m = 0 && t.sl = 0 && t.dl = 0 && t.sr = 0 && t.dr = 0
+let remaining t = t.m + t.sl + t.dl + t.sr + t.dr
+let words _ = 5
+
+let pp fmt t =
+  Format.fprintf fmt "[m=%d sl=%d dl=%d sr=%d dr=%d]" t.m t.sl t.dl t.sr t.dr

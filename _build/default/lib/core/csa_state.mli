@@ -1,0 +1,39 @@
+(** Per-switch control registers of the CSA (paper Step 1.3).
+
+    After Phase 1 every switch [u] stores the five counters [C_S]
+    classifying the communications that traverse it (paper Figure 4(a)):
+
+    - [m]  — matched pairs: source in the left subtree, destination in the
+      right subtree (type 1; all need the [l_i -> r_o] connection);
+    - [sl] — unmatched left-subtree sources passing above [u] (type 4);
+    - [dl] — left-subtree destinations fed from above (type 3);
+    - [sr] — right-subtree sources passing above (type 2);
+    - [dr] — unmatched right-subtree destinations fed from above (type 5).
+
+    Phase 2 decrements these as communications are scheduled, so at any
+    round the registers describe exactly the {e remaining} traffic — a
+    constant number of words per switch (Theorem 5). *)
+
+type t = {
+  mutable m : int;
+  mutable sl : int;
+  mutable dl : int;
+  mutable sr : int;
+  mutable dr : int;
+}
+
+val zero : unit -> t
+val make : m:int -> sl:int -> dl:int -> sr:int -> dr:int -> t
+val copy : t -> t
+val equal : t -> t -> bool
+
+val is_drained : t -> bool
+(** All counters zero: the switch has no remaining work. *)
+
+val remaining : t -> int
+(** Sum of all counters (an upper bound on remaining involvement). *)
+
+val words : t -> int
+(** Storage footprint in words — always 5 (Theorem 5's constant). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+type t = { sreq : int option; dreq : int option }
+
+let null = { sreq = None; dreq = None }
+let s x = { sreq = Some x; dreq = None }
+let d x = { sreq = None; dreq = Some x }
+let sd x y = { sreq = Some x; dreq = Some y }
+
+let shape t =
+  match (t.sreq, t.dreq) with
+  | None, None -> "[null,null]"
+  | Some _, None -> "[s,null]"
+  | None, Some _ -> "[d,null]"
+  | Some _, Some _ -> "[s,d]"
+
+let words _ = 4
+
+let equal a b = a.sreq = b.sreq && a.dreq = b.dreq
+
+let pp fmt t =
+  let pp_opt fmt = function
+    | None -> Format.pp_print_string fmt "null"
+    | Some x -> Format.pp_print_int fmt x
+  in
+  Format.fprintf fmt "[s=%a, d=%a]" pp_opt t.sreq pp_opt t.dreq

@@ -1,0 +1,29 @@
+(** Downward control messages of Phase 2 (paper Step 2.1).
+
+    A parent tells a child which of the two directed links between them the
+    current round uses.  [sreq = Some x] means "the upward link carries the
+    [x]-th left-most remaining source of your subtree" (Definition 2);
+    [dreq = Some x] means "the downward link feeds your [x]-th right-most
+    remaining destination".  The four shapes [null,null] / [s,null] /
+    [d,null] / [s,d] of the paper correspond to the four combinations.
+    Every message is two optional indices — a constant number of words
+    (Theorem 5). *)
+
+type t = { sreq : int option; dreq : int option }
+
+val null : t
+(** [null, null] — the child is free to schedule its own matched pairs. *)
+
+val s : int -> t
+val d : int -> t
+val sd : int -> int -> t
+
+val shape : t -> string
+(** ["[null,null]"], ["[s,null]"], ["[d,null]"] or ["[s,d]"] — the
+    alternation alphabet of the power proof (Lemmas 6-7). *)
+
+val words : t -> int
+(** Always 4 (two tags, two indices) — Theorem 5's constant. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

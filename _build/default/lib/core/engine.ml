@@ -1,0 +1,166 @@
+type stats = {
+  cycles : int;
+  control_messages : int;
+  max_message_words : int;
+  state_words_per_switch : int;
+}
+
+(* Mailboxes indexed by node id; a None mailbox means no message this
+   sweep.  The up pass carries (s, d) counter pairs, the down pass carries
+   Downmsg.t values. *)
+
+let run ?(keep_configs = true) topo set =
+  let leaves = Cst.Topology.leaves topo in
+  if Cst_comm.Comm_set.n set > leaves then
+    Error (Csa.Too_large { n = Cst_comm.Comm_set.n set; leaves })
+  else
+    match Cst_comm.Well_nested.check set with
+    | Error v -> Error (Csa.Not_well_nested v)
+    | Ok _ ->
+        let width = Cst_comm.Width.width ~leaves set in
+        let cycles = ref 0 and messages = ref 0 in
+        let max_words = ref 0 in
+        let send words = incr messages; max_words := max !max_words words in
+
+        (* Phase 1: each node posts its (s, d) word pair to its parent;
+           a switch fires once both children's mailboxes are full.  One
+           level per cycle. *)
+        let up_box = Array.make (2 * leaves) None in
+        let roles = Cst_comm.Comm_set.roles set in
+        for pe = 0 to leaves - 1 do
+          let node = Cst.Topology.node_of_pe topo pe in
+          let msg =
+            if pe < Array.length roles then
+              match roles.(pe) with
+              | Cst_comm.Comm_set.Source _ -> (1, 0)
+              | Cst_comm.Comm_set.Dest _ -> (0, 1)
+              | Cst_comm.Comm_set.Idle -> (0, 0)
+            else (0, 0)
+          in
+          up_box.(node) <- Some msg;
+          send Phase1.up_words_per_message
+        done;
+        incr cycles;
+        let states = Array.init leaves (fun _ -> Csa_state.zero ()) in
+        let levels = Cst.Topology.levels topo in
+        for lvl = 1 to levels do
+          (* Internal nodes at this level consume their children's boxes. *)
+          for node = 1 to leaves - 1 do
+            if Cst.Topology.level topo node = lvl then begin
+              let y = Cst.Topology.left topo node
+              and z = Cst.Topology.right topo node in
+              match (up_box.(y), up_box.(z)) with
+              | Some (s_l, d_l), Some (s_r, d_r) ->
+                  let m = min s_l d_r in
+                  states.(node) <-
+                    Csa_state.make ~m ~sl:(s_l - m) ~dl:d_l ~sr:s_r
+                      ~dr:(d_r - m);
+                  if node <> Cst.Topology.root then begin
+                    up_box.(node) <- Some (s_l - m + s_r, d_l + (d_r - m));
+                    send Phase1.up_words_per_message
+                  end
+              | _ -> assert false
+            end
+          done;
+          incr cycles
+        done;
+
+        let net = Cst.Net.create topo in
+        let remaining =
+          ref
+            (Array.fold_left
+               (fun acc (s : Csa_state.t) -> acc + s.m)
+               0 states)
+        in
+        let rounds = ref [] in
+        let index = ref 0 in
+        let down_box = Array.make (2 * leaves) None in
+        while !remaining > 0 do
+          incr index;
+          Array.fill down_box 0 (Array.length down_box) None;
+          down_box.(Cst.Topology.root) <- Some Downmsg.null;
+          let sources = ref [] and dests = ref [] in
+          let matched = ref 0 in
+          let wants = Array.make leaves Cst.Switch_config.empty in
+          (* Down pass: one level per cycle, root first. *)
+          for lvl = levels downto 0 do
+            for node = 1 to (2 * leaves) - 1 do
+              if Cst.Topology.level topo node = lvl then
+                match down_box.(node) with
+                | None -> ()
+                | Some (msg : Downmsg.t) ->
+                    if Cst.Topology.is_leaf topo node then begin
+                      let pe = Cst.Topology.pe_of_node topo node in
+                      (match msg.sreq with
+                      | Some 0 -> sources := pe :: !sources
+                      | None -> ()
+                      | Some _ -> assert false);
+                      match msg.dreq with
+                      | Some 0 -> dests := pe :: !dests
+                      | None -> ()
+                      | Some _ -> assert false
+                    end
+                    else begin
+                      let d = Round.configure states.(node) msg in
+                      wants.(node) <- d.config;
+                      if d.scheduled_matched then incr matched;
+                      down_box.(Cst.Topology.left topo node) <-
+                        Some d.to_left;
+                      down_box.(Cst.Topology.right topo node) <-
+                        Some d.to_right;
+                      send (Downmsg.words d.to_left);
+                      send (Downmsg.words d.to_right)
+                    end
+            done;
+            incr cycles
+          done;
+          if !matched = 0 then
+            failwith "Engine.run: no progress (internal invariant broken)";
+          for node = 1 to leaves - 1 do
+            Cst.Net.reconfigure_lazy net ~node ~want:wants.(node)
+          done;
+          let sources = List.rev !sources and dests = List.rev !dests in
+          List.iter (fun pe -> Cst.Net.pe_write net ~pe pe) sources;
+          let deliveries = Cst.Data_plane.transfer net ~sources in
+          incr cycles;
+          (* the data transfer cycle *)
+          remaining := !remaining - !matched;
+          let configs =
+            if keep_configs then begin
+              let acc = ref [] in
+              for node = leaves - 1 downto 1 do
+                let cfg = Cst.Net.config net node in
+                if not (Cst.Switch_config.is_empty cfg) then
+                  acc := (node, cfg) :: !acc
+              done;
+              Array.of_list !acc
+            end
+            else [||]
+          in
+          rounds :=
+            { Schedule.index = !index; sources; dests; deliveries; configs }
+            :: !rounds
+        done;
+        let sched =
+          {
+            Schedule.leaves;
+            set;
+            width;
+            rounds = Array.of_list (List.rev !rounds);
+            power = Schedule.power_of_meter (Cst.Net.meter net);
+            cycles = !cycles;
+          }
+        in
+        Ok
+          ( sched,
+            {
+              cycles = !cycles;
+              control_messages = !messages;
+              max_message_words = !max_words;
+              state_words_per_switch = Csa_state.words states.(1);
+            } )
+
+let run_exn ?keep_configs topo set =
+  match run ?keep_configs topo set with
+  | Ok r -> r
+  | Error e -> invalid_arg (Format.asprintf "%a" Csa.pp_error e)

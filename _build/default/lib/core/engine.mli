@@ -1,0 +1,31 @@
+(** Message-passing execution of the CSA.
+
+    The functional scheduler ({!Csa}) is the specification; this engine
+    executes the same algorithm as the paper's hardware would: nodes
+    communicate only through explicit mailboxes, one tree level per clock
+    cycle, and every switch decision is taken by {!Round.configure} from
+    the switch's own registers and its single incoming message.  The
+    engine therefore demonstrates the locality claim and measures the
+    quantities of Theorem 5: cycles, message count and message size.
+
+    Tests assert that the engine's schedule is identical, round for round,
+    to {!Csa.run}'s. *)
+
+type stats = {
+  cycles : int;  (** total clock cycles, Phase 1 included *)
+  control_messages : int;  (** messages exchanged over tree links *)
+  max_message_words : int;  (** largest message, in words — a constant *)
+  state_words_per_switch : int;  (** switch storage, in words — 5 *)
+}
+
+val run :
+  ?keep_configs:bool ->
+  Cst.Topology.t ->
+  Cst_comm.Comm_set.t ->
+  (Schedule.t * stats, Csa.error) result
+
+val run_exn :
+  ?keep_configs:bool ->
+  Cst.Topology.t ->
+  Cst_comm.Comm_set.t ->
+  Schedule.t * stats

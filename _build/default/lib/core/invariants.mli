@@ -1,0 +1,23 @@
+(** White-box invariant auditing of the CSA's register evolution.
+
+    The paper's correctness argument rests on one invariant: after any
+    prefix of rounds, each switch's mutated registers [C_S] describe
+    exactly the traffic that is {e still pending} — i.e. they equal the
+    registers Phase 1 would compute from scratch on the set of not yet
+    scheduled communications.  {!audit} replays a schedule round by round
+    against this oracle; any drift between the local decrements of the
+    round rule and the global meaning of the registers is caught at the
+    switch where it happens. *)
+
+type report = {
+  ok : bool;
+  rounds_checked : int;
+  first_divergence : (int * int) option;
+      (** (round, node) of the first register mismatch, if any *)
+}
+
+val audit : Cst.Topology.t -> Cst_comm.Comm_set.t -> report
+(** Runs the CSA sweep on [set] while recomputing the oracle registers
+    after every round.  Requires a right-oriented well-nested set. *)
+
+val pp_report : Format.formatter -> report -> unit

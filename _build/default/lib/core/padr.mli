@@ -1,0 +1,87 @@
+(** High-level facade over the PADR scheduler.
+
+    Most users need only this module:
+
+    {[
+      let set = Cst_comm.Comm_set.create_exn ~n:8
+          [ Cst_comm.Comm.make ~src:0 ~dst:7; Cst_comm.Comm.make ~src:2 ~dst:3 ]
+      in
+      match Padr.schedule set with
+      | Ok sched -> Format.printf "%a" Padr.Schedule.pp sched
+      | Error e -> Format.eprintf "%a" Padr.pp_error e
+    ]}
+
+    Right-oriented well-nested sets are scheduled directly; mixed sets are
+    decomposed into the right-oriented part and the (mirrored)
+    left-oriented part, each scheduled separately (paper §2.1). *)
+
+module Schedule = Schedule
+module Verify = Verify
+
+module Csa : module type of Csa
+(** The scheduler itself, for callers needing an explicit topology or the
+    eager-clearing ablation mode. *)
+
+module Engine : module type of Engine
+(** Message-passing execution with cycle and message statistics. *)
+
+module Phase1 : module type of Phase1
+module Round : module type of Round
+module Downmsg : module type of Downmsg
+module Csa_state : module type of Csa_state
+
+module Waves : module type of Waves
+(** Arbitrary (crossing, mixed-orientation) sets as sequences of CSA
+    waves — the extension the paper's conclusion proposes. *)
+
+module Left : module type of Left
+(** Native scheduler for left-oriented sets (§2.1's mirror-symmetric
+    rules, written out). *)
+
+module Invariants : module type of Invariants
+(** White-box auditing: the mutated registers always equal a from-scratch
+    Phase 1 on the pending remainder. *)
+
+type error = Csa.error
+
+val pp_error : Format.formatter -> error -> unit
+
+val topology_for : Cst_comm.Comm_set.t -> Cst.Topology.t
+(** Smallest power-of-two CST accommodating the set. *)
+
+val schedule :
+  ?leaves:int ->
+  ?trace:Cst.Trace.t ->
+  ?keep_configs:bool ->
+  Cst_comm.Comm_set.t ->
+  (Schedule.t, error) result
+(** Schedules a right-oriented well-nested set on a CST with [leaves]
+    leaves (default: smallest adequate). *)
+
+val schedule_exn :
+  ?leaves:int ->
+  ?trace:Cst.Trace.t ->
+  ?keep_configs:bool ->
+  Cst_comm.Comm_set.t ->
+  Schedule.t
+
+val verify : Schedule.t -> Verify.report
+(** Full verification of a schedule produced by {!schedule}. *)
+
+type mixed = {
+  right : Schedule.t option;  (** schedule of the right-oriented members *)
+  left : Schedule.t option;
+      (** schedule of the mirrored left-oriented members; its deliveries
+          are reported in original coordinates by {!mixed_deliveries} *)
+  rounds : int;  (** total rounds of the two-part schedule *)
+  power_units : int;  (** total connects over both parts *)
+}
+
+val schedule_mixed :
+  ?leaves:int -> Cst_comm.Comm_set.t -> (mixed, error) result
+(** Decomposes an arbitrarily-oriented set whose two oriented parts are
+    each well-nested, and schedules the parts one after the other. *)
+
+val mixed_deliveries : mixed -> (int * int) list
+(** All (src, dst) pairs of both parts, in original PE coordinates,
+    sorted by source. *)

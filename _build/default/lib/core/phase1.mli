@@ -1,0 +1,30 @@
+(** Phase 1 of the CSA: distributing control information (paper §3).
+
+    Each PE reports whether it is a source ([1,0]), a destination ([0,1])
+    or idle ([0,0]); each switch combines the [C_U = [S, D]] words of its
+    children, matches [min(S_L, D_R)] source-destination pairs locally
+    (correct by the paper's Lemma 1 for well-nested right-oriented sets)
+    and forwards the residue.  The pass is purely local: a switch sees only
+    the two 2-word messages from its children. *)
+
+type t = {
+  states : Csa_state.t array;  (** indexed by internal node id *)
+  s_up : int array;  (** [C_U] source count sent up by each node *)
+  d_up : int array;  (** [C_U] destination count sent up by each node *)
+}
+
+val run : Cst.Topology.t -> Cst_comm.Comm_set.t -> t
+(** Requires a right-oriented set fitting the topology.  For well-nested
+    input the root residuals are all zero (asserted); callers validate
+    well-nestedness beforehand ({!Csa.run} does). *)
+
+val state : t -> int -> Csa_state.t
+(** Registers of the switch at an internal node. *)
+
+val total_matched : t -> int
+(** Sum of [m] over all switches; equals the set size for well-nested
+    input (every communication is matched exactly at its LCA). *)
+
+val up_words_per_message : int
+(** Size of the upward control message [C_U] — the constant 2
+    (Theorem 5). *)

@@ -1,0 +1,108 @@
+type decision = {
+  config : Cst.Switch_config.t;
+  to_left : Downmsg.t;
+  to_right : Downmsg.t;
+  scheduled_matched : bool;
+}
+
+let configure (st : Csa_state.t) (msg : Downmsg.t) =
+  let cfg = ref Cst.Switch_config.empty in
+  let connect ~output ~input =
+    cfg := Cst.Switch_config.set !cfg ~output ~input
+  in
+  let li_used = ref false and ro_used = ref false in
+  let left_s = ref None and left_d = ref None in
+  let right_s = ref None and right_d = ref None in
+  (match msg.Downmsg.sreq with
+  | None -> ()
+  | Some x ->
+      if x < st.sl then begin
+        (* The requested source is among the left child's pass-ups. *)
+        connect ~output:Cst.Side.P ~input:Cst.Side.L;
+        li_used := true;
+        st.sl <- st.sl - 1;
+        left_s := Some x
+      end
+      else begin
+        assert (x - st.sl < st.sr);
+        connect ~output:Cst.Side.P ~input:Cst.Side.R;
+        st.sr <- st.sr - 1;
+        right_s := Some (x - st.sl)
+      end);
+  (match msg.Downmsg.dreq with
+  | None -> ()
+  | Some x ->
+      if x < st.dr then begin
+        (* Counted from the right: among the right child's pass-downs. *)
+        connect ~output:Cst.Side.R ~input:Cst.Side.P;
+        ro_used := true;
+        st.dr <- st.dr - 1;
+        right_d := Some x
+      end
+      else begin
+        assert (x - st.dr < st.dl);
+        connect ~output:Cst.Side.L ~input:Cst.Side.P;
+        st.dl <- st.dl - 1;
+        left_d := Some (x - st.dr)
+      end);
+  let scheduled_matched =
+    if st.m > 0 && (not !li_used) && not !ro_used then begin
+      connect ~output:Cst.Side.R ~input:Cst.Side.L;
+      st.m <- st.m - 1;
+      (* Outermost remaining pair: source after the [sl] pass-ups of the
+         left child, destination after the [dr] pass-downs of the right. *)
+      left_s := Some st.sl;
+      right_d := Some st.dr;
+      true
+    end
+    else false
+  in
+  {
+    config = !cfg;
+    to_left = { Downmsg.sreq = !left_s; dreq = !left_d };
+    to_right = { Downmsg.sreq = !right_s; dreq = !right_d };
+    scheduled_matched;
+  }
+
+type outcome = {
+  wants : Cst.Switch_config.t array;
+  sources : int list;
+  dests : int list;
+  matched_count : int;
+}
+
+let sweep topo states =
+  let leaves = Cst.Topology.leaves topo in
+  let wants = Array.make leaves Cst.Switch_config.empty in
+  let sources = ref [] and dests = ref [] in
+  let matched = ref 0 in
+  let rec go node (msg : Downmsg.t) =
+    if Cst.Topology.is_leaf topo node then begin
+      let pe = Cst.Topology.pe_of_node topo node in
+      (* A request reaching a leaf must have resolved to index 0, and a PE
+         is never both endpoints of the same round. *)
+      (match msg.sreq with
+      | Some 0 -> sources := pe :: !sources
+      | None -> ()
+      | Some _ -> assert false);
+      (match msg.dreq with
+      | Some 0 -> dests := pe :: !dests
+      | None -> ()
+      | Some _ -> assert false);
+      assert (not (msg.sreq <> None && msg.dreq <> None))
+    end
+    else begin
+      let d = configure states.(node) msg in
+      wants.(node) <- d.config;
+      if d.scheduled_matched then incr matched;
+      go (Cst.Topology.left topo node) d.to_left;
+      go (Cst.Topology.right topo node) d.to_right
+    end
+  in
+  go Cst.Topology.root Downmsg.null;
+  {
+    wants;
+    sources = List.rev !sources;
+    dests = List.rev !dests;
+    matched_count = !matched;
+  }

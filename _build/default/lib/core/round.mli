@@ -1,0 +1,46 @@
+(** One round of Phase 2: the power-aware switch rule (paper Figure 5).
+
+    {!configure} is the per-switch decision procedure.  It sees only the
+    switch's own registers and the parent's message — the locality claimed
+    by the paper — and is shared verbatim by the functional scheduler
+    ({!Csa}) and the message-passing engine ({!Engine}).
+
+    The rule, covering all four message shapes at once:
+    {ol
+    {- route an incoming source request: through [l_i -> p_o] if the index
+       falls among the remaining left pass-up sources, else through
+       [r_i -> p_o] with the index shifted by the left count;}
+    {- route an incoming destination request: through [p_i -> r_o] if the
+       index (from the right) falls among the remaining right pass-down
+       destinations, else through [p_i -> l_o] shifted;}
+    {- if matched pairs remain and neither [l_i] nor [r_o] was taken,
+       schedule the {e outermost} remaining matched pair with [l_i -> r_o]
+       and request its source (left index [sl]) and destination (right
+       index [dr]) from the children.}}
+
+    Step 3's outermost-first selection is what makes each output port's
+    driver sequence alternate O(1) times (Lemmas 6-7). *)
+
+type decision = {
+  config : Cst.Switch_config.t;  (** connections this round requires *)
+  to_left : Downmsg.t;
+  to_right : Downmsg.t;
+  scheduled_matched : bool;  (** consumed one of the switch's [m] pairs *)
+}
+
+val configure : Csa_state.t -> Downmsg.t -> decision
+(** Mutates the registers (they describe remaining traffic).  Raises
+    [Assert_failure] if the parent requests a source or destination the
+    subtree does not have — impossible when Phase 1 ran on well-nested
+    input. *)
+
+type outcome = {
+  wants : Cst.Switch_config.t array;  (** per internal node *)
+  sources : int list;  (** PEs that write this round, ascending *)
+  dests : int list;  (** PEs that receive this round, ascending *)
+  matched_count : int;  (** communications scheduled this round *)
+}
+
+val sweep : Cst.Topology.t -> Csa_state.t array -> outcome
+(** Full top-down sweep from the root (which always acts on
+    [Downmsg.null]).  Mutates the state array. *)

@@ -1,0 +1,124 @@
+type round = {
+  index : int;
+  sources : int list;
+  dests : int list;
+  deliveries : (int * int) list;
+  configs : (int * Cst.Switch_config.t) array;
+}
+
+type power = {
+  total_connects : int;
+  total_disconnects : int;
+  total_writes : int;
+  max_connects_per_switch : int;
+  max_writes_per_switch : int;
+  max_events_per_switch : int;
+  per_switch_connects : int array;
+  per_switch_writes : int array;
+  per_switch_disconnects : int array;
+}
+
+type t = {
+  leaves : int;
+  set : Cst_comm.Comm_set.t;
+  width : int;
+  rounds : round array;
+  power : power;
+  cycles : int;
+}
+
+let num_rounds t = Array.length t.rounds
+
+let all_deliveries t =
+  Array.to_list t.rounds
+  |> List.concat_map (fun r -> r.deliveries)
+  |> List.sort compare
+
+let deliveries_per_round t =
+  Array.map (fun r -> List.length r.deliveries) t.rounds
+
+let power_of_meter meter =
+  {
+    total_connects = Cst.Power_meter.total_connects meter;
+    total_disconnects = Cst.Power_meter.total_disconnects meter;
+    total_writes = Cst.Power_meter.total_writes meter;
+    max_connects_per_switch = Cst.Power_meter.max_connects_per_switch meter;
+    max_writes_per_switch = Cst.Power_meter.max_writes_per_switch meter;
+    max_events_per_switch = Cst.Power_meter.max_events_per_switch meter;
+    per_switch_connects = Cst.Power_meter.per_switch_connects meter;
+    per_switch_writes = Cst.Power_meter.per_switch_writes meter;
+    per_switch_disconnects = Cst.Power_meter.per_switch_disconnects meter;
+  }
+
+let zero_power ~num_nodes =
+  {
+    total_connects = 0;
+    total_disconnects = 0;
+    total_writes = 0;
+    max_connects_per_switch = 0;
+    max_writes_per_switch = 0;
+    max_events_per_switch = 0;
+    per_switch_connects = Array.make (num_nodes + 1) 0;
+    per_switch_writes = Array.make (num_nodes + 1) 0;
+    per_switch_disconnects = Array.make (num_nodes + 1) 0;
+  }
+
+let add_arrays a b =
+  let n = max (Array.length a) (Array.length b) in
+  Array.init n (fun i ->
+      (if i < Array.length a then a.(i) else 0)
+      + if i < Array.length b then b.(i) else 0)
+
+let max_of = Array.fold_left max 0
+
+let combine_power a b =
+  (* A switch busy in both parts accumulates: the per-part maxima cannot
+     simply be maxed, they are recomputed from the summed arrays. *)
+  let connects = add_arrays a.per_switch_connects b.per_switch_connects in
+  let writes = add_arrays a.per_switch_writes b.per_switch_writes in
+  let disconnects =
+    add_arrays a.per_switch_disconnects b.per_switch_disconnects
+  in
+  let events = add_arrays connects disconnects in
+  {
+    total_connects = a.total_connects + b.total_connects;
+    total_disconnects = a.total_disconnects + b.total_disconnects;
+    total_writes = a.total_writes + b.total_writes;
+    max_connects_per_switch = max_of connects;
+    max_writes_per_switch = max_of writes;
+    max_events_per_switch = max_of events;
+    per_switch_connects = connects;
+    per_switch_writes = writes;
+    per_switch_disconnects = disconnects;
+  }
+
+let mirror_power topo p =
+  let remap a =
+    Array.mapi
+      (fun i v ->
+        if i >= 1 && i <= Cst.Topology.num_nodes topo then
+          a.(Cst.Topology.mirror_node topo i)
+        else v)
+      a
+  in
+  {
+    p with
+    per_switch_connects = remap p.per_switch_connects;
+    per_switch_writes = remap p.per_switch_writes;
+    per_switch_disconnects = remap p.per_switch_disconnects;
+  }
+
+let pp_round fmt r =
+  Format.fprintf fmt "round %d:" r.index;
+  List.iter (fun (s, d) -> Format.fprintf fmt " %d->%d" s d) r.deliveries
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>schedule over %d PEs: %d communications, width %d, %d rounds, %d \
+     cycles@,power: %d units (%d disconnects), max %d connects/switch@,"
+    t.leaves
+    (Cst_comm.Comm_set.size t.set)
+    t.width (num_rounds t) t.cycles t.power.total_connects
+    t.power.total_disconnects t.power.max_connects_per_switch;
+  Array.iter (fun r -> Format.fprintf fmt "%a@," pp_round r) t.rounds;
+  Format.pp_close_box fmt ()

@@ -1,0 +1,97 @@
+type t = {
+  set : Cst_comm.Comm_set.t;
+  right_waves : Schedule.t list;
+  left_waves : Schedule.t list;
+  rounds : int;
+  cycles : int;
+  power : Schedule.power;
+}
+
+let run_part topo layers =
+  let net = Cst.Net.create topo in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | layer :: rest -> (
+        match Csa.run ~net topo layer with
+        | Ok s -> go (s :: acc) rest
+        | Error e -> Error e)
+  in
+  go [] layers
+
+let schedule ?leaves set =
+  let n = Cst_comm.Comm_set.n set in
+  let leaves =
+    match leaves with
+    | Some l -> l
+    | None -> Cst_util.Bits.ceil_pow2 (max 2 n)
+  in
+  let topo = Cst.Topology.create ~leaves in
+  let right_part, left_part = Cst_comm.Decompose.split set in
+  let right_layers = Cst_comm.Wn_cover.layers right_part in
+  let left_layers =
+    Cst_comm.Wn_cover.layers (Cst_comm.Mirror.set left_part)
+  in
+  match run_part topo right_layers with
+  | Error e -> Error e
+  | Ok right_waves -> (
+      match run_part topo left_layers with
+      | Error e -> Error e
+      | Ok left_waves ->
+          let sum f =
+            List.fold_left (fun acc s -> acc + f s) 0
+              (right_waves @ left_waves)
+          in
+          let power =
+            List.fold_left
+              (fun acc (s : Schedule.t) ->
+                Schedule.combine_power acc s.power)
+              (Schedule.zero_power ~num_nodes:(Cst.Topology.num_nodes topo))
+              right_waves
+          in
+          let power =
+            List.fold_left
+              (fun acc (s : Schedule.t) ->
+                Schedule.combine_power acc
+                  (Schedule.mirror_power topo s.power))
+              power left_waves
+          in
+          Ok
+            {
+              set;
+              right_waves;
+              left_waves;
+              rounds = sum Schedule.num_rounds;
+              cycles = sum (fun (s : Schedule.t) -> s.cycles);
+              power;
+            })
+
+let schedule_exn ?leaves set =
+  match schedule ?leaves set with
+  | Ok t -> t
+  | Error e -> invalid_arg (Format.asprintf "Waves: %a" Csa.pp_error e)
+
+let deliveries t =
+  let right =
+    List.concat_map Schedule.all_deliveries t.right_waves
+  in
+  let n = Cst_comm.Comm_set.n t.set in
+  let left =
+    List.concat_map
+      (fun s ->
+        List.map
+          (fun (src, dst) ->
+            (Cst_comm.Mirror.pe ~n src, Cst_comm.Mirror.pe ~n dst))
+          (Schedule.all_deliveries s))
+      t.left_waves
+  in
+  List.sort compare (right @ left)
+
+let num_waves t = List.length t.right_waves + List.length t.left_waves
+
+let pp fmt t =
+  Format.fprintf fmt
+    "waves: %d communications in %d wave(s), %d rounds, %d cycles, %d power \
+     units (%d writes), max %d connects/switch"
+    (Cst_comm.Comm_set.size t.set)
+    (num_waves t) t.rounds t.cycles t.power.total_connects
+    t.power.total_writes t.power.max_connects_per_switch

@@ -1,0 +1,1 @@
+lib/cst/compat.ml: Cst_comm Hashtbl List Option Topology

@@ -1,0 +1,1 @@
+lib/cst/compat.mli: Cst_comm Topology

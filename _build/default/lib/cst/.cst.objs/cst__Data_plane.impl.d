@@ -1,0 +1,1 @@
+lib/cst/data_plane.ml: Hashtbl List Net Printf Side Switch_config Topology

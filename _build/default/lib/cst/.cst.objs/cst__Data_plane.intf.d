@@ -1,0 +1,1 @@
+lib/cst/data_plane.mli: Net Side

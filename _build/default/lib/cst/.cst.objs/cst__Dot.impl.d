@@ -1,0 +1,1 @@
+lib/cst/dot.ml: Array Buffer Data_plane Fun List Net Printf Seq Side Switch_config Topology

@@ -1,0 +1,1 @@
+lib/cst/dot.mli: Net Topology

@@ -1,0 +1,1 @@
+lib/cst/faults.ml: Array Compat Cst_comm Format List Set

@@ -1,0 +1,1 @@
+lib/cst/faults.mli: Compat Cst_comm Format Topology

@@ -1,0 +1,1 @@
+lib/cst/net.ml: Array Format Power_meter Printf Switch_config Topology

@@ -1,0 +1,1 @@
+lib/cst/net.mli: Format Power_meter Switch_config Topology

@@ -1,0 +1,1 @@
+lib/cst/power_meter.ml: Array Format Switch_config

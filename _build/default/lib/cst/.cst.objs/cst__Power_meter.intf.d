@@ -1,0 +1,1 @@
+lib/cst/power_meter.mli: Format Switch_config

@@ -1,0 +1,1 @@
+lib/cst/side.mli: Format

@@ -1,0 +1,1 @@
+lib/cst/switch_config.ml: Array Format List Side

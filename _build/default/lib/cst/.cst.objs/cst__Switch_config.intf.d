@@ -1,0 +1,1 @@
+lib/cst/switch_config.mli: Format Side

@@ -1,0 +1,1 @@
+lib/cst/topology.ml: Cst_util Format List Printf Seq Side

@@ -1,0 +1,1 @@
+lib/cst/topology.mli: Format Seq Side

@@ -1,0 +1,1 @@
+lib/cst/trace.ml: Format List Switch_config

@@ -1,0 +1,1 @@
+lib/cst/trace.mli: Format Switch_config

@@ -1,0 +1,39 @@
+type dir = Up | Down
+
+let link_footprint topo (c : Cst_comm.Comm.t) =
+  let a = ref (Topology.node_of_pe topo c.src)
+  and b = ref (Topology.node_of_pe topo c.dst) in
+  let acc = ref [] in
+  while !a <> !b do
+    if !a > !b then begin
+      acc := (!a, Up) :: !acc;
+      a := Topology.parent topo !a
+    end
+    else begin
+      acc := (!b, Down) :: !acc;
+      b := Topology.parent topo !b
+    end
+  done;
+  !acc
+
+let congestion_table topo comms =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun link ->
+          let cur = Option.value ~default:0 (Hashtbl.find_opt tbl link) in
+          Hashtbl.replace tbl link (cur + 1))
+        (link_footprint topo c))
+    comms;
+  tbl
+
+let conflict topo a b =
+  let fa = link_footprint topo a in
+  let fb = link_footprint topo b in
+  List.exists (fun l -> List.mem l fb) fa
+
+let max_congestion topo comms =
+  Hashtbl.fold (fun _ v acc -> max v acc) (congestion_table topo comms) 0
+
+let is_compatible topo comms = max_congestion topo comms <= 1

@@ -1,0 +1,23 @@
+(** Link-level compatibility of communications (paper §1).
+
+    A set of communications can be performed in one round iff no two of
+    them use the same tree link in the same direction.  This module gives
+    the exact directed-link footprint of a communication and the pairwise
+    and set-level compatibility tests used by the greedy baseline and the
+    schedule verifier. *)
+
+type dir = Up | Down
+
+val link_footprint : Topology.t -> Cst_comm.Comm.t -> (int * dir) list
+(** Directed links used by the communication's unique tree path: [(v, Up)]
+    is the link from [v] to its parent, [(v, Down)] the reverse. *)
+
+val conflict : Topology.t -> Cst_comm.Comm.t -> Cst_comm.Comm.t -> bool
+(** The two communications share a directed link. *)
+
+val is_compatible : Topology.t -> Cst_comm.Comm.t list -> bool
+(** No directed link is used twice. *)
+
+val max_congestion : Topology.t -> Cst_comm.Comm.t list -> int
+(** Maximum number of communications over one directed link; agrees with
+    {!Cst_comm.Width} (cross-checked in tests). *)

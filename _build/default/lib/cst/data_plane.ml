@@ -1,0 +1,52 @@
+type hop = { node : int; input : Side.t; output : Side.t }
+
+let trace_from net ~src =
+  let topo = Net.topology net in
+  let leaf = Topology.node_of_pe topo src in
+  (* The signal enters the parent switch on the input of the child side. *)
+  let rec step node (incoming : Side.t) hops =
+    match Switch_config.output_of (Net.config net node) incoming with
+    | None -> (List.rev hops, None)
+    | Some output -> (
+        let hops = { node; input = incoming; output } :: hops in
+        match output with
+        | Side.P ->
+            if node = Topology.root then (List.rev hops, None)
+            else
+              step (Topology.parent topo node) (Topology.child_side topo node)
+                hops
+        | Side.L | Side.R ->
+            let child =
+              if Side.equal output Side.L then Topology.left topo node
+              else Topology.right topo node
+            in
+            if Topology.is_leaf topo child then
+              (List.rev hops, Some (Topology.pe_of_node topo child))
+            else step child Side.P hops)
+  in
+  step (Topology.parent topo leaf) (Topology.child_side topo leaf) []
+
+let route net ~src = snd (trace_from net ~src)
+
+let transfer net ~sources =
+  let seen = Hashtbl.create 16 in
+  let deliveries =
+    List.filter_map
+      (fun src ->
+        match route net ~src with
+        | None -> None
+        | Some dst ->
+            (match Hashtbl.find_opt seen dst with
+            | Some other ->
+                invalid_arg
+                  (Printf.sprintf
+                     "Data_plane.transfer: PEs %d and %d both deliver to %d"
+                     other src dst)
+            | None -> Hashtbl.add seen dst src);
+            Some (src, dst))
+      sources
+  in
+  List.iter
+    (fun (src, dst) -> Net.pe_deliver net ~pe:dst (Net.pe_out net ~pe:src))
+    deliveries;
+  deliveries

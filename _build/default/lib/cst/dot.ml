@@ -1,0 +1,98 @@
+let header = "digraph cst {\n  rankdir=TB;\n  node [fontname=\"monospace\"];\n"
+
+let base_tree buf topo =
+  Buffer.add_string buf "  // switches\n";
+  Seq.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [shape=circle, label=\"%d\"];\n" v v))
+    (Topology.internal_nodes topo);
+  Buffer.add_string buf "  // PEs\n";
+  for pe = 0 to Topology.leaves topo - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  pe%d [shape=box, label=\"PE %d\"];\n" pe pe)
+  done;
+  Buffer.add_string buf "  { rank=same;";
+  for pe = 0 to Topology.leaves topo - 1 do
+    Buffer.add_string buf (Printf.sprintf " pe%d;" pe)
+  done;
+  Buffer.add_string buf " }\n  // tree links\n";
+  Seq.iter
+    (fun v ->
+      let child name c =
+        if Topology.is_leaf topo c then
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  n%d -> pe%d [dir=none, color=gray, taillabel=\"%s\"];\n" v
+               (Topology.pe_of_node topo c)
+               name)
+        else
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  n%d -> n%d [dir=none, color=gray, taillabel=\"%s\"];\n" v c
+               name)
+      in
+      child "L" (Topology.left topo v);
+      child "R" (Topology.right topo v))
+    (Topology.internal_nodes topo)
+
+let of_topology topo =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf header;
+  base_tree buf topo;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let colors = [| "red"; "blue"; "darkgreen"; "orange"; "purple"; "brown" |]
+
+let of_net net =
+  let topo = Net.topology net in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf header;
+  base_tree buf topo;
+  Buffer.add_string buf "  // live connections\n";
+  Seq.iter
+    (fun v ->
+      List.iter
+        (fun (o, i) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  n%d [xlabel=\"%s>%s\"];\n" v (Side.to_string i)
+               (Side.to_string o)))
+        (Switch_config.connections (Net.config net v)))
+    (Topology.internal_nodes topo);
+  Buffer.add_string buf "  // realized paths\n";
+  let color_idx = ref 0 in
+  for src = 0 to Topology.leaves topo - 1 do
+    let hops, dst = Data_plane.trace_from net ~src in
+    match dst with
+    | None -> ()
+    | Some dst ->
+        let color = colors.(!color_idx mod Array.length colors) in
+        incr color_idx;
+        let names =
+          (Printf.sprintf "pe%d" src
+          :: List.map
+               (fun (h : Data_plane.hop) -> Printf.sprintf "n%d" h.node)
+               hops)
+          @ [ Printf.sprintf "pe%d" dst ]
+        in
+        let rec edges = function
+          | a :: (b :: _ as rest) ->
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "  %s -> %s [color=%s, penwidth=2, constraint=false];\n" a
+                   b color);
+              edges rest
+          | _ -> ()
+        in
+        edges names
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file ~path content =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content)

@@ -1,0 +1,16 @@
+(** Graphviz export of the CST and of live configurations.
+
+    [dot -Tsvg] renders the output; PEs appear as boxes on one rank,
+    switches as circles, tree links as undirected edges, and the currently
+    configured connections as coloured directed edges routed through the
+    switches they traverse. *)
+
+val of_topology : Topology.t -> string
+(** The bare tree. *)
+
+val of_net : Net.t -> string
+(** The tree plus every live switch connection (as edge labels on the
+    links it drives) and, for each PE whose signal currently reaches a
+    destination, a coloured source-to-destination path. *)
+
+val write_file : path:string -> string -> unit

@@ -1,0 +1,37 @@
+module Link = struct
+  type t = int * Compat.dir
+
+  let compare = compare
+end
+
+module Link_set = Set.Make (Link)
+
+type t = Link_set.t
+
+let none = Link_set.empty
+let fail t ~node ~dir = Link_set.add (node, dir) t
+let is_down t ~node ~dir = Link_set.mem (node, dir) t
+let count = Link_set.cardinal
+
+let routable topo t c =
+  List.for_all
+    (fun (node, dir) -> not (is_down t ~node ~dir))
+    (Compat.link_footprint topo c)
+
+let partition topo t set =
+  let ok, stranded =
+    List.partition (routable topo t)
+      (Array.to_list (Cst_comm.Comm_set.comms set))
+  in
+  (Cst_comm.Comm_set.create_exn ~n:(Cst_comm.Comm_set.n set) ok, stranded)
+
+let pp fmt t =
+  if Link_set.is_empty t then Format.pp_print_string fmt "no faults"
+  else begin
+    Format.fprintf fmt "%d failed link(s):" (count t);
+    Link_set.iter
+      (fun (node, dir) ->
+        Format.fprintf fmt " %d%s" node
+          (match dir with Compat.Up -> "^" | Compat.Down -> "v"))
+      t
+  end

@@ -1,0 +1,29 @@
+(** Link-fault diagnosis.
+
+    The CST routes every communication over its unique tree path, so a
+    failed directed link makes some communications unroutable rather than
+    reroutable.  This module marks directed links down and partitions a
+    communication set into the part a scheduler may still perform and the
+    stranded remainder — the admission control a runtime needs before
+    invoking the CSA on degraded hardware. *)
+
+type t
+
+val none : t
+(** No faults. *)
+
+val fail : t -> node:int -> dir:Compat.dir -> t
+(** Marks the directed link between [node] and its parent as down
+    ([Up]: towards the parent; [Down]: towards [node]). *)
+
+val is_down : t -> node:int -> dir:Compat.dir -> bool
+val count : t -> int
+
+val routable : Topology.t -> t -> Cst_comm.Comm.t -> bool
+(** The communication's path uses no failed directed link. *)
+
+val partition :
+  Topology.t -> t -> Cst_comm.Comm_set.t -> Cst_comm.Comm_set.t * Cst_comm.Comm.t list
+(** [(routable subset, stranded communications)]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,86 @@
+type t = {
+  topo : Topology.t;
+  configs : Switch_config.t array; (* indexed by internal node id *)
+  meter : Power_meter.t;
+  out_regs : int array; (* PE output registers *)
+  in_regs : int option array; (* PE input registers *)
+}
+
+let create topo =
+  let leaves = Topology.leaves topo in
+  {
+    topo;
+    configs = Array.make leaves Switch_config.empty;
+    meter = Power_meter.create ~num_nodes:(Topology.num_nodes topo);
+    out_regs = Array.make leaves 0;
+    in_regs = Array.make leaves None;
+  }
+
+let topology t = t.topo
+let meter t = t.meter
+
+let check_internal t node =
+  if not (Topology.is_internal t.topo node) then
+    invalid_arg (Printf.sprintf "Net: node %d is not a switch" node)
+
+let config t node =
+  check_internal t node;
+  t.configs.(node)
+
+let reconfigure t ~node cfg =
+  check_internal t node;
+  let delta = Switch_config.diff ~old_config:t.configs.(node) ~new_config:cfg in
+  Power_meter.charge t.meter ~node delta;
+  (* A per-round reconfiguration installs every connection it demands:
+     the switch has no way to know its register still holds the value. *)
+  Power_meter.charge_writes t.meter ~node (Switch_config.connection_count cfg);
+  t.configs.(node) <- cfg
+
+let reconfigure_lazy t ~node ~want =
+  check_internal t node;
+  let next = Switch_config.merge_lazy ~prev:t.configs.(node) ~want in
+  let delta =
+    Switch_config.diff ~old_config:t.configs.(node) ~new_config:next
+  in
+  Power_meter.charge t.meter ~node delta;
+  (* The PADR switch only touches outputs whose driver actually changes. *)
+  Power_meter.charge_writes t.meter ~node delta.connects;
+  t.configs.(node) <- next
+
+let clear_all t =
+  for node = 1 to Topology.leaves t.topo - 1 do
+    reconfigure t ~node Switch_config.empty
+  done
+
+let check_pe t pe =
+  if pe < 0 || pe >= Topology.leaves t.topo then
+    invalid_arg (Printf.sprintf "Net: bad PE %d" pe)
+
+let pe_write t ~pe v =
+  check_pe t pe;
+  t.out_regs.(pe) <- v
+
+let pe_out t ~pe =
+  check_pe t pe;
+  t.out_regs.(pe)
+
+let pe_read t ~pe =
+  check_pe t pe;
+  t.in_regs.(pe)
+
+let pe_deliver t ~pe v =
+  check_pe t pe;
+  t.in_regs.(pe) <- Some v
+
+let reset_registers t =
+  Array.fill t.out_regs 0 (Array.length t.out_regs) 0;
+  Array.fill t.in_regs 0 (Array.length t.in_regs) None
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%a@," Topology.pp t.topo;
+  for node = 1 to Topology.leaves t.topo - 1 do
+    if not (Switch_config.is_empty t.configs.(node)) then
+      Format.fprintf fmt "switch %d: %a@," node Switch_config.pp
+        t.configs.(node)
+  done;
+  Format.fprintf fmt "%a@]" Power_meter.pp t.meter

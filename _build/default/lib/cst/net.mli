@@ -1,0 +1,47 @@
+(** A live CST instance: topology, per-switch configurations, PE data
+    registers and a power meter.
+
+    Schedulers drive a [Net] round by round: they compute a desired
+    configuration per switch, install it with {!reconfigure} (which charges
+    the power meter for exactly the transitions made), then move data with
+    {!Data_plane}. *)
+
+type t
+
+val create : Topology.t -> t
+val topology : t -> Topology.t
+val meter : t -> Power_meter.t
+
+val config : t -> int -> Switch_config.t
+(** Current configuration of the switch at an internal node. *)
+
+val reconfigure : t -> node:int -> Switch_config.t -> unit
+(** Per-round reconfiguration: replaces the switch's configuration,
+    charging physical transitions ({!Switch_config.diff}) and one
+    register {e write} per demanded connection — the switch installs its
+    whole round configuration because nothing tells it the old one is
+    still valid. *)
+
+val reconfigure_lazy : t -> node:int -> want:Switch_config.t -> unit
+(** PADR-style update: installs
+    [Switch_config.merge_lazy ~prev:(config t node) ~want].  Connections
+    not contradicted by [want] persist; only actually-changed outputs are
+    charged (both as transitions and as writes). *)
+
+val clear_all : t -> unit
+(** Disconnects every switch (charged). *)
+
+val pe_write : t -> pe:int -> int -> unit
+(** Loads a PE's output register. *)
+
+val pe_out : t -> pe:int -> int
+(** Current value of a PE's output register (0 until written). *)
+
+val pe_read : t -> pe:int -> int option
+(** Last value delivered to the PE's input register, if any. *)
+
+val pe_deliver : t -> pe:int -> int -> unit
+(** Used by the data plane to latch a delivered value. *)
+
+val reset_registers : t -> unit
+val pp : Format.formatter -> t -> unit

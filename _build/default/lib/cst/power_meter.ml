@@ -1,0 +1,68 @@
+type t = {
+  connects : int array;
+  disconnects : int array;
+  writes : int array;
+}
+
+let create ~num_nodes =
+  {
+    connects = Array.make (num_nodes + 1) 0;
+    disconnects = Array.make (num_nodes + 1) 0;
+    writes = Array.make (num_nodes + 1) 0;
+  }
+
+let charge t ~node (d : Switch_config.delta) =
+  t.connects.(node) <- t.connects.(node) + d.connects;
+  t.disconnects.(node) <- t.disconnects.(node) + d.disconnects
+
+let charge_writes t ~node count =
+  t.writes.(node) <- t.writes.(node) + count
+
+let connects t ~node = t.connects.(node)
+let disconnects t ~node = t.disconnects.(node)
+let writes t ~node = t.writes.(node)
+
+let sum a = Array.fold_left ( + ) 0 a
+let total_connects t = sum t.connects
+let total_disconnects t = sum t.disconnects
+let total_writes t = sum t.writes
+
+let max_of a = Array.fold_left max 0 a
+let max_connects_per_switch t = max_of t.connects
+let max_writes_per_switch t = max_of t.writes
+
+let max_events_per_switch t =
+  let m = ref 0 in
+  Array.iteri (fun i c -> m := max !m (c + t.disconnects.(i))) t.connects;
+  !m
+
+let per_switch_connects t = Array.copy t.connects
+let per_switch_writes t = Array.copy t.writes
+let per_switch_disconnects t = Array.copy t.disconnects
+
+let copy t =
+  {
+    connects = Array.copy t.connects;
+    disconnects = Array.copy t.disconnects;
+    writes = Array.copy t.writes;
+  }
+
+let diff_since t ~baseline =
+  let sub a b = Array.mapi (fun i v -> v - b.(i)) a in
+  {
+    connects = sub t.connects baseline.connects;
+    disconnects = sub t.disconnects baseline.disconnects;
+    writes = sub t.writes baseline.writes;
+  }
+
+let reset t =
+  Array.fill t.connects 0 (Array.length t.connects) 0;
+  Array.fill t.disconnects 0 (Array.length t.disconnects) 0;
+  Array.fill t.writes 0 (Array.length t.writes) 0
+
+let pp fmt t =
+  Format.fprintf fmt
+    "power: %d connects (%d disconnects, %d writes), max per switch %d \
+     connects / %d writes"
+    (total_connects t) (total_disconnects t) (total_writes t)
+    (max_connects_per_switch t) (max_writes_per_switch t)

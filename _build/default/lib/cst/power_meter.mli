@@ -1,0 +1,64 @@
+(** Per-switch power accounting (paper §2.3).
+
+    The paper charges one power unit every time a switch sets a connection
+    between an input and an output.  Two flavours are tracked:
+
+    {ul
+    {- {e connects/disconnects} — physical driver transitions: an output
+       acquires a (different) driver, or loses it.  This is the charitable
+       accounting under which any scheduler gets credit for a connection
+       that happens to persist between rounds.}
+    {- {e writes} — configuration-register installations.  A switch that
+       cannot prove its configuration carries over must install every
+       connection its current round demands; this is what ID-per-round
+       scheduling pays (O(w) per switch, paper §1) and what the CSA avoids
+       by construction (Lemmas 6-7: contiguous request blocks make
+       carry-over a local decision).}}
+
+    Theorem 8 states that under the CSA both counts stay O(1) per switch
+    regardless of the set's width. *)
+
+type t
+
+val create : num_nodes:int -> t
+(** Meter for switches at nodes [1 .. num_nodes]. *)
+
+val charge : t -> node:int -> Switch_config.delta -> unit
+(** Record physical transitions. *)
+
+val charge_writes : t -> node:int -> int -> unit
+(** Record configuration-register installations. *)
+
+val connects : t -> node:int -> int
+val disconnects : t -> node:int -> int
+val writes : t -> node:int -> int
+
+val total_connects : t -> int
+(** Total physical power units (paper model, charitable accounting). *)
+
+val total_disconnects : t -> int
+val total_writes : t -> int
+
+val max_connects_per_switch : t -> int
+(** The quantity Theorem 8 bounds by a constant. *)
+
+val max_writes_per_switch : t -> int
+(** O(1) under CSA, O(w) under per-round scheduling. *)
+
+val max_events_per_switch : t -> int
+(** Connects plus disconnects, maximised over switches. *)
+
+val per_switch_connects : t -> int array
+(** Copy indexed by node id (index 0 unused). *)
+
+val per_switch_writes : t -> int array
+val per_switch_disconnects : t -> int array
+val copy : t -> t
+(** Independent snapshot of all counters. *)
+
+val diff_since : t -> baseline:t -> t
+(** Fresh meter holding [t - baseline] per counter; used to report the
+    power of one schedule run on a shared long-lived network. *)
+
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,18 @@
+type t = L | R | P
+
+let equal a b = a = b
+
+let index = function L -> 0 | R -> 1 | P -> 2
+
+let of_index = function
+  | 0 -> L
+  | 1 -> R
+  | 2 -> P
+  | i -> invalid_arg (Printf.sprintf "Side.of_index: %d" i)
+
+let compare a b = Int.compare (index a) (index b)
+
+let all = [ L; R; P ]
+
+let to_string = function L -> "L" | R -> "R" | P -> "P"
+let pp fmt s = Format.pp_print_string fmt (to_string s)

@@ -1,0 +1,24 @@
+(** Sides of the 3-sided CST switch (paper Figure 3(a)).
+
+    A switch has one full-duplex port per side: towards its left child
+    ([L]), its right child ([R]) and its parent ([P]).  Each port carries
+    one data input and one data output; an input may be connected to an
+    output of a {e different} side only. *)
+
+type t = L | R | P
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val all : t list
+(** [[L; R; P]]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** ["L"], ["R"] or ["P"]. *)
+
+val index : t -> int
+(** [L -> 0], [R -> 1], [P -> 2]; for array-backed tables. *)
+
+val of_index : int -> t

@@ -1,0 +1,81 @@
+(* Drivers indexed by output side: drivers.(Side.index output). *)
+type t = { drivers : Side.t option array }
+
+let empty = { drivers = [| None; None; None |] }
+
+let driver t output = t.drivers.(Side.index output)
+
+let output_of t input =
+  let rec go = function
+    | [] -> None
+    | o :: rest ->
+        if driver t o = Some input then Some o else go rest
+  in
+  go Side.all
+
+let set t ~output ~input =
+  if Side.equal output input then
+    invalid_arg "Switch_config.set: same-side connection";
+  (match driver t output with
+  | Some _ ->
+      invalid_arg
+        (Format.asprintf "Switch_config.set: output %a already driven"
+           Side.pp output)
+  | None -> ());
+  (match output_of t input with
+  | Some _ ->
+      invalid_arg
+        (Format.asprintf "Switch_config.set: input %a already used" Side.pp
+           input)
+  | None -> ());
+  let drivers = Array.copy t.drivers in
+  drivers.(Side.index output) <- Some input;
+  { drivers }
+
+let connections t =
+  List.filter_map
+    (fun o -> match driver t o with Some i -> Some (o, i) | None -> None)
+    Side.all
+
+let connection_count t = List.length (connections t)
+let is_empty t = connection_count t = 0
+
+let equal a b =
+  List.for_all (fun o -> driver a o = driver b o) Side.all
+
+let merge_lazy ~prev ~want =
+  let used_input i = output_of want i <> None in
+  List.fold_left
+    (fun acc o ->
+      match (driver want o, driver prev o) with
+      | Some _, _ -> acc (* already present in [want] *)
+      | None, None -> acc
+      | None, Some i -> if used_input i then acc else set acc ~output:o ~input:i)
+    want Side.all
+
+type delta = { connects : int; disconnects : int }
+
+let diff ~old_config ~new_config =
+  List.fold_left
+    (fun d o ->
+      match (driver old_config o, driver new_config o) with
+      | None, None -> d
+      | None, Some _ -> { d with connects = d.connects + 1 }
+      | Some _, None -> { d with disconnects = d.disconnects + 1 }
+      | Some a, Some b ->
+          if Side.equal a b then d else { d with connects = d.connects + 1 })
+    { connects = 0; disconnects = 0 }
+    Side.all
+
+let pp fmt t =
+  let cs = connections t in
+  if cs = [] then Format.pp_print_string fmt "{}"
+  else begin
+    Format.pp_print_string fmt "{";
+    List.iteri
+      (fun k (o, i) ->
+        if k > 0 then Format.pp_print_string fmt ", ";
+        Format.fprintf fmt "%a->%a" Side.pp i Side.pp o)
+      cs;
+    Format.pp_print_string fmt "}"
+  end

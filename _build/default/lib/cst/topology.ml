@@ -1,0 +1,94 @@
+type t = { leaves : int; levels : int }
+
+let create ~leaves =
+  if leaves < 2 || not (Cst_util.Bits.is_power_of_two leaves) then
+    invalid_arg "Topology.create: leaves must be a power of two >= 2";
+  { leaves; levels = Cst_util.Bits.ilog2 leaves }
+
+let leaves t = t.leaves
+let levels t = t.levels
+let num_nodes t = (2 * t.leaves) - 1
+let root = 1
+
+let check_node t v =
+  if v < 1 || v > 2 * t.leaves - 1 then
+    invalid_arg (Printf.sprintf "Topology: bad node %d" v)
+
+let is_leaf t v =
+  check_node t v;
+  v >= t.leaves
+
+let is_internal t v = not (is_leaf t v)
+
+let node_of_pe t p =
+  if p < 0 || p >= t.leaves then invalid_arg "Topology.node_of_pe";
+  t.leaves + p
+
+let pe_of_node t v =
+  if not (is_leaf t v) then invalid_arg "Topology.pe_of_node: internal node";
+  v - t.leaves
+
+let parent t v =
+  check_node t v;
+  if v = root then invalid_arg "Topology.parent: root" else v / 2
+
+let left t v =
+  if is_leaf t v then invalid_arg "Topology.left: leaf" else 2 * v
+
+let right t v =
+  if is_leaf t v then invalid_arg "Topology.right: leaf" else (2 * v) + 1
+
+let child_side t v =
+  check_node t v;
+  if v = root then invalid_arg "Topology.child_side: root"
+  else if v land 1 = 0 then Side.L
+  else Side.R
+
+let level t v =
+  check_node t v;
+  t.levels - Cst_util.Bits.ilog2 v
+
+let lca t a b =
+  check_node t a;
+  check_node t b;
+  let a = ref a and b = ref b in
+  while !a <> !b do
+    if !a > !b then a := !a / 2 else b := !b / 2
+  done;
+  !a
+
+let interval t v =
+  check_node t v;
+  (* The subtree of v spans a contiguous block of leaves whose size is
+     determined by v's level. *)
+  let size = 1 lsl level t v in
+  let first_at_level = 1 lsl (t.levels - level t v) in
+  let lo = (v - first_at_level) * size in
+  (lo, lo + size)
+
+let mid t v =
+  if is_leaf t v then invalid_arg "Topology.mid: leaf";
+  fst (interval t (right t v))
+
+let mirror_node t v =
+  check_node t v;
+  (* Nodes at depth d occupy ids [2^d .. 2^{d+1}-1]; reflection reverses
+     the order within the level. *)
+  let d = Cst_util.Bits.ilog2 v in
+  (3 * (1 lsl d)) - 1 - v
+
+let path_to_root t v =
+  check_node t v;
+  let rec go v acc = if v = root then List.rev (v :: acc) else go (v / 2) (v :: acc) in
+  go v []
+
+let internal_nodes t = Seq.init (t.leaves - 1) (fun i -> i + 1)
+
+let iter_internal_bottom_up t f =
+  for v = t.leaves - 1 downto 1 do
+    f v
+  done
+
+let pp fmt t =
+  Format.fprintf fmt "CST(leaves=%d, levels=%d, switches=%d)" t.leaves
+    t.levels (t.leaves - 1)

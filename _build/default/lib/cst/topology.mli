@@ -1,0 +1,68 @@
+(** Complete-binary-tree topology of the CST.
+
+    Heap indexing: the root is node 1; node [v] has children [2v] (left)
+    and [2v+1] (right); leaf [p] (PE number [p], [0 <= p < leaves]) is node
+    [leaves + p].  Internal nodes are [1 .. leaves-1]; they carry the
+    3-sided switches.  Every non-root node has one full-duplex link to its
+    parent. *)
+
+type t
+
+val create : leaves:int -> t
+(** [leaves] must be a power of two, at least 2. *)
+
+val leaves : t -> int
+val levels : t -> int
+(** [ilog2 leaves]: number of switch levels; a leaf-to-leaf path traverses
+    at most [2*levels - 1] switches. *)
+
+val num_nodes : t -> int
+(** [2*leaves - 1] (nodes are numbered [1 .. num_nodes]). *)
+
+val root : int
+(** Node 1. *)
+
+val is_leaf : t -> int -> bool
+val is_internal : t -> int -> bool
+val node_of_pe : t -> int -> int
+val pe_of_node : t -> int -> int
+val parent : t -> int -> int
+(** Requires a non-root node. *)
+
+val left : t -> int -> int
+val right : t -> int -> int
+(** Require an internal node. *)
+
+val child_side : t -> int -> Side.t
+(** Which child of its parent a non-root node is ([L] or [R]). *)
+
+val level : t -> int -> int
+(** Leaves are level 0; the root is level [levels]. *)
+
+val lca : t -> int -> int -> int
+val interval : t -> int -> int * int
+(** Leaf interval [\[lo, hi)] covered by a node; a leaf covers
+    [\[p, p+1)]. *)
+
+val mid : t -> int -> int
+(** Split point of an internal node's interval: first leaf of its right
+    child's subtree. *)
+
+val mirror_node : t -> int -> int
+(** The node covering the left-right reflected interval: if [v] covers
+    [\[lo, hi)], [mirror_node t v] covers [\[leaves-hi, leaves-lo)].  An
+    involution fixing the root; maps left children to right children.
+    Used to report per-switch power of a mirrored (left-oriented) schedule
+    in original coordinates. *)
+
+val path_to_root : t -> int -> int list
+(** Node followed by its ancestors up to the root. *)
+
+val internal_nodes : t -> int Seq.t
+(** All internal nodes, in increasing (breadth-first) order. *)
+
+val iter_internal_bottom_up : t -> (int -> unit) -> unit
+(** Visits every internal node after both of its children — the order of
+    the paper's Phase 1 control flow. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+type event =
+  | Phase1_done of { levels : int }
+  | Round_start of int
+  | Reconfigured of { round : int; node : int; config : Switch_config.t }
+  | Delivered of { round : int; src : int; dst : int }
+  | Finished of { rounds : int }
+
+type t = { mutable events : event list; mutable length : int }
+
+let create () = { events = []; length = 0 }
+
+let emit t e =
+  match t with
+  | None -> ()
+  | Some t ->
+      t.events <- e :: t.events;
+      t.length <- t.length + 1
+
+let events t = List.rev t.events
+let length t = t.length
+
+let pp_event fmt = function
+  | Phase1_done { levels } ->
+      Format.fprintf fmt "phase 1 complete (%d switch levels)" levels
+  | Round_start r -> Format.fprintf fmt "round %d begins" r
+  | Reconfigured { round; node; config } ->
+      Format.fprintf fmt "round %d: switch %d set to %a" round node
+        Switch_config.pp config
+  | Delivered { round; src; dst } ->
+      Format.fprintf fmt "round %d: PE %d -> PE %d" round src dst
+  | Finished { rounds } -> Format.fprintf fmt "finished in %d rounds" rounds
+
+let pp fmt t =
+  Format.pp_open_vbox fmt 0;
+  List.iter (fun e -> Format.fprintf fmt "%a@," pp_event e) (events t);
+  Format.pp_close_box fmt ()

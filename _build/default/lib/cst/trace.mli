@@ -1,0 +1,25 @@
+(** Event traces of a schedule run, for examples and debugging.
+
+    Collects a linear log of rounds, switch reconfigurations and data
+    deliveries.  Tracing is optional: schedulers accept an optional trace
+    and emit into it when present. *)
+
+type event =
+  | Phase1_done of { levels : int }
+  | Round_start of int
+  | Reconfigured of { round : int; node : int; config : Switch_config.t }
+  | Delivered of { round : int; src : int; dst : int }
+  | Finished of { rounds : int }
+
+type t
+
+val create : unit -> t
+val emit : t option -> event -> unit
+(** No-op on [None]. *)
+
+val events : t -> event list
+(** In emission order. *)
+
+val length : t -> int
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit

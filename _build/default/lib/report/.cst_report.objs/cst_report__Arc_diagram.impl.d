@@ -1,0 +1,1 @@
+lib/report/arc_diagram.ml: Array Buffer Bytes Char Cst_comm Int List Printf String

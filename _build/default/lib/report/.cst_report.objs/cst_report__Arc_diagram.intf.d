@@ -1,0 +1,1 @@
+lib/report/arc_diagram.mli: Cst_comm

@@ -1,0 +1,1 @@
+lib/report/schedule_stats.ml: Array Cst Cst_comm Hashtbl Int List Option Padr Table

@@ -1,0 +1,1 @@
+lib/report/schedule_stats.mli: Cst Padr Table

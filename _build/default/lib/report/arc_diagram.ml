@@ -1,0 +1,83 @@
+let axis ~n =
+  let tens = Bytes.make n ' ' and units = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set units i (Char.chr (Char.code '0' + (i mod 10)));
+    if i mod 10 = 0 then
+      Bytes.set tens i (Char.chr (Char.code '0' + (i / 10 mod 10)))
+  done;
+  Bytes.to_string tens ^ "\n" ^ Bytes.to_string units ^ "\n"
+
+(* Greedy row packing: widest spans first, each on the first row where
+   its inclusive column range is free. *)
+let pack spans =
+  let spans =
+    List.sort
+      (fun (l1, h1, _) (l2, h2, _) ->
+        match Int.compare (h2 - l2) (h1 - l1) with
+        | 0 -> Int.compare l1 l2
+        | c -> c)
+      spans
+  in
+  let rows = ref [] in
+  (* each row: (occupied intervals, spans) *)
+  List.iter
+    (fun (lo, hi, tag) ->
+      let fits intervals =
+        List.for_all (fun (l, h) -> hi < l || h < lo) intervals
+      in
+      let rec place = function
+        | [] -> [ ([ (lo, hi) ], [ (lo, hi, tag) ]) ]
+        | (intervals, members) :: rest ->
+            if fits intervals then
+              ((lo, hi) :: intervals, (lo, hi, tag) :: members) :: rest
+            else (intervals, members) :: place rest
+      in
+      rows := place !rows)
+    spans;
+  List.map snd !rows
+
+let draw_row ~n members =
+  let b = Bytes.make n ' ' in
+  List.iter
+    (fun (lo, hi, right) ->
+      for i = lo + 1 to hi - 1 do
+        Bytes.set b i '-'
+      done;
+      if right then begin
+        Bytes.set b lo '+';
+        Bytes.set b hi '>'
+      end
+      else begin
+        Bytes.set b lo '<';
+        Bytes.set b hi '+'
+      end)
+    members;
+  Bytes.to_string b
+
+let spans_of_comms comms =
+  List.map
+    (fun (c : Cst_comm.Comm.t) ->
+      (Cst_comm.Comm.lo c, Cst_comm.Comm.hi c, Cst_comm.Comm.is_right_oriented c))
+    comms
+
+let render_spans ~n spans =
+  let rows = pack spans in
+  let body = List.map (draw_row ~n) rows in
+  String.concat "\n" body ^ (if body = [] then "" else "\n") ^ axis ~n
+
+let render_set set =
+  render_spans
+    ~n:(Cst_comm.Comm_set.n set)
+    (spans_of_comms (Array.to_list (Cst_comm.Comm_set.comms set)))
+
+let render_rounds rounds ~n =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun (index, deliveries) ->
+      Buffer.add_string b (Printf.sprintf "round %d:\n" index);
+      let spans =
+        List.map (fun (s, d) -> (min s d, max s d, s < d)) deliveries
+      in
+      Buffer.add_string b (render_spans ~n spans))
+    rounds;
+  Buffer.contents b

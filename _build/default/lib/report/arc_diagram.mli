@@ -1,0 +1,17 @@
+(** ASCII arc diagrams of communication sets and schedules.
+
+    Renders the paper's Figure 2 view: PEs on a horizontal axis, each
+    communication as a span from its source to its destination.
+    Right-oriented spans end in ['>'], left-oriented ones start with
+    ['<']; overlapping spans are stacked on separate rows (nested spans
+    naturally stack by depth).  Intended for examples, debugging and the
+    CLI, for sets of up to a few hundred PEs. *)
+
+val render_set : Cst_comm.Comm_set.t -> string
+(** The whole set over an index axis. *)
+
+val render_rounds : (int * (int * int) list) list -> n:int -> string
+(** One block per round: [(round_index, deliveries)]. *)
+
+val axis : n:int -> string
+(** The two-line index axis used under the diagrams (tens and units). *)

@@ -1,0 +1,60 @@
+type series = { label : string; points : (float * float) list }
+
+let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@' |]
+
+let render ~title ~x_label ~y_label ?(height = 16) ?(width = 60) series =
+  let all = List.concat_map (fun s -> s.points) series in
+  if all = [] then "(empty plot: " ^ title ^ ")\n"
+  else begin
+    let xs = List.map fst all and ys = List.map snd all in
+    let fmin = List.fold_left min infinity and fmax = List.fold_left max neg_infinity in
+    let x0 = fmin xs and x1 = fmax xs in
+    let y0 = min 0.0 (fmin ys) and y1 = fmax ys in
+    let x1 = if x1 = x0 then x0 +. 1.0 else x1 in
+    let y1 = if y1 = y0 then y0 +. 1.0 else y1 in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun si s ->
+        let glyph = glyphs.(si mod Array.length glyphs) in
+        List.iter
+          (fun (x, y) ->
+            let cx =
+              int_of_float
+                ((x -. x0) /. (x1 -. x0) *. float_of_int (width - 1))
+            in
+            let cy =
+              int_of_float
+                ((y -. y0) /. (y1 -. y0) *. float_of_int (height - 1))
+            in
+            let cy = height - 1 - cy in
+            if cx >= 0 && cx < width && cy >= 0 && cy < height then
+              grid.(cy).(cx) <- glyph)
+          s.points)
+      series;
+    let b = Buffer.create 1024 in
+    Buffer.add_string b (Printf.sprintf "-- %s --\n" title);
+    Buffer.add_string b
+      (Printf.sprintf "%s: %.6g .. %.6g\n" y_label y0 y1);
+    Array.iter
+      (fun row ->
+        Buffer.add_char b '|';
+        Array.iter (Buffer.add_char b) row;
+        Buffer.add_char b '\n')
+      grid;
+    Buffer.add_char b '+';
+    Buffer.add_string b (String.make width '-');
+    Buffer.add_char b '\n';
+    Buffer.add_string b
+      (Printf.sprintf "%s: %.6g .. %.6g\n" x_label x0 x1);
+    List.iteri
+      (fun si s ->
+        Buffer.add_string b
+          (Printf.sprintf "  %c = %s\n"
+             glyphs.(si mod Array.length glyphs)
+             s.label))
+      series;
+    Buffer.contents b
+  end
+
+let print ~title ~x_label ~y_label ?height ?width series =
+  print_string (render ~title ~x_label ~y_label ?height ?width series)

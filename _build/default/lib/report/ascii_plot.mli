@@ -1,0 +1,24 @@
+(** Minimal ASCII line charts — the "figures" of the benchmark harness. *)
+
+type series = { label : string; points : (float * float) list }
+
+val render :
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  ?height:int ->
+  ?width:int ->
+  series list ->
+  string
+(** Plots every series on a shared scale, one glyph per series
+    ([*], [o], [+], [x], ...), with a legend and axis ranges.  Intended
+    for monotone sweeps such as "config changes vs width". *)
+
+val print :
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  ?height:int ->
+  ?width:int ->
+  series list ->
+  unit

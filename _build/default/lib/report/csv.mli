@@ -1,0 +1,7 @@
+(** Minimal CSV writing for exporting experiment data. *)
+
+val to_string : header:string list -> string list list -> string
+(** Comma-separated with minimal quoting (fields containing commas,
+    quotes or newlines are double-quoted). *)
+
+val write_file : path:string -> header:string list -> string list list -> unit

@@ -1,0 +1,30 @@
+(** Post-hoc analysis of schedules: occupancy and link utilization.
+
+    Complements the power ledger with the traffic-engineering view: how
+    busy the rounds are and how often each directed link carries data —
+    the quantities a NoC designer reads off a schedule. *)
+
+type link_use = { node : int; dir : Cst.Compat.dir; rounds_used : int }
+
+val link_utilization : Padr.Schedule.t -> link_use list
+(** Every directed link used at least once, by descending use.  A link's
+    use count never exceeds the round count; links at width-saturated
+    positions reach it exactly. *)
+
+val max_link_use : Padr.Schedule.t -> int
+(** Highest entry of {!link_utilization}; equals the set's width for CSA
+    schedules (each round drains every saturated link once). *)
+
+type occupancy = {
+  rounds : int;
+  comms : int;
+  mean_per_round : float;
+  max_per_round : int;
+  min_per_round : int;
+}
+
+val occupancy : Padr.Schedule.t -> occupancy
+
+val per_round_table : Padr.Schedule.t -> Table.t
+(** Columns: round, communications, switch connects charged in that
+    round (from configuration snapshots when present). *)

@@ -1,0 +1,54 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: wrong arity";
+  t.rows <- row :: t.rows
+
+let add_int_row t row = add_row t (List.map string_of_int row)
+let row_count t = List.length t.rows
+
+let cell_float x =
+  if Float.is_integer x && Float.abs x < 1e9 then
+    Printf.sprintf "%.0f" x
+  else if Float.abs x >= 100.0 then Printf.sprintf "%.1f" x
+  else if Float.abs x >= 1.0 then Printf.sprintf "%.2f" x
+  else Printf.sprintf "%.4f" x
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length h) rows)
+      t.columns
+  in
+  let pad w s = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let render_row cells =
+    let padded = List.map2 pad widths cells in
+    let s = String.concat "  " padded in
+    (* trim trailing blanks *)
+    let len = ref (String.length s) in
+    while !len > 0 && s.[!len - 1] = ' ' do
+      decr len
+    done;
+    String.sub s 0 !len
+  in
+  let header = render_row t.columns in
+  let rule = String.make (String.length header) '-' in
+  let b = Buffer.create 256 in
+  Buffer.add_string b ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string b (header ^ "\n");
+  Buffer.add_string b (rule ^ "\n");
+  List.iter (fun r -> Buffer.add_string b (render_row r ^ "\n")) rows;
+  Buffer.contents b
+
+let print t = print_string (render t)

@@ -1,0 +1,20 @@
+(** Plain-text tables for the benchmark harness. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** Must match the column count. *)
+
+val add_int_row : t -> int list -> unit
+val row_count : t -> int
+
+val render : t -> string
+(** Fixed-width ASCII rendering with a title line, a header and a rule. *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val cell_float : float -> string
+(** Compact float formatting ("12.3", "0.004"). *)

@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Cst Cst_baselines Cst_comm List Padr Traffic

@@ -1,0 +1,1 @@
+lib/sim/runner.mli: Cst_baselines Padr Traffic

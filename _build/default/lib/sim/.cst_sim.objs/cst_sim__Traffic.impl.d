@@ -1,0 +1,1 @@
+lib/sim/traffic.ml: Cst_comm Cst_util Cst_workloads Format List Printf

@@ -1,0 +1,114 @@
+type phase_result = {
+  label : string;
+  comms : int;
+  width : int;
+  waves : int;
+  rounds : int;
+  cycles : int;
+  connects : int;
+  writes : int;
+}
+
+type result = {
+  scheduler : string;
+  phases : phase_result list;
+  rounds : int;
+  cycles : int;
+  power : Padr.Schedule.power;
+}
+
+let finish ~scheduler ~power phases =
+  let sum f = List.fold_left (fun acc p -> acc + f p) 0 phases in
+  {
+    scheduler;
+    phases;
+    rounds = sum (fun p -> p.rounds);
+    cycles = sum (fun p -> p.cycles);
+    power;
+  }
+
+let run_padr (trace : Traffic.t) =
+  let topo = Cst.Topology.create ~leaves:trace.leaves in
+  let net_right = Cst.Net.create topo in
+  let net_left = Cst.Net.create topo in
+  let phases =
+    List.map
+      (fun (p : Traffic.phase) ->
+        let right, left = Cst_comm.Decompose.split p.set in
+        let baseline_r = Cst.Power_meter.copy (Cst.Net.meter net_right) in
+        let baseline_l = Cst.Power_meter.copy (Cst.Net.meter net_left) in
+        let run net layers =
+          List.fold_left
+            (fun (w, r, c) layer ->
+              let s = Padr.Csa.run_exn ~keep_configs:false ~net topo layer in
+              (w + 1, r + Padr.Schedule.num_rounds s, c + s.cycles))
+            (0, 0, 0) layers
+        in
+        let w1, r1, c1 = run net_right (Cst_comm.Wn_cover.layers right) in
+        let w2, r2, c2 =
+          run net_left (Cst_comm.Wn_cover.layers (Cst_comm.Mirror.set left))
+        in
+        let delta net b =
+          Cst.Power_meter.diff_since (Cst.Net.meter net) ~baseline:b
+        in
+        let dr = delta net_right baseline_r
+        and dl = delta net_left baseline_l in
+        {
+          label = p.label;
+          comms = Cst_comm.Comm_set.size p.set;
+          width = Cst_comm.Width.width ~leaves:trace.leaves p.set;
+          waves = w1 + w2;
+          rounds = r1 + r2;
+          cycles = c1 + c2;
+          connects =
+            Cst.Power_meter.total_connects dr
+            + Cst.Power_meter.total_connects dl;
+          writes =
+            Cst.Power_meter.total_writes dr + Cst.Power_meter.total_writes dl;
+        })
+      trace.phases
+  in
+  let power =
+    Padr.Schedule.combine_power
+      (Padr.Schedule.power_of_meter (Cst.Net.meter net_right))
+      (Padr.Schedule.mirror_power topo
+         (Padr.Schedule.power_of_meter (Cst.Net.meter net_left)))
+  in
+  finish ~scheduler:"padr" ~power phases
+
+let run_baseline (algo : Cst_baselines.Registry.algo) (trace : Traffic.t) =
+  let topo = Cst.Topology.create ~leaves:trace.leaves in
+  let power = ref (Padr.Schedule.zero_power ~num_nodes:(Cst.Topology.num_nodes topo)) in
+  let phases =
+    List.map
+      (fun (p : Traffic.phase) ->
+        let s = algo.run topo p.set in
+        power := Padr.Schedule.combine_power !power s.power;
+        {
+          label = p.label;
+          comms = Cst_comm.Comm_set.size p.set;
+          width = s.width;
+          waves = 1;
+          rounds = Padr.Schedule.num_rounds s;
+          cycles = s.cycles;
+          connects = s.power.total_connects;
+          writes = s.power.total_writes;
+        })
+      trace.phases
+  in
+  finish ~scheduler:algo.name ~power:!power phases
+
+let compare_all ?algos trace =
+  let algos =
+    match algos with
+    | Some l -> l
+    | None ->
+        List.filter
+          (fun (a : Cst_baselines.Registry.algo) -> a.name <> "csa")
+          Cst_baselines.Registry.all
+  in
+  ("padr", run_padr trace)
+  :: List.map (fun (a : Cst_baselines.Registry.algo) -> (a.name, run_baseline a trace)) algos
+
+let energy_ratio a b =
+  float_of_int a.power.total_writes /. float_of_int (max 1 b.power.total_writes)

@@ -1,0 +1,51 @@
+type phase = { label : string; set : Cst_comm.Comm_set.t }
+type t = { leaves : int; phases : phase list }
+
+let make ~leaves phases =
+  if not (Cst_util.Bits.is_power_of_two leaves) then
+    invalid_arg "Traffic.make: leaves must be a power of two";
+  List.iter
+    (fun p ->
+      if Cst_comm.Comm_set.n p.set > leaves then
+        invalid_arg
+          (Printf.sprintf "Traffic.make: phase %S does not fit %d leaves"
+             p.label leaves))
+    phases;
+  { leaves; phases }
+
+let length t = List.length t.phases
+
+let total_comms t =
+  List.fold_left
+    (fun acc p -> acc + Cst_comm.Comm_set.size p.set)
+    0 t.phases
+
+let random_well_nested rng ~leaves ~phases ?(density_lo = 0.2)
+    ?(density_hi = 1.0) () =
+  if density_lo < 0.0 || density_hi > 1.0 || density_lo > density_hi then
+    invalid_arg "Traffic.random_well_nested: bad density range";
+  make ~leaves
+    (List.init phases (fun i ->
+         let density =
+           density_lo +. Cst_util.Prng.float rng (density_hi -. density_lo)
+         in
+         {
+           label = Printf.sprintf "phase-%d" (i + 1);
+           set = Cst_workloads.Gen_wn.uniform rng ~n:leaves ~density;
+         }))
+
+let from_suite rng ~leaves ~rounds =
+  make ~leaves
+    (List.concat
+       (List.init rounds (fun r ->
+            List.map
+              (fun (g : Cst_workloads.Suite.gen) ->
+                {
+                  label = Printf.sprintf "%s#%d" g.name (r + 1);
+                  set = g.make rng ~n:leaves;
+                })
+              Cst_workloads.Suite.all)))
+
+let pp fmt t =
+  Format.fprintf fmt "trace: %d phases, %d communications over %d PEs"
+    (length t) (total_comms t) t.leaves

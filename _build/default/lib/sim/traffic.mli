@@ -1,0 +1,34 @@
+(** Traffic traces: sequences of communication phases over one CST.
+
+    A {e phase} models one communication step of an application (one
+    well-nested set, or any valid set for the wave-based runner).  Traces
+    drive {!Runner} to study energy and latency over time, the NoC-style
+    usage the paper's introduction cites. *)
+
+type phase = { label : string; set : Cst_comm.Comm_set.t }
+type t = { leaves : int; phases : phase list }
+
+val make : leaves:int -> phase list -> t
+(** Validates that every phase fits [leaves] (a power of two). *)
+
+val length : t -> int
+
+val total_comms : t -> int
+
+val random_well_nested :
+  Cst_util.Prng.t ->
+  leaves:int ->
+  phases:int ->
+  ?density_lo:float ->
+  ?density_hi:float ->
+  unit ->
+  t
+(** Independent uniform well-nested phases with densities drawn uniformly
+    from [[density_lo, density_hi]] (defaults 0.2 and 1.0). *)
+
+val from_suite :
+  Cst_util.Prng.t -> leaves:int -> rounds:int -> t
+(** Cycles [rounds] times through every named workload of
+    {!Cst_workloads.Suite} — a heterogeneous stress trace. *)
+
+val pp : Format.formatter -> t -> unit

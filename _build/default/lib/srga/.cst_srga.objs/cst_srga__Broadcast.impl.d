@@ -1,0 +1,1 @@
+lib/srga/broadcast.ml: Cst_comm Cst_util Format List Padr

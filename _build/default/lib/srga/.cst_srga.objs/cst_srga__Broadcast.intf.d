@@ -1,0 +1,1 @@
+lib/srga/broadcast.mli: Cst_comm

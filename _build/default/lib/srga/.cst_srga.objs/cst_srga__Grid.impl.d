@@ -1,0 +1,1 @@
+lib/srga/grid.ml: Cst Cst_util Format

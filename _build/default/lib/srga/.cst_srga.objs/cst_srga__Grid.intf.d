@@ -1,0 +1,1 @@
+lib/srga/grid.mli: Cst Format

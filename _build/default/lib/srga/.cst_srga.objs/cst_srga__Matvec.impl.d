@@ -1,0 +1,1 @@
+lib/srga/matvec.ml: Array Cst_comm Cst_util Format Grid List Padr Row_sched

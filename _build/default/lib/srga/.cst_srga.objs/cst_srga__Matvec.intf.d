@@ -1,0 +1,1 @@
+lib/srga/matvec.mli: Grid

@@ -1,0 +1,1 @@
+lib/srga/row_sched.ml: Cst_comm Grid List Padr Printf

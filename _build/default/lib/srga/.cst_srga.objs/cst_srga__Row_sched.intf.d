@@ -1,0 +1,1 @@
+lib/srga/row_sched.mli: Cst_comm Grid Padr

@@ -1,0 +1,35 @@
+type t = { rows : int; cols : int }
+
+type axis = Row | Col
+
+let create ~rows ~cols =
+  if
+    rows < 2 || cols < 2
+    || (not (Cst_util.Bits.is_power_of_two rows))
+    || not (Cst_util.Bits.is_power_of_two cols)
+  then invalid_arg "Grid.create: dimensions must be powers of two >= 2";
+  { rows; cols }
+
+let rows t = t.rows
+let cols t = t.cols
+let pe_count t = t.rows * t.cols
+let tree_count t = t.rows + t.cols
+
+let switch_count t =
+  (t.rows * (t.cols - 1)) + (t.cols * (t.rows - 1))
+
+let row_topology t = Cst.Topology.create ~leaves:t.cols
+let col_topology t = Cst.Topology.create ~leaves:t.rows
+
+let index t ~row ~col =
+  if row < 0 || row >= t.rows || col < 0 || col >= t.cols then
+    invalid_arg "Grid.index";
+  (row * t.cols) + col
+
+let coords t id =
+  if id < 0 || id >= pe_count t then invalid_arg "Grid.coords";
+  (id / t.cols, id mod t.cols)
+
+let pp fmt t =
+  Format.fprintf fmt "SRGA %dx%d (%d PEs, %d CSTs, %d switches)" t.rows
+    t.cols (pe_count t) (tree_count t) (switch_count t)

@@ -1,0 +1,35 @@
+(** The Self-Reconfigurable Gate Array (SRGA) substrate.
+
+    Sidhu et al.'s SRGA (FPL 2000) is a grid of PEs in which every row and
+    every column is interconnected by its own CST — the architecture whose
+    interconnect the paper studies.  This module models the grid structure
+    and addresses; {!Row_sched} schedules communication on it. *)
+
+type t
+
+type axis = Row | Col
+
+val create : rows:int -> cols:int -> t
+(** Both dimensions must be powers of two, at least 2. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val pe_count : t -> int
+
+val tree_count : t -> int
+(** One CST per row plus one per column. *)
+
+val switch_count : t -> int
+(** Total 3-sided switches over all row and column CSTs. *)
+
+val row_topology : t -> Cst.Topology.t
+(** Topology shared by every row CST ([cols] leaves). *)
+
+val col_topology : t -> Cst.Topology.t
+
+val index : t -> row:int -> col:int -> int
+(** Linear PE id, row-major. *)
+
+val coords : t -> int -> int * int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,121 @@
+type stats = {
+  rounds : int;
+  power_units : int;
+  max_connects_per_switch : int;
+}
+
+let reference ~a ~x =
+  Array.map
+    (fun row ->
+      let acc = ref 0 in
+      Array.iteri (fun c v -> acc := !acc + (v * x.(c))) row;
+      !acc)
+    a
+
+(* Runs the same stage set on every tree of one axis; returns deliveries
+   per tree and accumulates stats.  [sets] pairs a tree index with the
+   stage's communication set. *)
+let parallel_stage grid ~axis ~sets stats =
+  match Row_sched.schedule grid ~axis ~sets with
+  | Error (i, e) ->
+      invalid_arg (Format.asprintf "Matvec: tree %d: %a" i Padr.pp_error e)
+  | Ok agg ->
+      stats :=
+        {
+          rounds = !stats.rounds + agg.rounds;
+          power_units = !stats.power_units + agg.power_units;
+          max_connects_per_switch =
+            max !stats.max_connects_per_switch agg.max_connects_per_switch;
+        };
+      List.map
+        (fun (idx, s) -> (idx, Padr.Schedule.all_deliveries s))
+        agg.schedules
+
+let run grid ~a ~x =
+  let rows = Grid.rows grid and cols = Grid.cols grid in
+  if Array.length a <> rows || Array.exists (fun r -> Array.length r <> cols) a
+  then invalid_arg "Matvec.run: matrix shape";
+  if Array.length x <> cols then invalid_arg "Matvec.run: vector length";
+  let stats =
+    ref { rounds = 0; power_units = 0; max_connects_per_switch = 0 }
+  in
+  (* xs.(r).(c): the value of x.(c) known at PE (r, c); initially only
+     row 0 holds it. *)
+  let xs = Array.make_matrix rows cols 0 in
+  Array.iteri (fun c v -> xs.(0).(c) <- v) x;
+  (* Stage 1: doubling broadcast down every column, stage by stage so all
+     columns advance in lockstep. *)
+  let holders = Array.make cols [ 0 ] in
+  let step = ref rows in
+  while !step > 1 do
+    let half = !step / 2 in
+    let sets =
+      List.init cols (fun c ->
+          let comms =
+            List.map
+              (fun h ->
+                let block = h / !step * !step in
+                let target =
+                  if h - block < half then block + half + (h - block)
+                  else block + (h - block - half)
+                in
+                Cst_comm.Comm.make ~src:h ~dst:target)
+              holders.(c)
+          in
+          (c, Cst_comm.Comm_set.create_exn ~n:rows comms))
+    in
+    (* Mixed orientations: split each set and run both parts. *)
+    let right_sets =
+      List.map (fun (c, s) -> (c, fst (Cst_comm.Decompose.split s))) sets
+    in
+    let left_sets =
+      List.map
+        (fun (c, s) ->
+          (c, Cst_comm.Mirror.set (snd (Cst_comm.Decompose.split s))))
+        sets
+    in
+    let apply mirrored per_tree =
+      List.iter
+        (fun (c, deliveries) ->
+          List.iter
+            (fun (src, dst) ->
+              let src, dst =
+                if mirrored then
+                  ( Cst_comm.Mirror.pe ~n:rows src,
+                    Cst_comm.Mirror.pe ~n:rows dst )
+                else (src, dst)
+              in
+              xs.(dst).(c) <- xs.(src).(c);
+              holders.(c) <- dst :: holders.(c))
+            deliveries)
+        per_tree
+    in
+    apply false (parallel_stage grid ~axis:Grid.Col ~sets:right_sets stats);
+    apply true (parallel_stage grid ~axis:Grid.Col ~sets:left_sets stats);
+    step := half
+  done;
+  (* Stage 2: local multiply. *)
+  let prod = Array.init rows (fun r -> Array.init cols (fun c -> a.(r).(c) * xs.(r).(c))) in
+  (* Stage 3: up-sweep reduction along every row. *)
+  let levels = Cst_util.Bits.ilog2 cols in
+  for d = 0 to levels - 1 do
+    let size = 1 lsl (d + 1) in
+    let sets =
+      List.init rows (fun r ->
+          let comms =
+            List.init (cols / size) (fun b ->
+                let lo = b * size in
+                Cst_comm.Comm.make
+                  ~src:(lo + (size / 2) - 1)
+                  ~dst:(lo + size - 1))
+          in
+          (r, Cst_comm.Comm_set.create_exn ~n:cols comms))
+    in
+    List.iter
+      (fun (r, deliveries) ->
+        List.iter
+          (fun (src, dst) -> prod.(r).(dst) <- prod.(r).(dst) + prod.(r).(src))
+          deliveries)
+      (parallel_stage grid ~axis:Grid.Row ~sets stats)
+  done;
+  (Array.init rows (fun r -> prod.(r).(cols - 1)), !stats)

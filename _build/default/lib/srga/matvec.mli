@@ -1,0 +1,28 @@
+(** Matrix-vector multiplication on the SRGA grid.
+
+    [y = A x] with [A] an [rows x cols] integer matrix stored one element
+    per PE.  Three parallel stages, all on the grid's CSTs:
+
+    {ol
+    {- column broadcast: [x.(c)], initially at the top PE of column [c],
+       is disseminated down every column by doubling (log rows stages of
+       width-1 sets, all columns in parallel);}
+    {- local multiply at every PE;}
+    {- row reduction: each row up-sweeps its products (log cols stages),
+       leaving [y.(r)] at the last PE of row [r].}}
+
+    All communication goes through the PADR scheduler; the returned stats
+    aggregate rounds (parallel trees count once) and power (all trees). *)
+
+type stats = {
+  rounds : int;  (** critical-path rounds: max over parallel trees, summed
+                     over stages *)
+  power_units : int;  (** total connects over every tree *)
+  max_connects_per_switch : int;
+}
+
+val run : Grid.t -> a:int array array -> x:int array -> int array * stats
+(** [a] must be [rows] arrays of length [cols]; [x] length [cols]. *)
+
+val reference : a:int array array -> x:int array -> int array
+(** Sequential specification. *)

@@ -1,0 +1,55 @@
+type aggregate = {
+  rounds : int;
+  power_units : int;
+  max_connects_per_switch : int;
+  schedules : (int * Padr.Schedule.t) list;
+}
+
+let schedule grid ~axis ~sets =
+  let topo, limit =
+    match (axis : Grid.axis) with
+    | Grid.Row -> (Grid.row_topology grid, Grid.rows grid)
+    | Grid.Col -> (Grid.col_topology grid, Grid.cols grid)
+  in
+  let rec go acc = function
+    | [] ->
+        let schedules = List.rev acc in
+        Ok
+          {
+            rounds =
+              List.fold_left
+                (fun m (_, s) -> max m (Padr.Schedule.num_rounds s))
+                0 schedules;
+            power_units =
+              List.fold_left
+                (fun sum (_, (s : Padr.Schedule.t)) ->
+                  sum + s.power.total_connects)
+                0 schedules;
+            max_connects_per_switch =
+              List.fold_left
+                (fun m (_, (s : Padr.Schedule.t)) ->
+                  max m s.power.max_connects_per_switch)
+                0 schedules;
+            schedules;
+          }
+    | (idx, set) :: rest -> (
+        if idx < 0 || idx >= limit then
+          invalid_arg (Printf.sprintf "Row_sched.schedule: tree %d" idx)
+        else
+          match Padr.Csa.run topo set with
+          | Ok s -> go ((idx, s) :: acc) rest
+          | Error e -> Error (idx, e))
+  in
+  go [] sets
+
+let shift_phase grid ~by ~phase =
+  let n = Grid.cols grid in
+  if by < 1 || by > n / 2 then invalid_arg "Row_sched.shift_phase: by";
+  if phase < 0 || phase >= by then invalid_arg "Row_sched.shift_phase: phase";
+  let stride = 2 * by in
+  let rec collect b acc =
+    let src = (stride * b) + phase in
+    if src + by >= n then List.rev acc
+    else collect (b + 1) (Cst_comm.Comm.make ~src ~dst:(src + by) :: acc)
+  in
+  Cst_comm.Comm_set.create_exn ~n (collect 0 [])

@@ -1,0 +1,29 @@
+(** Scheduling communication over the SRGA's row and column CSTs.
+
+    Rows (or columns) carry independent CSTs, so their schedules execute
+    in parallel: the step finishes when the slowest tree finishes, while
+    power adds up across trees.  Each per-tree set must be right-oriented
+    well-nested (mixed sets can be pre-split with {!Cst_comm.Decompose}). *)
+
+type aggregate = {
+  rounds : int;  (** max rounds over the trees (they run in parallel) *)
+  power_units : int;  (** total connects over all trees *)
+  max_connects_per_switch : int;  (** max over every switch of every tree *)
+  schedules : (int * Padr.Schedule.t) list;
+      (** per-tree index (row or column number) and its schedule *)
+}
+
+val schedule :
+  Grid.t ->
+  axis:Grid.axis ->
+  sets:(int * Cst_comm.Comm_set.t) list ->
+  (aggregate, int * Padr.error) result
+(** [sets] pairs a row (or column) index with its communication set; the
+    error case reports the offending tree index. *)
+
+val shift_phase : Grid.t -> by:int -> phase:int -> Cst_comm.Comm_set.t
+(** Phase [phase] ([0 <= phase < by]) of a horizontal shift by [by]: the
+    width-1 well-nested set [(2*by*b + phase, 2*by*b + phase + by)] over
+    the columns.  A full strided shift is the sequence of its [by]
+    phases — arbitrary patterns are decomposed into well-nested slices
+    exactly as the paper's framework assumes. *)

@@ -1,0 +1,16 @@
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let ceil_pow2 n =
+  if n < 1 then invalid_arg "Bits.ceil_pow2";
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let ilog2 n =
+  if n < 1 then invalid_arg "Bits.ilog2";
+  let rec go n acc = if n = 1 then acc else go (n lsr 1) (acc + 1) in
+  go n 0
+
+let popcount n =
+  if n < 0 then invalid_arg "Bits.popcount";
+  let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + (n land 1)) in
+  go n 0

@@ -1,0 +1,13 @@
+(** Small integer utilities used by the tree topology and generators. *)
+
+val is_power_of_two : int -> bool
+(** True for 1, 2, 4, 8, ...; false for 0, negatives and non-powers. *)
+
+val ceil_pow2 : int -> int
+(** Smallest power of two [>= n].  Requires [n >= 1]. *)
+
+val ilog2 : int -> int
+(** Floor of log base 2.  Requires [n >= 1].  [ilog2 1 = 0]. *)
+
+val popcount : int -> int
+(** Number of set bits of a non-negative int. *)

@@ -1,0 +1,70 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.mean: empty";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  let m = mean xs in
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else
+    Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+    /. float_of_int (n - 1)
+
+let stddev xs = sqrt (variance xs)
+
+let summarize xs =
+  if Array.length xs = 0 then invalid_arg "Stats.summarize: empty";
+  let mn = Array.fold_left min xs.(0) xs in
+  let mx = Array.fold_left max xs.(0) xs in
+  { n = Array.length xs; mean = mean xs; stddev = stddev xs; min = mn; max = mx }
+
+let sorted_copy xs =
+  let c = Array.copy xs in
+  Array.sort compare c;
+  c
+
+let median xs =
+  if Array.length xs = 0 then invalid_arg "Stats.median: empty";
+  let c = sorted_copy xs in
+  let n = Array.length c in
+  if n mod 2 = 1 then c.(n / 2) else (c.((n / 2) - 1) +. c.(n / 2)) /. 2.0
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let c = sorted_copy xs in
+  let n = Array.length c in
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  c.(max 0 (min (n - 1) (rank - 1)))
+
+type fit = { slope : float; intercept : float; r2 : float }
+
+let linear_fit pts =
+  let n = Array.length pts in
+  if n < 2 then invalid_arg "Stats.linear_fit: need >= 2 points";
+  let fx = Array.map fst pts and fy = Array.map snd pts in
+  let mx = mean fx and my = mean fy in
+  let sxx = ref 0.0 and sxy = ref 0.0 and syy = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      sxx := !sxx +. ((x -. mx) *. (x -. mx));
+      sxy := !sxy +. ((x -. mx) *. (y -. my));
+      syy := !syy +. ((y -. my) *. (y -. my)))
+    pts;
+  if !sxx = 0.0 then invalid_arg "Stats.linear_fit: degenerate abscissae";
+  let slope = !sxy /. !sxx in
+  let intercept = my -. (slope *. mx) in
+  let r2 = if !syy = 0.0 then 1.0 else !sxy *. !sxy /. (!sxx *. !syy) in
+  { slope; intercept; r2 }
+
+let pp_summary fmt s =
+  Format.fprintf fmt "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" s.n s.mean
+    s.stddev s.min s.max

@@ -1,0 +1,32 @@
+(** Descriptive statistics and linear fits.
+
+    Used by the benchmark harness to decide empirically whether a measured
+    quantity is constant in a parameter (slope of the least-squares line
+    close to zero) or grows linearly — the observable form of the paper's
+    O(1)-vs-O(w) contrast. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+(** Summary of a non-empty sample. *)
+
+val mean : float array -> float
+val stddev : float array -> float
+val median : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], nearest-rank on a sorted copy. *)
+
+type fit = { slope : float; intercept : float; r2 : float }
+
+val linear_fit : (float * float) array -> fit
+(** Least-squares line through [(x, y)] points.  Requires at least two
+    distinct abscissae. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,1 @@
+lib/workloads/adversarial.ml: Cst_comm Cst_util Gen_wn List

@@ -1,0 +1,1 @@
+lib/workloads/adversarial.mli: Cst_comm

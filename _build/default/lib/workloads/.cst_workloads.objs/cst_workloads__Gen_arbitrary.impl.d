@@ -1,0 +1,1 @@
+lib/workloads/gen_arbitrary.ml: Array Cst_comm Cst_util Fun List

@@ -1,0 +1,1 @@
+lib/workloads/gen_arbitrary.mli: Cst_comm Cst_util

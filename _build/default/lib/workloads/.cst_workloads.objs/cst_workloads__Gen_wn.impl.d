@@ -1,0 +1,1 @@
+lib/workloads/gen_wn.ml: Array Cst_comm Cst_util List

@@ -1,0 +1,1 @@
+lib/workloads/gen_wn.mli: Cst_comm Cst_util

@@ -1,0 +1,1 @@
+lib/workloads/patterns.ml: Cst_comm Cst_util List

@@ -1,0 +1,1 @@
+lib/workloads/segbus.ml: Array Cst_comm Format List Padr

@@ -1,0 +1,1 @@
+lib/workloads/segbus.mli: Cst_comm Format Padr

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Adversarial Cst_comm Cst_util Gen_wn List Patterns

@@ -1,0 +1,31 @@
+let comm src dst = Cst_comm.Comm.make ~src ~dst
+
+let centre_onion ~n ~width = Gen_wn.onion ~n ~width
+
+let flip_flop ~n =
+  if n < 8 || not (Cst_util.Bits.is_power_of_two n) then
+    invalid_arg "Adversarial.flip_flop";
+  let c = n / 2 in
+  (* Alternate sources near the left edge and just left of the centre;
+     destinations mirror on the right.  Layers remain properly nested. *)
+  let depth = min (c / 2) 8 in
+  let rec build k lo hi acc =
+    if k >= depth then List.rev acc
+    else
+      let src = if k mod 2 = 0 then lo else c - 1 - (k / 2) in
+      let src = max lo (min src (c - 1 - (k / 2))) in
+      let dst = hi in
+      build (k + 1) (src + 1) (dst - 1) (comm src dst :: acc)
+  in
+  let pairs = build 0 0 (n - 1) [] in
+  Cst_comm.Comm_set.create_exn ~n pairs
+
+let deep_staircase ~n =
+  if n < 4 || not (Cst_util.Bits.is_power_of_two n) then
+    invalid_arg "Adversarial.deep_staircase";
+  let levels = Cst_util.Bits.ilog2 n in
+  (* Layer k runs from PE k to PE n - 2^{k+1}: sources ascend from the
+     left edge while destinations retreat by powers of two, so the chain
+     is properly nested and successive layers turn at different levels. *)
+  let pairs = List.init (levels - 1) (fun k -> comm k (n - (1 lsl (k + 1)))) in
+  Cst_comm.Comm_set.create_exn ~n pairs

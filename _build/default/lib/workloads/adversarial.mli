@@ -1,0 +1,22 @@
+(** Workloads that stress per-round schedulers' power consumption.
+
+    These sets keep their width moderate (so round counts stay comparable)
+    while forcing ID/greedy-style schedulers to demand {e different}
+    connections at the same switches on consecutive rounds.  Under the CSA
+    the same sets cost O(1) changes per switch — the contrast benches E6
+    and E7 report. *)
+
+val centre_onion : n:int -> width:int -> Cst_comm.Comm_set.t
+(** Alias of {!Gen_wn.onion}: every layer crosses the root, so a
+    per-round scheduler rewires the root's neighbourhood every round. *)
+
+val flip_flop : n:int -> Cst_comm.Comm_set.t
+(** Nested layers whose sources alternate between hugging the left edge
+    and the centre, so pass-up routing alternates between the root's left
+    child's [l_i] and [r_i] inputs round after round under ID scheduling.
+    Requires a power of two [n >= 8]. *)
+
+val deep_staircase : n:int -> Cst_comm.Comm_set.t
+(** Width-[log2 n] set in which layer [k]'s path turns at the level-[k]
+    switch: every level of the tree hosts exactly one turn, touching the
+    maximum number of distinct switches. *)

@@ -1,0 +1,52 @@
+let random_pairs rng ~n ~pairs =
+  if pairs < 0 || 2 * pairs > n then invalid_arg "Gen_arbitrary.random_pairs";
+  let slots = Array.init n (fun i -> i) in
+  Cst_util.Prng.shuffle rng slots;
+  let comms =
+    List.init pairs (fun k ->
+        let a = slots.(2 * k) and b = slots.((2 * k) + 1) in
+        if Cst_util.Prng.bool rng then Cst_comm.Comm.make ~src:a ~dst:b
+        else Cst_comm.Comm.make ~src:b ~dst:a)
+  in
+  Cst_comm.Comm_set.create_exn ~n comms
+
+let butterfly ~n ~stage =
+  if n < 2 || not (Cst_util.Bits.is_power_of_two n) then
+    invalid_arg "Gen_arbitrary.butterfly: n";
+  if stage < 0 || 1 lsl stage >= n then
+    invalid_arg "Gen_arbitrary.butterfly: stage";
+  let bit = 1 lsl stage in
+  let comms =
+    List.filter_map
+      (fun i ->
+        if i land bit = 0 then
+          Some (Cst_comm.Comm.make ~src:i ~dst:(i + bit))
+        else None)
+      (List.init n Fun.id)
+  in
+  Cst_comm.Comm_set.create_exn ~n comms
+
+let bit_reversal_sample rng ~n =
+  if n < 2 || not (Cst_util.Bits.is_power_of_two n) then
+    invalid_arg "Gen_arbitrary.bit_reversal_sample";
+  let bits = Cst_util.Bits.ilog2 n in
+  let reverse i =
+    let r = ref 0 in
+    for b = 0 to bits - 1 do
+      if i land (1 lsl b) <> 0 then r := !r lor (1 lsl (bits - 1 - b))
+    done;
+    !r
+  in
+  let comms =
+    List.filter_map
+      (fun i ->
+        let j = reverse i in
+        (* keep each 2-cycle once, drop fixed points, sample half *)
+        if i < j && Cst_util.Prng.bool rng then
+          if Cst_util.Prng.bool rng then
+            Some (Cst_comm.Comm.make ~src:i ~dst:j)
+          else Some (Cst_comm.Comm.make ~src:j ~dst:i)
+        else None)
+      (List.init n Fun.id)
+  in
+  Cst_comm.Comm_set.create_exn ~n comms

@@ -1,0 +1,24 @@
+(** Generators of {e arbitrary} (crossing, mixed-orientation) sets, for
+    exercising the multi-wave extension ({!Padr.Waves}).
+
+    These sets are valid (endpoint-disjoint) but generally {e not}
+    well-nested: scheduling them takes several CSA waves. *)
+
+val random_pairs :
+  Cst_util.Prng.t -> n:int -> pairs:int -> Cst_comm.Comm_set.t
+(** [pairs] communications over [2*pairs] distinct random PEs, uniformly
+    paired, each pair's direction random.  Requires [2*pairs <= n]. *)
+
+val butterfly : n:int -> stage:int -> Cst_comm.Comm_set.t
+(** Stage [stage] of a butterfly exchange: PE [i] with bit [stage] clear
+    sends to [i + 2^stage].  A maximally crossing right-oriented set —
+    every block of [2^stage] partners is a pairwise-crossing clique, so a
+    cover needs exactly [2^stage] waves.  Requires
+    [0 <= stage < log2 n]. *)
+
+val bit_reversal_sample :
+  Cst_util.Prng.t -> n:int -> Cst_comm.Comm_set.t
+(** A random endpoint-disjoint sample of the bit-reversal permutation
+    [i -> reverse(i)]: fixed points dropped, each 2-cycle used in one
+    (random) direction, and a random half of the remaining PEs
+    participate.  A classic FFT-style stress pattern. *)

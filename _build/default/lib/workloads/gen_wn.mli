@@ -1,0 +1,32 @@
+(** Random well-nested communication-set generators.
+
+    All generators are deterministic functions of the supplied PRNG and
+    always produce valid right-oriented well-nested sets (property-checked
+    in the test suite). *)
+
+val uniform :
+  Cst_util.Prng.t -> n:int -> density:float -> Cst_comm.Comm_set.t
+(** Balanced random set: about [density * n / 2] communications
+    ([0 <= density <= 1]).  A random balanced parenthesis word (cycle
+    lemma on a shuffled open/close sequence) is interleaved with blanks at
+    random PE positions. *)
+
+val onion : n:int -> width:int -> Cst_comm.Comm_set.t
+(** [width] nested communications straddling the centre of the PE range:
+    [(c-width+i, c+width-1-i)].  Width exactly [width]; the adversarial
+    pattern for per-round schedulers.  Requires [2*width <= n]. *)
+
+val pairs : n:int -> Cst_comm.Comm_set.t
+(** Adjacent pairs [(0,1), (2,3), ...] — width 1, the friendly extreme. *)
+
+val with_width :
+  Cst_util.Prng.t -> n:int -> width:int -> Cst_comm.Comm_set.t
+(** A set whose width is exactly [width] (an onion core crossing the
+    centre plus random filler whose congestion cannot exceed the core's;
+    re-checked, with the filler thinned on the rare overshoot).  Requires
+    [2*width <= n]. *)
+
+val nested_blocks :
+  Cst_util.Prng.t -> n:int -> blocks:int -> depth:int -> Cst_comm.Comm_set.t
+(** [blocks] disjoint onions of the given depth spread evenly over the PE
+    range (clipped to what fits).  Width equals [depth] when it fits. *)

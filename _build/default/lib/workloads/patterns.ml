@@ -1,0 +1,47 @@
+let comm src dst = Cst_comm.Comm.make ~src ~dst
+
+let set ~n pairs = Cst_comm.Comm_set.create_exn ~n (List.map (fun (s, d) -> comm s d) pairs)
+
+let fig2 () =
+  set ~n:16
+    [ (0, 15); (1, 6); (2, 3); (4, 5); (8, 13); (9, 10); (11, 12) ]
+
+let fig3b () =
+  (* Subtree T(u) covers PEs 0..7; s7,s6 pass above u while s4,s3 match
+     d4,d3 at u.  c4 = (2,5) is the outermost communication matched at u;
+     its source has the two pass-up sources to its left (x_s = 2) and its
+     destination is the rightmost (x_d = 0), as in Definition 2. *)
+  set ~n:16 [ (0, 14); (1, 13); (2, 5); (3, 4); (8, 11); (9, 10) ]
+
+let interleaved_pairs ~n =
+  if n < 4 then invalid_arg "Patterns.interleaved_pairs";
+  let rec go i acc =
+    if i + 1 >= n then List.rev acc else go (i + 4) ((i, i + 1) :: acc)
+  in
+  set ~n (go 0 [])
+
+let comb ~n ~teeth =
+  if teeth < 1 || n / teeth < 2 then invalid_arg "Patterns.comb";
+  let tooth = n / teeth in
+  let depth = tooth / 2 in
+  set ~n
+    (List.concat
+       (List.init teeth (fun t ->
+            let lo = t * tooth in
+            List.init depth (fun i -> (lo + i, lo + (2 * depth) - 1 - i)))))
+
+let staircase ~n =
+  if n < 4 || not (Cst_util.Bits.is_power_of_two n) then
+    invalid_arg "Patterns.staircase";
+  (* Communication k spans from PE 1 lsl k - ... build hops crossing ever
+     higher switches: (2^k - 1, 2^k) for k = 1 .. log n - 1. *)
+  let levels = Cst_util.Bits.ilog2 n in
+  set ~n (List.init (levels - 1) (fun k -> ((1 lsl (k + 1)) - 1, 1 lsl (k + 1))))
+
+let full_onion ~n =
+  if n < 2 then invalid_arg "Patterns.full_onion";
+  set ~n (List.init (n / 2) (fun i -> (i, n - 1 - i)))
+
+let segment_neighbors ~n =
+  if n < 2 then invalid_arg "Patterns.segment_neighbors";
+  set ~n (List.init (n / 2) (fun i -> (2 * i, (2 * i) + 1)))

@@ -1,0 +1,30 @@
+(** Fixed, named communication patterns, including the paper's figures. *)
+
+val fig2 : unit -> Cst_comm.Comm_set.t
+(** The shape of the paper's Figure 2: a right-oriented well-nested set
+    with an enclosing communication, nested siblings and an idle gap, over
+    16 PEs. *)
+
+val fig3b : unit -> Cst_comm.Comm_set.t
+(** The configuration of Figure 3(b) used by Definitions 1-2: sources
+    [s7 < s6 < s4 < s3] and destinations [d4 < d3] inside one subtree, the
+    outer communications leaving it.  Realized over 16 PEs with the outer
+    destinations to the right. *)
+
+val interleaved_pairs : n:int -> Cst_comm.Comm_set.t
+(** [(0,1) (2,3) ...] alternated with gaps — width 1. *)
+
+val comb : n:int -> teeth:int -> Cst_comm.Comm_set.t
+(** [teeth] disjoint same-depth nests side by side; width equals the
+    depth of one tooth ([n / (2 * teeth)]). *)
+
+val staircase : n:int -> Cst_comm.Comm_set.t
+(** Nested set whose i-th layer hops one subtree boundary more than the
+    previous one: exercises pass-through routing at every level. *)
+
+val full_onion : n:int -> Cst_comm.Comm_set.t
+(** Maximum-width onion: [(i, n-1-i)] for all [i < n/2]; width [n/2]. *)
+
+val segment_neighbors : n:int -> Cst_comm.Comm_set.t
+(** [(i, i+1)] for even [i] — the segmentable-bus neighbour pattern the
+    paper's introduction cites as subsumed by well-nested sets. *)

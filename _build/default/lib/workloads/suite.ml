@@ -1,0 +1,75 @@
+type gen = {
+  name : string;
+  description : string;
+  make : Cst_util.Prng.t -> n:int -> Cst_comm.Comm_set.t;
+}
+
+let all =
+  [
+    {
+      name = "uniform";
+      description = "uniform random well-nested set, ~50% PEs busy";
+      make = (fun rng ~n -> Gen_wn.uniform rng ~n ~density:0.5);
+    };
+    {
+      name = "dense";
+      description = "uniform random well-nested set, all PEs busy";
+      make = (fun rng ~n -> Gen_wn.uniform rng ~n ~density:1.0);
+    };
+    {
+      name = "sparse";
+      description = "uniform random well-nested set, ~10% PEs busy";
+      make = (fun rng ~n -> Gen_wn.uniform rng ~n ~density:0.1);
+    };
+    {
+      name = "pairs";
+      description = "adjacent pairs: width 1";
+      make = (fun _ ~n -> Gen_wn.pairs ~n);
+    };
+    {
+      name = "onion";
+      description = "centre onion of width n/4";
+      make = (fun _ ~n -> Gen_wn.onion ~n ~width:(max 1 (n / 4)));
+    };
+    {
+      name = "full-onion";
+      description = "maximum-width onion (width n/2)";
+      make = (fun _ ~n -> Patterns.full_onion ~n);
+    };
+    {
+      name = "comb";
+      description = "8 disjoint nests side by side";
+      make = (fun _ ~n -> Patterns.comb ~n ~teeth:(min 8 (max 1 (n / 2))));
+    };
+    {
+      name = "staircase";
+      description = "one boundary-hopping pair per tree level";
+      make = (fun _ ~n -> Patterns.staircase ~n);
+    };
+    {
+      name = "flip-flop";
+      description = "adversarial alternating nest";
+      make = (fun _ ~n -> Adversarial.flip_flop ~n);
+    };
+    {
+      name = "deep-staircase";
+      description = "nested layers turning at every tree level";
+      make = (fun _ ~n -> Adversarial.deep_staircase ~n);
+    };
+    {
+      name = "segbus";
+      description = "segmentable-bus neighbour writes";
+      make = (fun _ ~n -> Patterns.segment_neighbors ~n);
+    };
+    {
+      name = "blocks";
+      description = "4 random nested blocks of depth 4";
+      make =
+        (fun rng ~n ->
+          let blocks = 4 and depth = min 4 (max 1 (n / 8)) in
+          Gen_wn.nested_blocks rng ~n ~blocks ~depth);
+    };
+  ]
+
+let find name = List.find_opt (fun g -> g.name = name) all
+let names = List.map (fun g -> g.name) all

@@ -1,0 +1,13 @@
+(** Name-indexed registry of workload generators, for the CLI and the
+    benchmark harness.  Every generator takes the PE count and a PRNG
+    (deterministic generators ignore it). *)
+
+type gen = {
+  name : string;
+  description : string;
+  make : Cst_util.Prng.t -> n:int -> Cst_comm.Comm_set.t;
+}
+
+val all : gen list
+val find : string -> gen option
+val names : string list

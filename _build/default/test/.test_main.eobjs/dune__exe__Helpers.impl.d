@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Cst Cst_comm Cst_util Cst_workloads List Padr QCheck QCheck_alcotest String

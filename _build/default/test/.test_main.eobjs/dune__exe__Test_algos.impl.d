@@ -1,0 +1,1 @@
+test/test_algos.ml: Array Cst_algos Cst_comm Cst_util Cst_workloads Helpers List Printf QCheck QCheck_alcotest

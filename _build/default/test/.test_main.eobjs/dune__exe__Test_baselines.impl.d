@@ -1,0 +1,1 @@
+test/test_baselines.ml: Array Cst Cst_baselines Cst_comm Cst_util Cst_workloads Helpers List Padr Printf String

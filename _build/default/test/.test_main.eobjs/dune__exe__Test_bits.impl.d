@@ -1,0 +1,1 @@
+test/test_bits.ml: Cst_util Helpers List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_comm.ml: Cst_comm Fun Helpers List

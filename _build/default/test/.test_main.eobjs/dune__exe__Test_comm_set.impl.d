@@ -1,0 +1,1 @@
+test/test_comm_set.ml: Alcotest Array Cst_comm Helpers Result

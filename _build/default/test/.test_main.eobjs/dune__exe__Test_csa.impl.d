@@ -1,0 +1,1 @@
+test/test_csa.ml: Alcotest Array Cst Cst_comm Cst_workloads Format Helpers List Padr

@@ -1,0 +1,1 @@
+test/test_csa_prop.ml: Array Cst Cst_comm Cst_util Helpers List Padr

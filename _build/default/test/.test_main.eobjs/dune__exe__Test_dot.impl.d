@@ -1,0 +1,1 @@
+test/test_dot.ml: Array Cst Filename Helpers String Sys

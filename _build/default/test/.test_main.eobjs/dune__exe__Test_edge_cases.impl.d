@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Cst Cst_algos Cst_comm Cst_srga Cst_util Cst_workloads Helpers List Padr

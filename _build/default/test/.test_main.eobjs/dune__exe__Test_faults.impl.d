@@ -1,0 +1,1 @@
+test/test_faults.ml: Cst Cst_comm Format Helpers List Padr String

@@ -1,0 +1,1 @@
+test/test_gen_arbitrary.ml: Array Cst_comm Cst_util Cst_workloads Helpers List

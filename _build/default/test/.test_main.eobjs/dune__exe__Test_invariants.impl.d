@@ -1,0 +1,1 @@
+test/test_invariants.ml: Cst Cst_comm Cst_util Cst_workloads Format Helpers List Padr String

@@ -1,0 +1,1 @@
+test/test_left.ml: Alcotest Array Cst Cst_comm Cst_util Cst_workloads Helpers List Padr Printf String

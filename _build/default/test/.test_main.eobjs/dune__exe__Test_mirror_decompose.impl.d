@@ -1,0 +1,1 @@
+test/test_mirror_decompose.ml: Array Cst_comm Helpers List

@@ -1,0 +1,1 @@
+test/test_net_dataplane.ml: Cst Data_plane Helpers List Net Power_meter Side Switch_config

@@ -1,0 +1,1 @@
+test/test_paren.ml: Alcotest Cst_comm Helpers Result

@@ -1,0 +1,1 @@
+test/test_phase1.ml: Array Cst Cst_comm Cst_util Format Helpers Padr Printf

@@ -1,0 +1,1 @@
+test/test_power.ml: Array Cst Cst_baselines Cst_comm Cst_util Cst_workloads Float Helpers List Padr Printf

@@ -1,0 +1,1 @@
+test/test_prng.ml: Array Cst_util Helpers

@@ -1,0 +1,1 @@
+test/test_report.ml: Cst_report Filename Helpers List String Sys

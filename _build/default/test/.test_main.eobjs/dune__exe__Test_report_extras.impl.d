@@ -1,0 +1,1 @@
+test/test_report_extras.ml: Alcotest Cst_comm Cst_report Cst_util Cst_workloads Float Helpers List Padr String

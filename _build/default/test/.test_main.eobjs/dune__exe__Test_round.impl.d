@@ -1,0 +1,1 @@
+test/test_round.ml: Cst Cst_comm Helpers Padr

@@ -1,0 +1,1 @@
+test/test_schedule_trace.ml: Array Cst Format Helpers List Padr String

@@ -1,0 +1,1 @@
+test/test_segbus.ml: Alcotest Cst_comm Cst_util Cst_workloads Format Helpers List Padr Segbus String

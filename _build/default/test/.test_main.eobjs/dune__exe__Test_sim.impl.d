@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Cst_baselines Cst_sim Cst_util Cst_workloads Helpers List Printf Runner Traffic

@@ -1,0 +1,1 @@
+test/test_sort_matvec.ml: Array Cst_algos Cst_srga Cst_util Helpers Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_srga.ml: Alcotest Broadcast Cst Cst_comm Cst_srga Cst_util Cst_workloads Fun Grid Helpers List Padr Printf Row_sched

@@ -1,0 +1,1 @@
+test/test_stats.ml: Array Cst_util Float Helpers

@@ -1,0 +1,1 @@
+test/test_switch_config.ml: Cst Format Helpers List Side Switch_config

@@ -1,0 +1,1 @@
+test/test_topology.ml: Cst Helpers List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_verify.ml: Array Cst Cst_baselines Format Helpers List Padr String

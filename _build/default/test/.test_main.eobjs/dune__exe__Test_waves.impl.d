@@ -1,0 +1,1 @@
+test/test_waves.ml: Cst_comm Cst_util Cst_workloads Format Helpers List Padr QCheck QCheck_alcotest String

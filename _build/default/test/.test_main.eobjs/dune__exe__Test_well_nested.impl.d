@@ -1,0 +1,1 @@
+test/test_well_nested.ml: Alcotest Cst_comm Helpers List

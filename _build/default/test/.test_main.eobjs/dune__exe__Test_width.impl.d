@@ -1,0 +1,1 @@
+test/test_width.ml: Array Cst_comm Cst_util Helpers

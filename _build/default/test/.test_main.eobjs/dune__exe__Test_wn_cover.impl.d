@@ -1,0 +1,1 @@
+test/test_wn_cover.ml: Array Cst_comm Cst_util Cst_workloads Helpers List Printf QCheck QCheck_alcotest

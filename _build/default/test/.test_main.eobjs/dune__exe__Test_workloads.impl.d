@@ -1,0 +1,1 @@
+test/test_workloads.ml: Cst_comm Cst_util Cst_workloads Helpers List Padr Printf String

@@ -1,0 +1,229 @@
+open Helpers
+
+let test_reference_scans () =
+  let a = [| 3; 1; 4; 1; 5; 9; 2; 6 |] in
+  check_true "exclusive sum"
+    (Cst_algos.Scan.exclusive_reference Cst_algos.Scan.sum a
+    = [| 0; 3; 4; 8; 9; 14; 23; 25 |]);
+  check_true "inclusive sum"
+    (Cst_algos.Scan.inclusive_reference Cst_algos.Scan.sum a
+    = [| 3; 4; 8; 9; 14; 23; 25; 31 |])
+
+let test_scan_matches_reference () =
+  let a = [| 3; 1; 4; 1; 5; 9; 2; 6 |] in
+  let r = Cst_algos.Scan.run Cst_algos.Scan.sum a in
+  check_true "exclusive"
+    (r.exclusive = Cst_algos.Scan.exclusive_reference Cst_algos.Scan.sum a);
+  check_true "inclusive"
+    (r.inclusive = Cst_algos.Scan.inclusive_reference Cst_algos.Scan.sum a)
+
+let test_scan_max () =
+  let a = [| 2; 9; 1; 7; 3; 8; 0; 5 |] in
+  let r = Cst_algos.Scan.run Cst_algos.Scan.max_op a in
+  check_true "max scan"
+    (r.inclusive = [| 2; 9; 9; 9; 9; 9; 9; 9 |])
+
+let test_scan_stats () =
+  let n = 64 in
+  let k = 6 in
+  let a = Array.init n (fun i -> i) in
+  let r = Cst_algos.Scan.run Cst_algos.Scan.sum a in
+  (* k up-sweep steps + clear + 2k down-sweep steps *)
+  check_int "supersteps" ((3 * k) + 1) r.stats.supersteps;
+  (* every non-empty pattern has width 1: one wave and one round each *)
+  check_int "waves" (3 * k) r.stats.waves;
+  check_int "rounds" (3 * k) r.stats.rounds;
+  check_true "power positive" (r.stats.power.total_connects > 0)
+
+let test_scan_sizes () =
+  List.iter
+    (fun n ->
+      let a = Array.init n (fun i -> (i * 7) mod 13) in
+      let r = Cst_algos.Scan.run Cst_algos.Scan.sum a in
+      check_true
+        (Printf.sprintf "n=%d" n)
+        (r.exclusive
+        = Cst_algos.Scan.exclusive_reference Cst_algos.Scan.sum a))
+    [ 2; 4; 8; 16; 32; 128 ]
+
+let test_scan_invalid () =
+  check_raises_invalid "non power of two" (fun () ->
+      Cst_algos.Scan.run Cst_algos.Scan.sum (Array.make 6 1));
+  check_raises_invalid "too small" (fun () ->
+      Cst_algos.Scan.run Cst_algos.Scan.sum [| 1 |])
+
+let test_reduce () =
+  let a = Array.init 32 (fun i -> i) in
+  let total, stats = Cst_algos.Scan.reduce Cst_algos.Scan.sum a in
+  check_int "sum" (31 * 32 / 2) total;
+  check_int "log supersteps" 5 stats.supersteps;
+  let m, _ = Cst_algos.Scan.reduce Cst_algos.Scan.min_op a in
+  check_int "min" 0 m
+
+let test_superstep_local_only () =
+  let prog =
+    {
+      Cst_algos.Superstep.name = "local";
+      steps =
+        [
+          {
+            label = "double";
+            pattern = (fun _ -> Cst_comm.Comm_set.empty ~n:4);
+            absorb = (fun st _ -> Array.map (fun v -> 2 * v) st);
+          };
+        ];
+    }
+  in
+  let final, stats = Cst_algos.Superstep.run prog ~init:[| 1; 2; 3; 4 |] in
+  check_true "doubled" (final = [| 2; 4; 6; 8 |]);
+  check_int "no waves" 0 stats.waves;
+  check_int "no power" 0 stats.power.total_connects
+
+let test_superstep_neighbor_exchange () =
+  (* one superstep: even PEs send their value right; receivers add it *)
+  let n = 8 in
+  let prog =
+    {
+      Cst_algos.Superstep.name = "pairs";
+      steps =
+        [
+          {
+            label = "right-neighbour add";
+            pattern = (fun _ -> Cst_workloads.Gen_wn.pairs ~n);
+            absorb =
+              (fun st deliveries ->
+                let next = Array.copy st in
+                List.iter
+                  (fun (src, dst) -> next.(dst) <- next.(dst) + st.(src))
+                  deliveries;
+                next);
+          };
+        ];
+    }
+  in
+  let final, stats =
+    Cst_algos.Superstep.run prog ~init:(Array.init n (fun i -> i))
+  in
+  check_true "sums landed" (final = [| 0; 1; 2; 5; 4; 9; 6; 13 |]);
+  check_int "one wave" 1 stats.waves;
+  check_int "one round" 1 stats.rounds
+
+let test_superstep_crossing_pattern () =
+  (* a butterfly stage inside a superstep costs multiple waves *)
+  let n = 16 in
+  let prog =
+    {
+      Cst_algos.Superstep.name = "butterfly";
+      steps =
+        [
+          {
+            label = "stage 2";
+            pattern =
+              (fun _ -> Cst_workloads.Gen_arbitrary.butterfly ~n ~stage:2);
+            absorb =
+              (fun st deliveries ->
+                let next = Array.copy st in
+                List.iter
+                  (fun (src, dst) -> next.(dst) <- st.(src))
+                  deliveries;
+                next);
+          };
+        ];
+    }
+  in
+  let final, stats =
+    Cst_algos.Superstep.run prog ~init:(Array.init n (fun i -> i))
+  in
+  check_int "four waves" 4 stats.waves;
+  (* destinations i+4 receive the value of source i; sources keep theirs *)
+  check_true "values moved"
+    (final.(4) = 0 && final.(5) = 1 && final.(15) = 11 && final.(0) = 0)
+
+let test_superstep_size_mismatch () =
+  let prog =
+    {
+      Cst_algos.Superstep.name = "bad";
+      steps =
+        [
+          {
+            label = "wrong n";
+            pattern = (fun _ -> Cst_comm.Comm_set.empty ~n:16);
+            absorb = (fun st _ -> st);
+          };
+        ];
+    }
+  in
+  check_raises_invalid "size mismatch" (fun () ->
+      ignore (Cst_algos.Superstep.run prog ~init:[| 0; 0 |]))
+
+let test_segmented_scan () =
+  let a = [| 1; 2; 3; 4; 5; 6; 7; 8 |] in
+  let flags = [| true; false; false; true; false; true; false; false |] in
+  let got, _ = Cst_algos.Scan.segmented Cst_algos.Scan.sum a ~flags in
+  check_true "restarts at flags" (got = [| 1; 3; 6; 4; 9; 6; 13; 21 |]);
+  check_true "matches reference"
+    (got = Cst_algos.Scan.segmented_reference Cst_algos.Scan.sum a ~flags)
+
+let test_segmented_no_flags () =
+  let a = [| 2; 2; 2; 2 |] in
+  let flags = [| false; false; false; false |] in
+  let got, _ = Cst_algos.Scan.segmented Cst_algos.Scan.sum a ~flags in
+  check_true "plain inclusive scan" (got = [| 2; 4; 6; 8 |])
+
+let test_segmented_all_flags () =
+  let a = [| 5; 6; 7; 8 |] in
+  let flags = [| true; true; true; true |] in
+  let got, _ = Cst_algos.Scan.segmented Cst_algos.Scan.sum a ~flags in
+  check_true "identity" (got = a)
+
+let test_segmented_mismatch () =
+  check_raises_invalid "flag length" (fun () ->
+      Cst_algos.Scan.segmented Cst_algos.Scan.sum [| 1; 2 |]
+        ~flags:[| true |])
+
+let prop_segmented_random =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:50
+       ~name:"segmented scan equals the sequential reference"
+       QCheck.(pair (int_range 1 5) (int_bound 100000))
+       (fun (exp, seed) ->
+         let n = 1 lsl (exp + 1) in
+         let rng = Cst_util.Prng.create (seed + (2 * exp)) in
+         let a = Array.init n (fun _ -> Cst_util.Prng.int_in rng (-20) 20) in
+         let flags = Array.init n (fun _ -> Cst_util.Prng.chance rng 0.3) in
+         fst (Cst_algos.Scan.segmented Cst_algos.Scan.sum a ~flags)
+         = Cst_algos.Scan.segmented_reference Cst_algos.Scan.sum a ~flags))
+
+let prop_scan_random =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"scan equals the sequential reference"
+       QCheck.(pair (int_range 1 5) (int_bound 100000))
+       (fun (exp, seed) ->
+         let n = 1 lsl (exp + 1) in
+         let rng = Cst_util.Prng.create (seed + exp) in
+         let a = Array.init n (fun _ -> Cst_util.Prng.int_in rng (-50) 50) in
+         let r = Cst_algos.Scan.run Cst_algos.Scan.sum a in
+         r.exclusive = Cst_algos.Scan.exclusive_reference Cst_algos.Scan.sum a
+         && r.inclusive
+            = Cst_algos.Scan.inclusive_reference Cst_algos.Scan.sum a))
+
+let suite =
+  [
+    case "reference scans" test_reference_scans;
+    case "scan matches reference" test_scan_matches_reference;
+    case "scan max" test_scan_max;
+    case "scan stats" test_scan_stats;
+    case "scan sizes" test_scan_sizes;
+    case "scan invalid" test_scan_invalid;
+    case "reduce" test_reduce;
+    case "superstep local only" test_superstep_local_only;
+    case "superstep neighbour exchange" test_superstep_neighbor_exchange;
+    case "superstep crossing pattern" test_superstep_crossing_pattern;
+    case "superstep size mismatch" test_superstep_size_mismatch;
+    case "segmented scan" test_segmented_scan;
+    case "segmented no flags" test_segmented_no_flags;
+    case "segmented all flags" test_segmented_all_flags;
+    case "segmented mismatch" test_segmented_mismatch;
+    prop_segmented_random;
+    prop_scan_random;
+  ]

@@ -1,0 +1,59 @@
+open Helpers
+
+let test_is_power_of_two () =
+  List.iter
+    (fun (v, expect) ->
+      check_bool (string_of_int v) expect (Cst_util.Bits.is_power_of_two v))
+    [
+      (1, true); (2, true); (4, true); (1024, true);
+      (0, false); (-1, false); (-4, false); (3, false); (6, false); (1023, false);
+    ]
+
+let test_ceil_pow2 () =
+  List.iter
+    (fun (v, expect) -> check_int (string_of_int v) expect (Cst_util.Bits.ceil_pow2 v))
+    [ (1, 1); (2, 2); (3, 4); (5, 8); (8, 8); (9, 16); (1000, 1024) ]
+
+let test_ceil_pow2_invalid () =
+  check_raises_invalid "zero" (fun () -> Cst_util.Bits.ceil_pow2 0)
+
+let test_ilog2 () =
+  List.iter
+    (fun (v, expect) -> check_int (string_of_int v) expect (Cst_util.Bits.ilog2 v))
+    [ (1, 0); (2, 1); (3, 1); (4, 2); (7, 2); (8, 3); (1024, 10) ]
+
+let test_ilog2_invalid () =
+  check_raises_invalid "zero" (fun () -> Cst_util.Bits.ilog2 0)
+
+let test_popcount () =
+  List.iter
+    (fun (v, expect) -> check_int (string_of_int v) expect (Cst_util.Bits.popcount v))
+    [ (0, 0); (1, 1); (2, 1); (3, 2); (255, 8); (256, 1) ]
+
+let prop_ceil_pow2 =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"ceil_pow2 properties"
+       QCheck.(int_range 1 100000)
+       (fun n ->
+         let p = Cst_util.Bits.ceil_pow2 n in
+         Cst_util.Bits.is_power_of_two p && p >= n && (p = 1 || p / 2 < n)))
+
+let prop_ilog2 =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"ilog2 bounds"
+       QCheck.(int_range 1 1000000)
+       (fun n ->
+         let k = Cst_util.Bits.ilog2 n in
+         (1 lsl k) <= n && n < 1 lsl (k + 1)))
+
+let suite =
+  [
+    case "is_power_of_two" test_is_power_of_two;
+    case "ceil_pow2" test_ceil_pow2;
+    case "ceil_pow2 invalid" test_ceil_pow2_invalid;
+    case "ilog2" test_ilog2;
+    case "ilog2 invalid" test_ilog2_invalid;
+    case "popcount" test_popcount;
+    prop_ceil_pow2;
+    prop_ilog2;
+  ]

@@ -1,0 +1,83 @@
+open Helpers
+
+let c = comm
+
+let test_make_valid () =
+  let x = c (2, 5) in
+  check_int "src" 2 x.src;
+  check_int "dst" 5 x.dst
+
+let test_make_invalid () =
+  check_raises_invalid "equal endpoints" (fun () -> c (3, 3));
+  check_raises_invalid "negative src" (fun () -> c (-1, 3));
+  check_raises_invalid "negative dst" (fun () -> c (1, -3))
+
+let test_orientation () =
+  check_true "right" (Cst_comm.Comm.is_right_oriented (c (1, 4)));
+  check_true "not left" (not (Cst_comm.Comm.is_left_oriented (c (1, 4))));
+  check_true "left" (Cst_comm.Comm.is_left_oriented (c (4, 1)));
+  check_true "not right" (not (Cst_comm.Comm.is_right_oriented (c (4, 1))))
+
+let test_lo_hi_span () =
+  let x = c (7, 2) in
+  check_int "lo" 2 (Cst_comm.Comm.lo x);
+  check_int "hi" 7 (Cst_comm.Comm.hi x);
+  check_int "span" 5 (Cst_comm.Comm.span x)
+
+let test_compare_order () =
+  check_true "by src" (Cst_comm.Comm.compare (c (1, 9)) (c (2, 3)) < 0);
+  check_true "then dst" (Cst_comm.Comm.compare (c (1, 3)) (c (1, 9)) < 0);
+  check_int "equal" 0 (Cst_comm.Comm.compare (c (1, 3)) (c (1, 3)))
+
+let test_nests_in () =
+  check_true "inner in outer" (Cst_comm.Comm.nests_in (c (2, 3)) (c (1, 4)));
+  check_true "not reversed" (not (Cst_comm.Comm.nests_in (c (1, 4)) (c (2, 3))));
+  check_true "not disjoint" (not (Cst_comm.Comm.nests_in (c (5, 6)) (c (1, 4))));
+  check_true "orientation-blind"
+    (Cst_comm.Comm.nests_in (c (3, 2)) (c (4, 1)))
+
+let test_crosses () =
+  check_true "crossing" (Cst_comm.Comm.crosses (c (0, 2)) (c (1, 3)));
+  check_true "symmetric" (Cst_comm.Comm.crosses (c (1, 3)) (c (0, 2)));
+  check_true "nested do not cross" (not (Cst_comm.Comm.crosses (c (0, 3)) (c (1, 2))));
+  check_true "disjoint do not cross" (not (Cst_comm.Comm.crosses (c (0, 1)) (c (2, 3))))
+
+let test_disjoint () =
+  check_true "disjoint" (Cst_comm.Comm.disjoint (c (0, 1)) (c (2, 3)));
+  check_true "not nested" (not (Cst_comm.Comm.disjoint (c (0, 3)) (c (1, 2))));
+  check_true "not crossing" (not (Cst_comm.Comm.disjoint (c (0, 2)) (c (1, 3))))
+
+let test_trichotomy () =
+  (* Any two endpoint-disjoint communications are exactly one of
+     nested / crossing / disjoint. *)
+  let pairs =
+    [ (c (0, 3), c (1, 2)); (c (0, 2), c (1, 3)); (c (0, 1), c (2, 3)) ]
+  in
+  List.iter
+    (fun (a, b) ->
+      let nested =
+        Cst_comm.Comm.nests_in a b || Cst_comm.Comm.nests_in b a
+      in
+      let states =
+        [ nested; Cst_comm.Comm.crosses a b; Cst_comm.Comm.disjoint a b ]
+      in
+      check_int "exactly one relation" 1
+        (List.length (List.filter Fun.id states)))
+    pairs
+
+let test_pp () =
+  check_true "pp format" (Cst_comm.Comm.to_string (c (3, 8)) = "3->8")
+
+let suite =
+  [
+    case "make valid" test_make_valid;
+    case "make invalid" test_make_invalid;
+    case "orientation" test_orientation;
+    case "lo/hi/span" test_lo_hi_span;
+    case "compare order" test_compare_order;
+    case "nests_in" test_nests_in;
+    case "crosses" test_crosses;
+    case "disjoint" test_disjoint;
+    case "relation trichotomy" test_trichotomy;
+    case "pp" test_pp;
+  ]

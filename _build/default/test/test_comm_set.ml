@@ -1,0 +1,120 @@
+open Helpers
+
+let test_create_valid () =
+  let s = set ~n:8 [ (0, 3); (4, 5) ] in
+  check_int "n" 8 (Cst_comm.Comm_set.n s);
+  check_int "size" 2 (Cst_comm.Comm_set.size s)
+
+let test_create_sorted () =
+  let s = set ~n:8 [ (4, 5); (0, 3) ] in
+  let cs = Cst_comm.Comm_set.comms s in
+  check_int "first src" 0 cs.(0).src;
+  check_int "second src" 4 cs.(1).src
+
+let test_out_of_range () =
+  match Cst_comm.Comm_set.create ~n:4 [ comm (0, 7) ] with
+  | Error (Cst_comm.Comm_set.Out_of_range _) -> ()
+  | _ -> Alcotest.fail "expected Out_of_range"
+
+let test_shared_endpoint () =
+  match Cst_comm.Comm_set.create ~n:8 [ comm (0, 3); comm (3, 5) ] with
+  | Error (Cst_comm.Comm_set.Shared_endpoint 3) -> ()
+  | _ -> Alcotest.fail "expected Shared_endpoint 3"
+
+let test_shared_source () =
+  match Cst_comm.Comm_set.create ~n:8 [ comm (0, 3); comm (0, 5) ] with
+  | Error (Cst_comm.Comm_set.Shared_endpoint 0) -> ()
+  | _ -> Alcotest.fail "expected Shared_endpoint 0"
+
+let test_roles () =
+  let s = set ~n:6 [ (1, 4) ] in
+  (match Cst_comm.Comm_set.role_of s 1 with
+  | Cst_comm.Comm_set.Source 0 -> ()
+  | _ -> Alcotest.fail "PE 1 should be source of comm 0");
+  (match Cst_comm.Comm_set.role_of s 4 with
+  | Cst_comm.Comm_set.Dest 0 -> ()
+  | _ -> Alcotest.fail "PE 4 should be dest of comm 0");
+  match Cst_comm.Comm_set.role_of s 0 with
+  | Cst_comm.Comm_set.Idle -> ()
+  | _ -> Alcotest.fail "PE 0 should be idle"
+
+let test_matching () =
+  let s = set ~n:8 [ (4, 5); (0, 3) ] in
+  check_true "sorted matching"
+    (Cst_comm.Comm_set.matching s = [ (0, 3); (4, 5) ])
+
+let test_mem () =
+  let s = set ~n:8 [ (0, 3) ] in
+  check_true "member" (Cst_comm.Comm_set.mem s (comm (0, 3)));
+  check_true "not member" (not (Cst_comm.Comm_set.mem s (comm (0, 4))))
+
+let test_orientation_tests () =
+  check_true "right" (Cst_comm.Comm_set.is_right_oriented (set ~n:8 [ (0, 1); (2, 7) ]));
+  check_true "left" (Cst_comm.Comm_set.is_left_oriented (set ~n:8 [ (1, 0); (7, 2) ]));
+  let mixed = set ~n:8 [ (0, 1); (7, 2) ] in
+  check_true "mixed is neither"
+    ((not (Cst_comm.Comm_set.is_right_oriented mixed))
+    && not (Cst_comm.Comm_set.is_left_oriented mixed))
+
+let test_empty_set () =
+  let s = Cst_comm.Comm_set.empty ~n:4 in
+  check_int "size" 0 (Cst_comm.Comm_set.size s);
+  check_true "empty is both orientations"
+    (Cst_comm.Comm_set.is_right_oriented s
+    && Cst_comm.Comm_set.is_left_oriented s)
+
+let test_union () =
+  let a = set ~n:8 [ (0, 1) ] and b = set ~n:8 [ (2, 3) ] in
+  (match Cst_comm.Comm_set.union a b with
+  | Ok u -> check_int "union size" 2 (Cst_comm.Comm_set.size u)
+  | Error _ -> Alcotest.fail "union should succeed");
+  let clash = set ~n:8 [ (1, 4) ] in
+  match Cst_comm.Comm_set.union a clash with
+  | Error (Cst_comm.Comm_set.Shared_endpoint 1) -> ()
+  | _ -> Alcotest.fail "expected clash on PE 1"
+
+let test_filter () =
+  let s = set ~n:8 [ (0, 1); (2, 7) ] in
+  let f = Cst_comm.Comm_set.filter s (fun c -> Cst_comm.Comm.span c > 1) in
+  check_int "filtered size" 1 (Cst_comm.Comm_set.size f);
+  check_int "kept n" 8 (Cst_comm.Comm_set.n f)
+
+let test_string_round_trip () =
+  let s = set ~n:16 [ (0, 15); (3, 4); (7, 10) ] in
+  match Cst_comm.Comm_set.of_string (Cst_comm.Comm_set.to_string s) with
+  | Ok s' -> check_true "round trip" (Cst_comm.Comm_set.equal s s')
+  | Error e -> Alcotest.fail e
+
+let test_of_string_comments () =
+  match Cst_comm.Comm_set.of_string "# comment\nn 8\n\n0 3 # inline\n4 5\n" with
+  | Ok s -> check_int "parsed" 2 (Cst_comm.Comm_set.size s)
+  | Error e -> Alcotest.fail e
+
+let test_of_string_errors () =
+  check_true "missing header"
+    (Result.is_error (Cst_comm.Comm_set.of_string "0 3\n"));
+  check_true "bad line"
+    (Result.is_error (Cst_comm.Comm_set.of_string "n 8\nfoo bar\n"));
+  check_true "self loop"
+    (Result.is_error (Cst_comm.Comm_set.of_string "n 8\n3 3\n"));
+  check_true "out of range"
+    (Result.is_error (Cst_comm.Comm_set.of_string "n 4\n0 9\n"))
+
+let suite =
+  [
+    case "create valid" test_create_valid;
+    case "create sorts" test_create_sorted;
+    case "out of range" test_out_of_range;
+    case "shared endpoint" test_shared_endpoint;
+    case "shared source" test_shared_source;
+    case "roles" test_roles;
+    case "matching" test_matching;
+    case "mem" test_mem;
+    case "orientation" test_orientation_tests;
+    case "empty set" test_empty_set;
+    case "union" test_union;
+    case "filter" test_filter;
+    case "string round trip" test_string_round_trip;
+    case "of_string comments" test_of_string_comments;
+    case "of_string errors" test_of_string_errors;
+  ]

@@ -1,0 +1,74 @@
+open Helpers
+
+let sample = set ~n:16 [ (0, 15); (1, 6); (2, 3); (4, 5); (8, 13) ]
+
+let test_matches_spec () =
+  let t = topo 16 in
+  let spec = Padr.Csa.run_exn t sample in
+  let eng, _ = Padr.Engine.run_exn t sample in
+  check_int "rounds" (Padr.Schedule.num_rounds spec) (Padr.Schedule.num_rounds eng);
+  check_true "deliveries"
+    (Padr.Schedule.all_deliveries spec = Padr.Schedule.all_deliveries eng);
+  Array.iteri
+    (fun i (r : Padr.Schedule.round) ->
+      check_true "per-round deliveries"
+        (List.sort compare r.deliveries
+        = List.sort compare eng.rounds.(i).deliveries))
+    spec.rounds
+
+let test_stats_constants () =
+  let t = topo 16 in
+  let _, stats = Padr.Engine.run_exn t sample in
+  check_int "state words" 5 stats.state_words_per_switch;
+  check_true "message words constant" (stats.max_message_words <= 4);
+  check_true "positive cycles" (stats.cycles > 0)
+
+let test_message_count () =
+  let t = topo 8 in
+  let s = set ~n:8 [ (0, 7) ] in
+  let _, stats = Padr.Engine.run_exn t s in
+  (* Phase 1: 8 leaf messages + 6 internal (root doesn't send).
+     One round: 7 switches send 2 messages each. *)
+  check_int "messages" (8 + 6 + 14) stats.control_messages
+
+let test_cycle_count () =
+  let t = topo 8 in
+  let s = set ~n:8 [ (0, 7) ] in
+  let sched, stats = Padr.Engine.run_exn t s in
+  (* Phase 1: 1 leaf cycle + 3 levels.  Round: 4 level sweeps + 1 data. *)
+  check_int "cycles" (1 + 3 + 5) stats.cycles;
+  check_int "schedule agrees" stats.cycles sched.cycles
+
+let test_empty () =
+  let t = topo 8 in
+  let sched, _ = Padr.Engine.run_exn t (set ~n:8 []) in
+  check_int "no rounds" 0 (Padr.Schedule.num_rounds sched)
+
+let test_errors () =
+  let t = topo 8 in
+  (match Padr.Engine.run t (set ~n:16 [ (0, 12) ]) with
+  | Error (Padr.Csa.Too_large _) -> ()
+  | _ -> Alcotest.fail "expected Too_large");
+  match Padr.Engine.run t (set ~n:8 [ (0, 2); (1, 3) ]) with
+  | Error (Padr.Csa.Not_well_nested _) -> ()
+  | _ -> Alcotest.fail "expected Not_well_nested"
+
+let test_power_equal_to_spec () =
+  let t = topo 16 in
+  let spec = Padr.Csa.run_exn t sample in
+  let eng, _ = Padr.Engine.run_exn t sample in
+  check_int "connects" spec.power.total_connects eng.power.total_connects;
+  check_int "writes" spec.power.total_writes eng.power.total_writes;
+  check_int "disconnects" spec.power.total_disconnects
+    eng.power.total_disconnects
+
+let suite =
+  [
+    case "matches functional spec" test_matches_spec;
+    case "stats constants" test_stats_constants;
+    case "message count" test_message_count;
+    case "cycle count" test_cycle_count;
+    case "empty set" test_empty;
+    case "errors" test_errors;
+    case "power equals spec" test_power_equal_to_spec;
+  ]

@@ -1,0 +1,69 @@
+open Helpers
+
+let t8 = topo 8
+
+let test_none () =
+  check_int "no faults" 0 (Cst.Faults.count Cst.Faults.none);
+  check_true "everything routable"
+    (Cst.Faults.routable t8 Cst.Faults.none (comm (0, 7)))
+
+let test_fail_blocks_path () =
+  (* (0,7) climbs through node 2's up link. *)
+  let f = Cst.Faults.fail Cst.Faults.none ~node:2 ~dir:Cst.Compat.Up in
+  check_true "blocked" (not (Cst.Faults.routable t8 f (comm (0, 7))));
+  check_true "reverse unaffected" (Cst.Faults.routable t8 f (comm (7, 0)));
+  check_true "local traffic unaffected" (Cst.Faults.routable t8 f (comm (0, 3)))
+
+let test_direction_matters () =
+  let f = Cst.Faults.fail Cst.Faults.none ~node:3 ~dir:Cst.Compat.Down in
+  check_true "down blocked" (not (Cst.Faults.routable t8 f (comm (0, 7))));
+  check_true "up through 3 fine" (Cst.Faults.routable t8 f (comm (4, 2)))
+
+let test_partition () =
+  let f = Cst.Faults.fail Cst.Faults.none ~node:2 ~dir:Cst.Compat.Up in
+  let s = set ~n:8 [ (0, 7); (1, 2); (4, 5) ] in
+  let ok, stranded = Cst.Faults.partition t8 f s in
+  check_int "two routable" 2 (Cst_comm.Comm_set.size ok);
+  check_int "one stranded" 1 (List.length stranded);
+  check_true "the long haul is stranded"
+    (match stranded with [ c ] -> Cst_comm.Comm.equal c (comm (0, 7)) | _ -> false)
+
+let test_partition_schedulable () =
+  (* The routable part still schedules and verifies. *)
+  let f = Cst.Faults.fail Cst.Faults.none ~node:2 ~dir:Cst.Compat.Up in
+  let s = set ~n:8 [ (0, 7); (1, 2); (4, 5) ] in
+  let ok, _ = Cst.Faults.partition t8 f s in
+  check_verified (Padr.schedule_exn ok)
+
+let test_is_down_and_pp () =
+  let f =
+    Cst.Faults.fail
+      (Cst.Faults.fail Cst.Faults.none ~node:2 ~dir:Cst.Compat.Up)
+      ~node:5 ~dir:Cst.Compat.Down
+  in
+  check_true "down" (Cst.Faults.is_down f ~node:2 ~dir:Cst.Compat.Up);
+  check_true "not down" (not (Cst.Faults.is_down f ~node:2 ~dir:Cst.Compat.Down));
+  check_int "count" 2 (Cst.Faults.count f);
+  check_true "pp" (String.length (Format.asprintf "%a" Cst.Faults.pp f) > 5)
+
+let test_total_failure () =
+  (* Every leaf's up link down: nothing routes. *)
+  let f = ref Cst.Faults.none in
+  for node = 8 to 15 do
+    f := Cst.Faults.fail !f ~node ~dir:Cst.Compat.Up
+  done;
+  let s = set ~n:8 [ (0, 7); (1, 2); (4, 5) ] in
+  let ok, stranded = Cst.Faults.partition t8 !f s in
+  check_int "nothing routable" 0 (Cst_comm.Comm_set.size ok);
+  check_int "all stranded" 3 (List.length stranded)
+
+let suite =
+  [
+    case "none" test_none;
+    case "fail blocks path" test_fail_blocks_path;
+    case "direction matters" test_direction_matters;
+    case "partition" test_partition;
+    case "partition schedulable" test_partition_schedulable;
+    case "is_down and pp" test_is_down_and_pp;
+    case "total failure" test_total_failure;
+  ]

@@ -1,0 +1,66 @@
+open Helpers
+
+let test_random_pairs_valid () =
+  let rng = Cst_util.Prng.create 4 in
+  for _ = 1 to 30 do
+    let s = Cst_workloads.Gen_arbitrary.random_pairs rng ~n:64 ~pairs:20 in
+    check_int "size" 20 (Cst_comm.Comm_set.size s)
+  done
+
+let test_random_pairs_bounds () =
+  let rng = Cst_util.Prng.create 4 in
+  check_raises_invalid "too many pairs" (fun () ->
+      Cst_workloads.Gen_arbitrary.random_pairs rng ~n:8 ~pairs:5);
+  let empty = Cst_workloads.Gen_arbitrary.random_pairs rng ~n:8 ~pairs:0 in
+  check_int "zero pairs" 0 (Cst_comm.Comm_set.size empty)
+
+let test_random_pairs_deterministic () =
+  let a = Cst_workloads.Gen_arbitrary.random_pairs (Cst_util.Prng.create 5) ~n:32 ~pairs:10 in
+  let b = Cst_workloads.Gen_arbitrary.random_pairs (Cst_util.Prng.create 5) ~n:32 ~pairs:10 in
+  check_true "same seed same set" (Cst_comm.Comm_set.equal a b)
+
+let test_butterfly () =
+  let s = Cst_workloads.Gen_arbitrary.butterfly ~n:16 ~stage:0 in
+  check_true "stage 0 is neighbour pairs"
+    (Cst_comm.Comm_set.matching s
+    = List.init 8 (fun i -> (2 * i, (2 * i) + 1)));
+  let s2 = Cst_workloads.Gen_arbitrary.butterfly ~n:16 ~stage:3 in
+  check_true "stage 3 spans halves"
+    (Cst_comm.Comm_set.matching s2
+    = List.init 8 (fun i -> (i, i + 8)));
+  check_raises_invalid "stage too high" (fun () ->
+      Cst_workloads.Gen_arbitrary.butterfly ~n:16 ~stage:4)
+
+let test_butterfly_right_oriented () =
+  for stage = 0 to 4 do
+    check_true "right oriented"
+      (Cst_comm.Comm_set.is_right_oriented
+         (Cst_workloads.Gen_arbitrary.butterfly ~n:32 ~stage))
+  done
+
+let test_bit_reversal () =
+  let rng = Cst_util.Prng.create 6 in
+  let s = Cst_workloads.Gen_arbitrary.bit_reversal_sample rng ~n:64 in
+  Array.iter
+    (fun (c : Cst_comm.Comm.t) ->
+      (* endpoints must be bit-reversals of each other *)
+      let bits = 6 in
+      let reverse i =
+        let r = ref 0 in
+        for b = 0 to bits - 1 do
+          if i land (1 lsl b) <> 0 then r := !r lor (1 lsl (bits - 1 - b))
+        done;
+        !r
+      in
+      check_int "reversal pair" c.dst (reverse c.src))
+    (Cst_comm.Comm_set.comms s)
+
+let suite =
+  [
+    case "random pairs valid" test_random_pairs_valid;
+    case "random pairs bounds" test_random_pairs_bounds;
+    case "random pairs deterministic" test_random_pairs_deterministic;
+    case "butterfly" test_butterfly;
+    case "butterfly right oriented" test_butterfly_right_oriented;
+    case "bit reversal" test_bit_reversal;
+  ]

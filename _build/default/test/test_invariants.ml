@@ -1,0 +1,49 @@
+open Helpers
+
+let test_hand_example () =
+  let r = Padr.Invariants.audit (topo 8) (set ~n:8 [ (0, 7); (1, 2); (3, 4) ]) in
+  check_true "registers track the oracle" r.ok;
+  check_int "rounds" 2 r.rounds_checked;
+  check_true "no divergence" (r.first_divergence = None)
+
+let test_full_onion () =
+  let r =
+    Padr.Invariants.audit (topo 32) (Cst_workloads.Patterns.full_onion ~n:32)
+  in
+  check_true "onion invariant" r.ok;
+  check_int "n/2 rounds" 16 r.rounds_checked
+
+let test_empty () =
+  let r = Padr.Invariants.audit (topo 8) (set ~n:8 []) in
+  check_true "trivially ok" r.ok;
+  check_int "no rounds" 0 r.rounds_checked
+
+let test_suite_workloads () =
+  let rng = Cst_util.Prng.create 33 in
+  List.iter
+    (fun (g : Cst_workloads.Suite.gen) ->
+      let s = g.make rng ~n:64 in
+      let r = Padr.Invariants.audit (topo 64) s in
+      check_true (g.name ^ " invariant") r.ok)
+    Cst_workloads.Suite.all
+
+let prop_random =
+  prop ~count:60 "registers equal the from-scratch oracle every round"
+    (fun params ->
+      let s = set_of_params params in
+      let leaves = Cst_util.Bits.ceil_pow2 (max 2 (Cst_comm.Comm_set.n s)) in
+      (Padr.Invariants.audit (Cst.Topology.create ~leaves) s).ok)
+
+let test_pp () =
+  let r = Padr.Invariants.audit (topo 8) (set ~n:8 [ (0, 1) ]) in
+  check_true "pp" (String.length (Format.asprintf "%a" Padr.Invariants.pp_report r) > 10)
+
+let suite =
+  [
+    case "hand example" test_hand_example;
+    case "full onion" test_full_onion;
+    case "empty" test_empty;
+    case "suite workloads" test_suite_workloads;
+    prop_random;
+    case "pp" test_pp;
+  ]

@@ -1,0 +1,80 @@
+open Helpers
+
+let test_mirror_pe () =
+  check_int "first" 7 (Cst_comm.Mirror.pe ~n:8 0);
+  check_int "last" 0 (Cst_comm.Mirror.pe ~n:8 7);
+  check_int "middle" 4 (Cst_comm.Mirror.pe ~n:8 3);
+  check_raises_invalid "out of range" (fun () -> Cst_comm.Mirror.pe ~n:8 8)
+
+let test_mirror_comm () =
+  let m = Cst_comm.Mirror.comm ~n:8 (comm (1, 6)) in
+  check_int "src" 6 m.src;
+  check_int "dst" 1 m.dst;
+  check_true "flips orientation" (Cst_comm.Comm.is_left_oriented m)
+
+let test_mirror_set_involution () =
+  let s = set ~n:16 [ (0, 15); (3, 4); (7, 10) ] in
+  check_true "involution"
+    (Cst_comm.Comm_set.equal s (Cst_comm.Mirror.set (Cst_comm.Mirror.set s)))
+
+let test_mirror_preserves_well_nesting () =
+  let s = set ~n:16 [ (0, 15); (1, 6); (2, 3) ] in
+  let m = Cst_comm.Mirror.set s in
+  check_true "left-oriented now" (Cst_comm.Comm_set.is_left_oriented m);
+  (* mirroring back the orientations: flip each comm to check nesting *)
+  let flipped =
+    Cst_comm.Comm_set.create_exn ~n:16
+      (Array.to_list (Cst_comm.Comm_set.comms m)
+      |> List.map (fun (c : Cst_comm.Comm.t) ->
+             Cst_comm.Comm.make ~src:c.dst ~dst:c.src))
+  in
+  check_true "still well-nested" (Cst_comm.Well_nested.is_well_nested flipped)
+
+let test_mirror_preserves_width () =
+  let s = set ~n:16 [ (0, 15); (1, 6); (2, 3); (8, 13) ] in
+  check_int "width invariant"
+    (Cst_comm.Width.width ~leaves:16 s)
+    (Cst_comm.Width.width ~leaves:16 (Cst_comm.Mirror.set s))
+
+let test_split () =
+  let s = set ~n:8 [ (0, 3); (7, 4); (1, 2) ] in
+  let right, left = Cst_comm.Decompose.split s in
+  check_int "right part" 2 (Cst_comm.Comm_set.size right);
+  check_int "left part" 1 (Cst_comm.Comm_set.size left);
+  check_true "right oriented" (Cst_comm.Comm_set.is_right_oriented right);
+  check_true "left oriented" (Cst_comm.Comm_set.is_left_oriented left)
+
+let test_split_empty_parts () =
+  let s = set ~n:8 [ (0, 3) ] in
+  let right, left = Cst_comm.Decompose.split s in
+  check_int "all right" 1 (Cst_comm.Comm_set.size right);
+  check_int "no left" 0 (Cst_comm.Comm_set.size left)
+
+let test_is_oriented () =
+  check_true "right set" (Cst_comm.Decompose.is_oriented (set ~n:8 [ (0, 3) ]));
+  check_true "left set" (Cst_comm.Decompose.is_oriented (set ~n:8 [ (3, 0) ]));
+  check_true "mixed is not"
+    (not (Cst_comm.Decompose.is_oriented (set ~n:8 [ (0, 3); (7, 4) ])));
+  check_true "empty is oriented"
+    (Cst_comm.Decompose.is_oriented (set ~n:8 []))
+
+let prop_split_partition =
+  prop "split partitions and mirror round-trips" (fun params ->
+      let s = set_of_params params in
+      let right, left = Cst_comm.Decompose.split s in
+      Cst_comm.Comm_set.size right + Cst_comm.Comm_set.size left
+      = Cst_comm.Comm_set.size s
+      && Cst_comm.Comm_set.equal (Cst_comm.Mirror.set (Cst_comm.Mirror.set s)) s)
+
+let suite =
+  [
+    case "mirror pe" test_mirror_pe;
+    case "mirror comm" test_mirror_comm;
+    case "mirror set involution" test_mirror_set_involution;
+    case "mirror preserves well-nesting" test_mirror_preserves_well_nesting;
+    case "mirror preserves width" test_mirror_preserves_width;
+    case "split" test_split;
+    case "split empty parts" test_split_empty_parts;
+    case "is_oriented" test_is_oriented;
+    prop_split_partition;
+  ]

@@ -1,0 +1,128 @@
+open Helpers
+open Cst
+
+(* Manually configure the path 0 -> 7 on an 8-leaf CST and check that the
+   data plane follows it hop by hop. *)
+let configure_0_to_7 net =
+  let cfg ~output ~input = Switch_config.set Switch_config.empty ~output ~input in
+  Net.reconfigure net ~node:4 (cfg ~output:Side.P ~input:Side.L);
+  Net.reconfigure net ~node:2 (cfg ~output:Side.P ~input:Side.L);
+  Net.reconfigure net ~node:1 (cfg ~output:Side.R ~input:Side.L);
+  Net.reconfigure net ~node:3 (cfg ~output:Side.R ~input:Side.P);
+  Net.reconfigure net ~node:7 (cfg ~output:Side.R ~input:Side.P)
+
+let test_route_full_path () =
+  let net = Net.create (topo 8) in
+  configure_0_to_7 net;
+  check_true "0 routes to 7" (Data_plane.route net ~src:0 = Some 7)
+
+let test_trace_hops () =
+  let net = Net.create (topo 8) in
+  configure_0_to_7 net;
+  let hops, dst = Data_plane.trace_from net ~src:0 in
+  check_true "delivered" (dst = Some 7);
+  check_int "five switches" 5 (List.length hops);
+  let nodes = List.map (fun (h : Data_plane.hop) -> h.node) hops in
+  check_true "path order" (nodes = [ 4; 2; 1; 3; 7 ])
+
+let test_route_dead_end () =
+  let net = Net.create (topo 8) in
+  check_true "unconfigured dead end" (Data_plane.route net ~src:0 = None)
+
+let test_route_partial_dead_end () =
+  let net = Net.create (topo 8) in
+  Net.reconfigure net ~node:4
+    (Switch_config.set Switch_config.empty ~output:Side.P ~input:Side.L);
+  check_true "stops at node 2" (Data_plane.route net ~src:0 = None)
+
+let test_route_to_root_parent_is_dead () =
+  let net = Net.create (topo 8) in
+  Net.reconfigure net ~node:4
+    (Switch_config.set Switch_config.empty ~output:Side.P ~input:Side.L);
+  Net.reconfigure net ~node:2
+    (Switch_config.set Switch_config.empty ~output:Side.P ~input:Side.L);
+  Net.reconfigure net ~node:1
+    (Switch_config.set Switch_config.empty ~output:Side.P ~input:Side.L);
+  (* the root's parent output leads nowhere *)
+  check_true "root p_o is a dead end" (Data_plane.route net ~src:0 = None)
+
+let test_neighbor_route () =
+  let net = Net.create (topo 8) in
+  Net.reconfigure net ~node:4
+    (Switch_config.set Switch_config.empty ~output:Side.R ~input:Side.L);
+  check_true "0 to 1" (Data_plane.route net ~src:0 = Some 1)
+
+let test_transfer_moves_data () =
+  let net = Net.create (topo 8) in
+  configure_0_to_7 net;
+  Net.pe_write net ~pe:0 4242;
+  let deliveries = Data_plane.transfer net ~sources:[ 0 ] in
+  check_true "delivery list" (deliveries = [ (0, 7) ]);
+  check_true "register latched" (Net.pe_read net ~pe:7 = Some 4242);
+  check_true "other registers empty" (Net.pe_read net ~pe:3 = None)
+
+let test_transfer_silent_source () =
+  let net = Net.create (topo 8) in
+  check_true "no route, no delivery"
+    (Data_plane.transfer net ~sources:[ 0 ] = [])
+
+let test_power_charged () =
+  let net = Net.create (topo 8) in
+  configure_0_to_7 net;
+  check_int "five connects" 5 (Power_meter.total_connects (Net.meter net));
+  check_int "five writes" 5 (Power_meter.total_writes (Net.meter net));
+  (* identical reconfiguration costs no transition but pays writes *)
+  configure_0_to_7 net;
+  check_int "still five connects" 5 (Power_meter.total_connects (Net.meter net));
+  check_int "writes doubled" 10 (Power_meter.total_writes (Net.meter net))
+
+let test_lazy_reconfigure_writes () =
+  let net = Net.create (topo 8) in
+  let want = Switch_config.set Switch_config.empty ~output:Side.P ~input:Side.L in
+  Net.reconfigure_lazy net ~node:4 ~want;
+  Net.reconfigure_lazy net ~node:4 ~want;
+  check_int "one write only" 1 (Power_meter.total_writes (Net.meter net));
+  Net.reconfigure_lazy net ~node:4 ~want:Switch_config.empty;
+  check_true "connection persists"
+    (Switch_config.driver (Net.config net 4) Side.P = Some Side.L);
+  check_int "still one write" 1 (Power_meter.total_writes (Net.meter net))
+
+let test_clear_all () =
+  let net = Net.create (topo 8) in
+  configure_0_to_7 net;
+  Net.clear_all net;
+  for node = 1 to 7 do
+    check_true "cleared" (Switch_config.is_empty (Net.config net node))
+  done;
+  check_int "disconnects charged" 5
+    (Power_meter.total_disconnects (Net.meter net))
+
+let test_register_reset () =
+  let net = Net.create (topo 8) in
+  Net.pe_write net ~pe:3 7;
+  Net.pe_deliver net ~pe:2 9;
+  Net.reset_registers net;
+  check_int "out cleared" 0 (Net.pe_out net ~pe:3);
+  check_true "in cleared" (Net.pe_read net ~pe:2 = None)
+
+let test_bad_indices () =
+  let net = Net.create (topo 8) in
+  check_raises_invalid "leaf is not a switch" (fun () -> Net.config net 8);
+  check_raises_invalid "bad pe" (fun () -> Net.pe_write net ~pe:8 0)
+
+let suite =
+  [
+    case "route full path" test_route_full_path;
+    case "trace hops" test_trace_hops;
+    case "route dead end" test_route_dead_end;
+    case "route partial dead end" test_route_partial_dead_end;
+    case "root parent is dead" test_route_to_root_parent_is_dead;
+    case "neighbor route" test_neighbor_route;
+    case "transfer moves data" test_transfer_moves_data;
+    case "transfer silent source" test_transfer_silent_source;
+    case "power charged" test_power_charged;
+    case "lazy reconfigure writes" test_lazy_reconfigure_writes;
+    case "clear all" test_clear_all;
+    case "register reset" test_register_reset;
+    case "bad indices" test_bad_indices;
+  ]

@@ -1,0 +1,84 @@
+open Helpers
+
+let test_tokens () =
+  let s = set ~n:6 [ (1, 4) ] in
+  check_true "token string" (Cst_comm.Paren.to_string s = ".(..).")
+
+let test_tokens_left_oriented_rejected () =
+  let s = set ~n:4 [ (3, 0) ] in
+  check_raises_invalid "left-oriented" (fun () -> Cst_comm.Paren.tokens s)
+
+let test_of_string () =
+  match Cst_comm.Paren.of_string "((.))" with
+  | Ok s ->
+      check_int "two comms" 2 (Cst_comm.Comm_set.size s);
+      check_true "matching" (Cst_comm.Comm_set.matching s = [ (0, 4); (1, 3) ])
+  | Error e -> Alcotest.fail e
+
+let test_of_string_blanks () =
+  match Cst_comm.Paren.of_string "(_) ." with
+  | Ok s ->
+      check_int "n counts blanks" 5 (Cst_comm.Comm_set.n s);
+      check_int "one comm" 1 (Cst_comm.Comm_set.size s)
+  | Error e -> Alcotest.fail e
+
+let test_of_string_unbalanced () =
+  check_true "missing close" (Result.is_error (Cst_comm.Paren.of_string "(("));
+  check_true "extra close" (Result.is_error (Cst_comm.Paren.of_string "())"));
+  check_true "close first" (Result.is_error (Cst_comm.Paren.of_string ")("));
+  check_true "bad char" (Result.is_error (Cst_comm.Paren.of_string "(a)"));
+  check_true "empty" (Result.is_error (Cst_comm.Paren.of_string ""))
+
+let test_round_trip () =
+  let s = set ~n:16 [ (0, 15); (1, 6); (2, 3); (4, 5); (8, 13) ] in
+  match Cst_comm.Paren.of_string (Cst_comm.Paren.to_string s) with
+  | Ok s' -> check_true "round trip" (Cst_comm.Comm_set.equal s s')
+  | Error e -> Alcotest.fail e
+
+let test_is_balanced () =
+  let toks s = match Cst_comm.Paren.of_string s with
+    | Ok set -> Cst_comm.Paren.tokens set
+    | Error e -> Alcotest.fail e
+  in
+  check_true "balanced" (Cst_comm.Paren.is_balanced (toks "(())"));
+  check_true "empty balanced" (Cst_comm.Paren.is_balanced [| Cst_comm.Paren.Blank |]);
+  check_true "unbalanced"
+    (not (Cst_comm.Paren.is_balanced [| Cst_comm.Paren.Open |]))
+
+let test_max_depth () =
+  let depth s =
+    match Cst_comm.Paren.of_string s with
+    | Ok set -> Cst_comm.Paren.max_depth (Cst_comm.Paren.tokens set)
+    | Error e -> Alcotest.fail e
+  in
+  check_int "flat" 1 (depth "()()");
+  check_int "nested" 3 (depth "((()))");
+  check_int "mixed" 2 (depth "(()).(())")
+
+let prop_round_trip =
+  prop "paren round-trips through string" (fun params ->
+      let s = set_of_params params in
+      match Cst_comm.Paren.of_string (Cst_comm.Paren.to_string s) with
+      | Ok s' -> Cst_comm.Comm_set.equal s s'
+      | Error _ -> false)
+
+let prop_match_pairs_agree =
+  prop "match_pairs equals the set's matching" (fun params ->
+      let s = set_of_params params in
+      match Cst_comm.Paren.match_pairs (Cst_comm.Paren.tokens s) with
+      | Ok pairs -> pairs = Cst_comm.Comm_set.matching s
+      | Error _ -> false)
+
+let suite =
+  [
+    case "tokens" test_tokens;
+    case "tokens reject left-oriented" test_tokens_left_oriented_rejected;
+    case "of_string" test_of_string;
+    case "of_string blanks" test_of_string_blanks;
+    case "of_string unbalanced" test_of_string_unbalanced;
+    case "round trip" test_round_trip;
+    case "is_balanced" test_is_balanced;
+    case "max_depth" test_max_depth;
+    prop_round_trip;
+    prop_match_pairs_agree;
+  ]

@@ -1,0 +1,131 @@
+open Helpers
+
+(* Empirical form of the paper's headline contrast (Theorem 8 and the
+   discussion of Roy et al.): per-switch configuration cost as the width
+   grows.  CSA must stay flat; ID scheduling must grow linearly. *)
+
+let sweep algo_run widths =
+  List.map
+    (fun w ->
+      let n = 256 in
+      let t = topo n in
+      let s = Cst_workloads.Gen_wn.onion ~n ~width:w in
+      let sched : Padr.Schedule.t = algo_run t s in
+      (float_of_int w, float_of_int sched.power.max_writes_per_switch))
+    widths
+
+let widths = [ 2; 4; 8; 16; 32; 64; 128 ]
+
+let test_csa_flat_in_width () =
+  let pts = Array.of_list (sweep (fun t s -> Padr.Csa.run_exn t s) widths) in
+  let fit = Cst_util.Stats.linear_fit pts in
+  check_true
+    (Printf.sprintf "slope ~ 0 (got %.4f)" fit.slope)
+    (Float.abs fit.slope < 0.01)
+
+let test_roy_linear_in_width () =
+  let pts = Array.of_list (sweep Cst_baselines.Roy_id.run widths) in
+  let fit = Cst_util.Stats.linear_fit pts in
+  check_true
+    (Printf.sprintf "slope ~ 1 (got %.4f)" fit.slope)
+    (fit.slope > 0.9 && fit.slope < 1.1);
+  check_true "good fit" (fit.r2 > 0.99)
+
+let test_csa_constant_across_n () =
+  (* Theorem 8's constant must not secretly grow with the tree size. *)
+  let maxima =
+    List.map
+      (fun n ->
+        let rng = Cst_util.Prng.create 2024 in
+        let worst = ref 0 in
+        for _ = 1 to 10 do
+          let s = Cst_workloads.Gen_wn.uniform rng ~n ~density:1.0 in
+          let sched = Padr.schedule_exn s in
+          worst := max !worst sched.power.max_connects_per_switch
+        done;
+        !worst)
+      [ 32; 128; 512; 2048 ]
+  in
+  List.iter
+    (fun m ->
+      check_true
+        (Printf.sprintf "within bound (%d)" m)
+        (m <= Padr.Verify.default_power_bound))
+    maxima
+
+let test_meter_accumulates () =
+  let m = Cst.Power_meter.create ~num_nodes:3 in
+  Cst.Power_meter.charge m ~node:2 { connects = 2; disconnects = 1 };
+  Cst.Power_meter.charge m ~node:2 { connects = 1; disconnects = 0 };
+  Cst.Power_meter.charge_writes m ~node:3 5;
+  check_int "connects" 3 (Cst.Power_meter.connects m ~node:2);
+  check_int "disconnects" 1 (Cst.Power_meter.disconnects m ~node:2);
+  check_int "writes" 5 (Cst.Power_meter.writes m ~node:3);
+  check_int "total" 3 (Cst.Power_meter.total_connects m);
+  check_int "max connects" 3 (Cst.Power_meter.max_connects_per_switch m);
+  check_int "max writes" 5 (Cst.Power_meter.max_writes_per_switch m);
+  check_int "max events" 4 (Cst.Power_meter.max_events_per_switch m);
+  Cst.Power_meter.reset m;
+  check_int "reset" 0 (Cst.Power_meter.total_connects m)
+
+let test_meter_copy_diff () =
+  let m = Cst.Power_meter.create ~num_nodes:3 in
+  Cst.Power_meter.charge m ~node:1 { connects = 2; disconnects = 0 };
+  let baseline = Cst.Power_meter.copy m in
+  Cst.Power_meter.charge m ~node:1 { connects = 3; disconnects = 1 };
+  Cst.Power_meter.charge_writes m ~node:2 4;
+  let d = Cst.Power_meter.diff_since m ~baseline in
+  check_int "delta connects" 3 (Cst.Power_meter.connects d ~node:1);
+  check_int "delta disconnects" 1 (Cst.Power_meter.disconnects d ~node:1);
+  check_int "delta writes" 4 (Cst.Power_meter.writes d ~node:2);
+  (* the baseline copy is unaffected by later charges *)
+  check_int "baseline frozen" 2 (Cst.Power_meter.connects baseline ~node:1)
+
+let test_shared_net_rerun_is_free () =
+  (* Running the same width-1 set twice on one warm network: the second
+     run finds every configuration already in place — zero power (pure
+     PADR).  Width 1 so that the single round's configuration is exactly
+     what the warm network still holds. *)
+  let t = topo 16 in
+  let s = set ~n:16 [ (0, 7); (8, 11); (13, 15) ] in
+  let net = Cst.Net.create t in
+  let first = Padr.Csa.run_exn ~net t s in
+  let second = Padr.Csa.run_exn ~net t s in
+  check_true "first run pays" (first.power.total_connects > 0);
+  check_int "second run free" 0 second.power.total_connects;
+  check_int "second run no writes" 0 second.power.total_writes;
+  check_true "second run still delivers"
+    (Padr.Schedule.all_deliveries second = Cst_comm.Comm_set.matching s)
+
+let test_shared_net_topology_mismatch () =
+  let net = Cst.Net.create (topo 8) in
+  check_raises_invalid "mismatch" (fun () ->
+      Padr.Csa.run_exn ~net (topo 16) (set ~n:16 [ (0, 1) ]))
+
+let test_disconnect_tracking () =
+  (* A full onion forces the root's l_i->r_o to persist across every
+     round: zero disconnects at the root. *)
+  let s = Padr.schedule_exn (Cst_workloads.Patterns.full_onion ~n:32) in
+  check_true "few disconnects"
+    (s.power.total_disconnects <= s.power.total_connects)
+
+let test_power_floor_met_on_single_comm () =
+  let t = topo 16 in
+  let st = set ~n:16 [ (0, 15) ] in
+  let sched = Padr.Csa.run_exn t st in
+  (* A single communication: power = path length exactly. *)
+  check_int "exact floor" (Cst_baselines.Bounds.min_total_connects t st)
+    sched.power.total_connects
+
+let suite =
+  [
+    case "CSA flat in width" test_csa_flat_in_width;
+    case "Roy linear in width" test_roy_linear_in_width;
+    case "CSA constant across n" test_csa_constant_across_n;
+    case "meter accumulates" test_meter_accumulates;
+    case "meter copy/diff" test_meter_copy_diff;
+    case "shared net rerun is free" test_shared_net_rerun_is_free;
+    case "shared net topology mismatch" test_shared_net_topology_mismatch;
+    case "disconnect tracking" test_disconnect_tracking;
+    case "single-comm power floor" test_power_floor_met_on_single_comm;
+  ]

@@ -1,0 +1,124 @@
+open Helpers
+
+let test_determinism () =
+  let a = Cst_util.Prng.create 42 and b = Cst_util.Prng.create 42 in
+  for _ = 1 to 100 do
+    check_true "same stream"
+      (Cst_util.Prng.next_int64 a = Cst_util.Prng.next_int64 b)
+  done
+
+let test_different_seeds () =
+  let a = Cst_util.Prng.create 1 and b = Cst_util.Prng.create 2 in
+  check_true "different first draw"
+    (Cst_util.Prng.next_int64 a <> Cst_util.Prng.next_int64 b)
+
+let test_int_bounds () =
+  let rng = Cst_util.Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Cst_util.Prng.int rng 17 in
+    check_true "in range" (v >= 0 && v < 17)
+  done
+
+let test_int_one () =
+  let rng = Cst_util.Prng.create 7 in
+  for _ = 1 to 10 do
+    check_int "bound 1 gives 0" 0 (Cst_util.Prng.int rng 1)
+  done
+
+let test_int_in () =
+  let rng = Cst_util.Prng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Cst_util.Prng.int_in rng (-5) 5 in
+    check_true "in closed range" (v >= -5 && v <= 5)
+  done
+
+let test_int_invalid () =
+  let rng = Cst_util.Prng.create 1 in
+  check_raises_invalid "zero bound" (fun () -> Cst_util.Prng.int rng 0);
+  check_raises_invalid "empty range" (fun () ->
+      Cst_util.Prng.int_in rng 3 2)
+
+let test_float_bounds () =
+  let rng = Cst_util.Prng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Cst_util.Prng.float rng 2.5 in
+    check_true "in [0, 2.5)" (v >= 0.0 && v < 2.5)
+  done
+
+let test_float_mean () =
+  let rng = Cst_util.Prng.create 13 in
+  let sum = ref 0.0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    sum := !sum +. Cst_util.Prng.float rng 1.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check_true "mean near 0.5" (mean > 0.45 && mean < 0.55)
+
+let test_bool_balance () =
+  let rng = Cst_util.Prng.create 17 in
+  let trues = ref 0 in
+  for _ = 1 to 10_000 do
+    if Cst_util.Prng.bool rng then incr trues
+  done;
+  check_true "roughly balanced" (!trues > 4500 && !trues < 5500)
+
+let test_shuffle_permutation () =
+  let rng = Cst_util.Prng.create 23 in
+  let a = Array.init 50 (fun i -> i) in
+  Cst_util.Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check_true "same elements" (sorted = Array.init 50 (fun i -> i))
+
+let test_shuffle_moves () =
+  let rng = Cst_util.Prng.create 23 in
+  let a = Array.init 50 (fun i -> i) in
+  Cst_util.Prng.shuffle rng a;
+  check_true "not identity" (a <> Array.init 50 (fun i -> i))
+
+let test_copy_independent () =
+  let a = Cst_util.Prng.create 5 in
+  let _ = Cst_util.Prng.next_int64 a in
+  let b = Cst_util.Prng.copy a in
+  check_true "copies agree"
+    (Cst_util.Prng.next_int64 a = Cst_util.Prng.next_int64 b)
+
+let test_split_diverges () =
+  let a = Cst_util.Prng.create 5 in
+  let b = Cst_util.Prng.split a in
+  check_true "parent and child differ"
+    (Cst_util.Prng.next_int64 a <> Cst_util.Prng.next_int64 b)
+
+let test_pick () =
+  let rng = Cst_util.Prng.create 31 in
+  let arr = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    check_true "picks member" (Array.mem (Cst_util.Prng.pick rng arr) arr)
+  done;
+  check_raises_invalid "empty pick" (fun () -> Cst_util.Prng.pick rng [||])
+
+let test_pick_list () =
+  let rng = Cst_util.Prng.create 31 in
+  check_true "singleton" (Cst_util.Prng.pick_list rng [ 9 ] = 9);
+  check_raises_invalid "empty list" (fun () ->
+      Cst_util.Prng.pick_list rng [])
+
+let suite =
+  [
+    case "determinism" test_determinism;
+    case "different seeds" test_different_seeds;
+    case "int bounds" test_int_bounds;
+    case "int bound one" test_int_one;
+    case "int_in bounds" test_int_in;
+    case "invalid bounds raise" test_int_invalid;
+    case "float bounds" test_float_bounds;
+    case "float mean" test_float_mean;
+    case "bool balance" test_bool_balance;
+    case "shuffle is a permutation" test_shuffle_permutation;
+    case "shuffle moves elements" test_shuffle_moves;
+    case "copy independent" test_copy_independent;
+    case "split diverges" test_split_diverges;
+    case "pick" test_pick;
+    case "pick_list" test_pick_list;
+  ]

@@ -1,0 +1,89 @@
+open Helpers
+
+let test_table_render () =
+  let t = Cst_report.Table.create ~title:"demo" ~columns:[ "w"; "rounds" ] in
+  Cst_report.Table.add_int_row t [ 1; 1 ];
+  Cst_report.Table.add_int_row t [ 32; 32 ];
+  let txt = Cst_report.Table.render t in
+  check_true "title" (String.length txt > 0 && txt.[0] = '=');
+  check_true "has header rule"
+    (String.split_on_char '\n' txt |> List.exists (fun l ->
+         String.length l > 0 && String.for_all (( = ) '-') l));
+  check_int "row count" 2 (Cst_report.Table.row_count t)
+
+let test_table_arity () =
+  let t = Cst_report.Table.create ~title:"demo" ~columns:[ "a"; "b" ] in
+  check_raises_invalid "wrong arity" (fun () ->
+      Cst_report.Table.add_row t [ "only one" ])
+
+let test_table_alignment () =
+  let t = Cst_report.Table.create ~title:"t" ~columns:[ "col" ] in
+  Cst_report.Table.add_row t [ "wide-cell-content" ];
+  let lines = String.split_on_char '\n' (Cst_report.Table.render t) in
+  let header = List.nth lines 1 and rule = List.nth lines 2 in
+  check_int "rule covers widest" (String.length rule)
+    (max (String.length header) (String.length rule))
+
+let test_cell_float () =
+  check_true "integral" (Cst_report.Table.cell_float 3.0 = "3");
+  check_true "small" (Cst_report.Table.cell_float 0.1234 = "0.1234");
+  check_true "mid" (Cst_report.Table.cell_float 12.345 = "12.35");
+  check_true "big" (Cst_report.Table.cell_float 123.456 = "123.5")
+
+let test_csv () =
+  let txt =
+    Cst_report.Csv.to_string ~header:[ "a"; "b" ]
+      [ [ "1"; "x,y" ]; [ "2"; "say \"hi\"" ] ]
+  in
+  check_true "quoted comma" (String.length txt > 0);
+  let lines = String.split_on_char '\n' txt in
+  check_true "header" (List.nth lines 0 = "a,b");
+  check_true "escaped field" (List.nth lines 1 = "1,\"x,y\"");
+  check_true "escaped quote" (List.nth lines 2 = "2,\"say \"\"hi\"\"\"")
+
+let test_csv_file () =
+  let path = Filename.temp_file "csttest" ".csv" in
+  Cst_report.Csv.write_file ~path ~header:[ "h" ] [ [ "v" ] ];
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  check_true "written" (line = "h")
+
+let test_ascii_plot () =
+  let txt =
+    Cst_report.Ascii_plot.render ~title:"p" ~x_label:"x" ~y_label:"y"
+      [
+        { label = "flat"; points = [ (1.0, 2.0); (10.0, 2.0) ] };
+        { label = "rising"; points = [ (1.0, 1.0); (10.0, 10.0) ] };
+      ]
+  in
+  check_true "has first glyph" (String.contains txt '*');
+  check_true "has second glyph" (String.contains txt 'o');
+  check_true "has legend" (String.length txt > 100)
+
+let test_ascii_plot_empty () =
+  let txt =
+    Cst_report.Ascii_plot.render ~title:"e" ~x_label:"x" ~y_label:"y" []
+  in
+  check_true "graceful" (String.length txt > 0)
+
+let test_ascii_plot_single_point () =
+  let txt =
+    Cst_report.Ascii_plot.render ~title:"s" ~x_label:"x" ~y_label:"y"
+      [ { label = "dot"; points = [ (5.0, 5.0) ] } ]
+  in
+  check_true "renders" (String.contains txt '*')
+
+let suite =
+  [
+    case "table render" test_table_render;
+    case "table arity" test_table_arity;
+    case "table alignment" test_table_alignment;
+    case "cell_float" test_cell_float;
+    case "csv" test_csv;
+    case "csv file" test_csv_file;
+    case "ascii plot" test_ascii_plot;
+    case "ascii plot empty" test_ascii_plot_empty;
+    case "ascii plot single point" test_ascii_plot_single_point;
+  ]

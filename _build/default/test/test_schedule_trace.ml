@@ -1,0 +1,97 @@
+open Helpers
+
+let sched () = schedule ~n:8 [ (0, 7); (1, 2); (3, 4) ]
+
+let test_all_deliveries_sorted () =
+  let s = sched () in
+  let d = Padr.Schedule.all_deliveries s in
+  check_true "sorted by source" (d = List.sort compare d);
+  check_true "content" (d = [ (0, 7); (1, 2); (3, 4) ])
+
+let test_deliveries_per_round () =
+  let s = sched () in
+  check_true "per round counts"
+    (Padr.Schedule.deliveries_per_round s = [| 1; 2 |])
+
+let test_pp_smoke () =
+  let s = sched () in
+  let txt = Format.asprintf "%a" Padr.Schedule.pp s in
+  check_true "mentions rounds" (String.length txt > 40)
+
+let test_round_snapshot_nonempty () =
+  let s = sched () in
+  Array.iter
+    (fun (r : Padr.Schedule.round) ->
+      check_true "has configs" (Array.length r.configs > 0))
+    s.rounds
+
+let test_combine_power_accumulates () =
+  let s = sched () in
+  let doubled = Padr.Schedule.combine_power s.power s.power in
+  check_int "totals add" (2 * s.power.total_connects) doubled.total_connects;
+  check_int "writes add" (2 * s.power.total_writes) doubled.total_writes;
+  (* the same switch busy in both parts accumulates: maxima are
+     recomputed from the summed arrays, not maxed *)
+  check_int "maxima recomputed" (2 * s.power.max_connects_per_switch)
+    doubled.max_connects_per_switch;
+  let zero = Padr.Schedule.zero_power ~num_nodes:15 in
+  let same = Padr.Schedule.combine_power s.power zero in
+  check_int "zero is neutral for totals" s.power.total_connects
+    same.total_connects;
+  check_int "zero is neutral for maxima" s.power.max_connects_per_switch
+    same.max_connects_per_switch
+
+let test_mirror_power_preserves_totals () =
+  let s = sched () in
+  let t = Cst.Topology.create ~leaves:8 in
+  let m = Padr.Schedule.mirror_power t s.power in
+  check_int "total invariant" s.power.total_connects m.total_connects;
+  check_int "max invariant" s.power.max_connects_per_switch
+    m.max_connects_per_switch;
+  (* reflecting twice is the identity on the arrays *)
+  let mm = Padr.Schedule.mirror_power t m in
+  check_true "involution"
+    (mm.per_switch_connects = s.power.per_switch_connects)
+
+let test_trace_collects () =
+  let t = Cst.Trace.create () in
+  Cst.Trace.emit (Some t) (Cst.Trace.Round_start 1);
+  Cst.Trace.emit (Some t) (Cst.Trace.Finished { rounds = 1 });
+  check_int "two events" 2 (Cst.Trace.length t);
+  check_true "order preserved"
+    (Cst.Trace.events t
+    = [ Cst.Trace.Round_start 1; Cst.Trace.Finished { rounds = 1 } ])
+
+let test_trace_none_noop () =
+  Cst.Trace.emit None (Cst.Trace.Round_start 1)
+
+let test_trace_pp () =
+  let t = Cst.Trace.create () in
+  Cst.Trace.emit (Some t) (Cst.Trace.Delivered { round = 1; src = 2; dst = 5 });
+  let txt = Format.asprintf "%a" Cst.Trace.pp t in
+  check_true "mentions PEs" (String.length txt > 10)
+
+let test_trace_full_run_round_count () =
+  let trace = Cst.Trace.create () in
+  let _ = Padr.Csa.run_exn ~trace (topo 8) (set ~n:8 [ (0, 7); (1, 6) ]) in
+  let starts =
+    List.length
+      (List.filter
+         (function Cst.Trace.Round_start _ -> true | _ -> false)
+         (Cst.Trace.events trace))
+  in
+  check_int "a start per round" 2 starts
+
+let suite =
+  [
+    case "all_deliveries sorted" test_all_deliveries_sorted;
+    case "deliveries per round" test_deliveries_per_round;
+    case "pp smoke" test_pp_smoke;
+    case "round snapshots" test_round_snapshot_nonempty;
+    case "combine_power accumulates" test_combine_power_accumulates;
+    case "mirror_power preserves totals" test_mirror_power_preserves_totals;
+    case "trace collects" test_trace_collects;
+    case "trace none noop" test_trace_none_noop;
+    case "trace pp" test_trace_pp;
+    case "trace round count" test_trace_full_run_round_count;
+  ]

@@ -1,0 +1,104 @@
+open Helpers
+open Cst_sim
+
+let small_trace () =
+  let rng = Cst_util.Prng.create 12 in
+  Traffic.random_well_nested rng ~leaves:32 ~phases:6 ()
+
+let test_traffic_make () =
+  let t = small_trace () in
+  check_int "phases" 6 (Traffic.length t);
+  check_true "has traffic" (Traffic.total_comms t > 0)
+
+let test_traffic_validation () =
+  check_raises_invalid "npot leaves" (fun () -> Traffic.make ~leaves:6 []);
+  check_raises_invalid "oversized phase" (fun () ->
+      Traffic.make ~leaves:8
+        [ { Traffic.label = "big"; set = set ~n:16 [ (0, 15) ] } ]);
+  check_raises_invalid "bad densities" (fun () ->
+      Traffic.random_well_nested (Cst_util.Prng.create 1) ~leaves:8 ~phases:1
+        ~density_lo:0.9 ~density_hi:0.1 ())
+
+let test_traffic_from_suite () =
+  let rng = Cst_util.Prng.create 9 in
+  let t = Traffic.from_suite rng ~leaves:32 ~rounds:2 in
+  check_int "all workloads twice"
+    (2 * List.length Cst_workloads.Suite.all)
+    (Traffic.length t)
+
+let test_run_padr () =
+  let t = small_trace () in
+  let r = Runner.run_padr t in
+  check_int "per-phase results" 6 (List.length r.phases);
+  check_true "rounds accumulate" (r.rounds > 0);
+  List.iter
+    (fun (p : Runner.phase_result) ->
+      check_true "rounds >= width within a phase" (p.rounds >= p.width);
+      check_int "well-nested phases are one wave" 1 p.waves)
+    r.phases;
+  check_true "ledger adds up"
+    (r.power.total_writes
+    = List.fold_left (fun a (p : Runner.phase_result) -> a + p.writes) 0 r.phases)
+
+let test_run_baseline () =
+  let t = small_trace () in
+  let r = Runner.run_baseline Cst_baselines.Registry.roy_id t in
+  check_int "phases" 6 (List.length r.phases);
+  check_true "named" (r.scheduler = "roy-id")
+
+let test_compare_all () =
+  let t = small_trace () in
+  let results = Runner.compare_all t in
+  check_int "padr + five baselines" 6 (List.length results);
+  let padr = List.assoc "padr" results in
+  let roy = List.assoc "roy-id" results in
+  let naive = List.assoc "naive" results in
+  check_true "padr never writes more than roy"
+    (padr.power.total_writes <= roy.power.total_writes);
+  check_true "roy never writes more than naive"
+    (roy.power.total_writes <= naive.power.total_writes);
+  check_true "energy ratio <= 1" (Runner.energy_ratio padr roy <= 1.0)
+
+let test_padr_handles_mixed_phases () =
+  let rng = Cst_util.Prng.create 77 in
+  let phases =
+    List.init 4 (fun i ->
+        {
+          Traffic.label = Printf.sprintf "arb-%d" i;
+          set = Cst_workloads.Gen_arbitrary.random_pairs rng ~n:32 ~pairs:10;
+        })
+  in
+  let t = Traffic.make ~leaves:32 phases in
+  let r = Runner.run_padr t in
+  check_int "all phases ran" 4 (List.length r.phases);
+  List.iter
+    (fun (p : Runner.phase_result) ->
+      check_true "waves cover the phase" (p.waves >= 1))
+    r.phases
+
+let test_carry_over_across_phases () =
+  (* A trace repeating the same width-1 phase: the warm PADR runner pays
+     only in the first phase. *)
+  let phase =
+    { Traffic.label = "rep"; set = Cst_workloads.Gen_wn.pairs ~n:32 }
+  in
+  let t = Traffic.make ~leaves:32 [ phase; phase; phase ] in
+  let r = Runner.run_padr t in
+  match r.phases with
+  | [ p1; p2; p3 ] ->
+      check_true "first pays" (p1.writes > 0);
+      check_int "second free" 0 p2.writes;
+      check_int "third free" 0 p3.writes
+  | _ -> Alcotest.fail "three phases expected"
+
+let suite =
+  [
+    case "traffic make" test_traffic_make;
+    case "traffic validation" test_traffic_validation;
+    case "traffic from suite" test_traffic_from_suite;
+    case "run padr" test_run_padr;
+    case "run baseline" test_run_baseline;
+    case "compare all" test_compare_all;
+    case "padr handles mixed phases" test_padr_handles_mixed_phases;
+    case "carry-over across phases" test_carry_over_across_phases;
+  ]

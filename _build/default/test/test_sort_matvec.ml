@@ -1,0 +1,130 @@
+open Helpers
+
+let test_sort_small () =
+  let sorted, stats = Cst_algos.Sort.run [| 4; 2; 7; 1 |] in
+  check_true "sorted" (sorted = [| 1; 2; 4; 7 |]);
+  check_int "2n supersteps" 8 stats.supersteps
+
+let test_sort_already_sorted () =
+  let a = Array.init 16 (fun i -> i) in
+  let sorted, _ = Cst_algos.Sort.run a in
+  check_true "unchanged" (sorted = a)
+
+let test_sort_reverse () =
+  let a = Array.init 32 (fun i -> 31 - i) in
+  let sorted, _ = Cst_algos.Sort.run a in
+  check_true "reversed worst case" (sorted = Array.init 32 (fun i -> i))
+
+let test_sort_duplicates () =
+  let sorted, _ = Cst_algos.Sort.run [| 3; 1; 3; 1; 2; 2; 0; 3 |] in
+  check_true "stable multiset" (sorted = [| 0; 1; 1; 2; 2; 3; 3; 3 |])
+
+let test_sort_invalid () =
+  check_raises_invalid "npot" (fun () -> Cst_algos.Sort.run (Array.make 6 0));
+  check_raises_invalid "singleton" (fun () -> Cst_algos.Sort.run [| 1 |])
+
+let test_sort_power_constant () =
+  (* Only two alternating configurations are ever needed: per-switch
+     connects stay constant although the sort takes 2n supersteps. *)
+  let rng = Cst_util.Prng.create 55 in
+  let a = Array.init 64 (fun _ -> Cst_util.Prng.int rng 1000) in
+  let sorted, stats = Cst_algos.Sort.run a in
+  check_true "sorted" (Cst_algos.Sort.is_sorted sorted);
+  check_true
+    (Printf.sprintf "constant per-switch connects (%d)"
+       stats.power.max_connects_per_switch)
+    (stats.power.max_connects_per_switch <= 8)
+
+let prop_sort_random =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:40 ~name:"sort equals Array.sort"
+       QCheck.(pair (int_range 1 5) (int_bound 100000))
+       (fun (exp, seed) ->
+         let n = 1 lsl exp in
+         let rng = Cst_util.Prng.create seed in
+         let a = Array.init n (fun _ -> Cst_util.Prng.int_in rng (-100) 100) in
+         let expect = Array.copy a in
+         Array.sort compare expect;
+         fst (Cst_algos.Sort.run a) = expect))
+
+let test_bitonic_small () =
+  let sorted, stats = Cst_algos.Sort.bitonic [| 4; 2; 7; 1 |] in
+  check_true "sorted" (sorted = [| 1; 2; 4; 7 |]);
+  (* log2(4)*(log2(4)+1)/2 = 3 compare stages, two supersteps each *)
+  check_int "supersteps" 6 stats.supersteps
+
+let test_bitonic_reverse () =
+  let a = Array.init 64 (fun i -> 63 - i) in
+  let sorted, stats = Cst_algos.Sort.bitonic a in
+  check_true "sorted" (sorted = Array.init 64 (fun i -> i));
+  (* stride-j stages are crossing sets: more waves than supersteps *)
+  check_true "crossing patterns cost extra waves"
+    (stats.waves > stats.supersteps)
+
+let prop_bitonic_random =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:30 ~name:"bitonic sort equals Array.sort"
+       QCheck.(pair (int_range 1 5) (int_bound 100000))
+       (fun (exp, seed) ->
+         let n = 1 lsl exp in
+         let rng = Cst_util.Prng.create (seed + 7 * exp) in
+         let a = Array.init n (fun _ -> Cst_util.Prng.int_in rng (-99) 99) in
+         let expect = Array.copy a in
+         Array.sort compare expect;
+         fst (Cst_algos.Sort.bitonic a) = expect))
+
+let test_matvec_small () =
+  let grid = Cst_srga.Grid.create ~rows:2 ~cols:4 in
+  let a = [| [| 1; 2; 3; 4 |]; [| 5; 6; 7; 8 |] |] in
+  let x = [| 1; 0; 2; 1 |] in
+  let y, stats = Cst_srga.Matvec.run grid ~a ~x in
+  check_true "product" (y = Cst_srga.Matvec.reference ~a ~x);
+  check_true "product values" (y = [| 11; 27 |]);
+  check_true "rounds counted" (stats.rounds > 0)
+
+let test_matvec_identity () =
+  let grid = Cst_srga.Grid.create ~rows:4 ~cols:4 in
+  let a = Array.init 4 (fun r -> Array.init 4 (fun c -> if r = c then 1 else 0)) in
+  let x = [| 9; 8; 7; 6 |] in
+  let y, _ = Cst_srga.Matvec.run grid ~a ~x in
+  check_true "identity" (y = x)
+
+let test_matvec_random () =
+  let rng = Cst_util.Prng.create 31 in
+  let grid = Cst_srga.Grid.create ~rows:8 ~cols:16 in
+  for _ = 1 to 5 do
+    let a =
+      Array.init 8 (fun _ ->
+          Array.init 16 (fun _ -> Cst_util.Prng.int_in rng (-9) 9))
+    in
+    let x = Array.init 16 (fun _ -> Cst_util.Prng.int_in rng (-9) 9) in
+    let y, _ = Cst_srga.Matvec.run grid ~a ~x in
+    check_true "matches reference" (y = Cst_srga.Matvec.reference ~a ~x)
+  done
+
+let test_matvec_shape_errors () =
+  let grid = Cst_srga.Grid.create ~rows:2 ~cols:4 in
+  check_raises_invalid "matrix shape" (fun () ->
+      Cst_srga.Matvec.run grid ~a:[| [| 1; 2 |] |] ~x:[| 1; 2; 3; 4 |]);
+  check_raises_invalid "vector length" (fun () ->
+      Cst_srga.Matvec.run grid
+        ~a:[| [| 1; 2; 3; 4 |]; [| 1; 2; 3; 4 |] |]
+        ~x:[| 1 |])
+
+let suite =
+  [
+    case "sort small" test_sort_small;
+    case "sort already sorted" test_sort_already_sorted;
+    case "sort reverse" test_sort_reverse;
+    case "sort duplicates" test_sort_duplicates;
+    case "sort invalid" test_sort_invalid;
+    case "sort power constant" test_sort_power_constant;
+    prop_sort_random;
+    case "bitonic small" test_bitonic_small;
+    case "bitonic reverse" test_bitonic_reverse;
+    prop_bitonic_random;
+    case "matvec small" test_matvec_small;
+    case "matvec identity" test_matvec_identity;
+    case "matvec random" test_matvec_random;
+    case "matvec shape errors" test_matvec_shape_errors;
+  ]

@@ -1,0 +1,134 @@
+open Helpers
+open Cst_srga
+
+let test_grid_create () =
+  let g = Grid.create ~rows:4 ~cols:8 in
+  check_int "rows" 4 (Grid.rows g);
+  check_int "cols" 8 (Grid.cols g);
+  check_int "pes" 32 (Grid.pe_count g);
+  check_int "trees" 12 (Grid.tree_count g);
+  check_int "switches" (4 * 7 + 8 * 3) (Grid.switch_count g)
+
+let test_grid_invalid () =
+  check_raises_invalid "npot rows" (fun () -> Grid.create ~rows:3 ~cols:8);
+  check_raises_invalid "tiny" (fun () -> Grid.create ~rows:1 ~cols:8)
+
+let test_grid_indexing () =
+  let g = Grid.create ~rows:4 ~cols:8 in
+  check_int "index" 19 (Grid.index g ~row:2 ~col:3);
+  check_true "coords" (Grid.coords g 19 = (2, 3));
+  for id = 0 to Grid.pe_count g - 1 do
+    let r, c = Grid.coords g id in
+    check_int "round trip" id (Grid.index g ~row:r ~col:c)
+  done;
+  check_raises_invalid "bad row" (fun () -> Grid.index g ~row:4 ~col:0)
+
+let test_topologies () =
+  let g = Grid.create ~rows:4 ~cols:8 in
+  check_int "row topo leaves" 8 (Cst.Topology.leaves (Grid.row_topology g));
+  check_int "col topo leaves" 4 (Cst.Topology.leaves (Grid.col_topology g))
+
+let test_row_schedule () =
+  let g = Grid.create ~rows:4 ~cols:16 in
+  let rng = Cst_util.Prng.create 5 in
+  let sets =
+    List.init 4 (fun i ->
+        (i, Cst_workloads.Gen_wn.uniform rng ~n:16 ~density:0.8))
+  in
+  match Row_sched.schedule g ~axis:Grid.Row ~sets with
+  | Error _ -> Alcotest.fail "should schedule"
+  | Ok agg ->
+      check_int "four trees" 4 (List.length agg.schedules);
+      check_true "rounds is the max"
+        (agg.rounds
+        = List.fold_left
+            (fun m (_, s) -> max m (Padr.Schedule.num_rounds s))
+            0 agg.schedules);
+      check_true "power adds up"
+        (agg.power_units
+        = List.fold_left
+            (fun a (_, (s : Padr.Schedule.t)) -> a + s.power.total_connects)
+            0 agg.schedules);
+      List.iter
+        (fun (_, s) -> check_verified s)
+        agg.schedules
+
+let test_col_schedule () =
+  let g = Grid.create ~rows:8 ~cols:4 in
+  let sets = [ (0, Cst_workloads.Gen_wn.pairs ~n:8) ] in
+  match Row_sched.schedule g ~axis:Grid.Col ~sets with
+  | Ok agg -> check_int "one round" 1 agg.rounds
+  | Error _ -> Alcotest.fail "should schedule"
+
+let test_row_schedule_error_reports_tree () =
+  let g = Grid.create ~rows:4 ~cols:8 in
+  let bad = set ~n:8 [ (0, 2); (1, 3) ] in
+  match Row_sched.schedule g ~axis:Grid.Row ~sets:[ (2, bad) ] with
+  | Error (2, Padr.Csa.Not_well_nested _) -> ()
+  | _ -> Alcotest.fail "expected error on tree 2"
+
+let test_row_schedule_bad_index () =
+  let g = Grid.create ~rows:4 ~cols:8 in
+  check_raises_invalid "row out of range" (fun () ->
+      ignore
+        (Row_sched.schedule g ~axis:Grid.Row
+           ~sets:[ (4, Cst_workloads.Gen_wn.pairs ~n:8) ]))
+
+let test_shift_phase () =
+  let g = Grid.create ~rows:4 ~cols:16 in
+  let s = Row_sched.shift_phase g ~by:4 ~phase:1 in
+  check_true "well-nested" (Cst_comm.Well_nested.is_well_nested s);
+  check_int "width 1" 1 (Cst_comm.Width.width ~leaves:16 s);
+  check_true "expected pairs"
+    (Cst_comm.Comm_set.matching s = [ (1, 5); (9, 13) ]);
+  check_raises_invalid "phase bound" (fun () ->
+      Row_sched.shift_phase g ~by:4 ~phase:4)
+
+let test_broadcast_from_zero () =
+  let r = Broadcast.run ~n:16 ~origin:0 in
+  check_int "log stages" 4 r.stages;
+  check_int "everyone covered" 16 (List.length r.covered);
+  check_true "covered is all PEs" (r.covered = List.init 16 Fun.id)
+
+let test_broadcast_from_middle () =
+  let r = Broadcast.run ~n:32 ~origin:13 in
+  check_int "stages" 5 r.stages;
+  check_int "covered" 32 (List.length r.covered);
+  check_true "power positive" (r.power_units > 0)
+
+let test_broadcast_all_origins () =
+  for origin = 0 to 15 do
+    let r = Broadcast.run ~n:16 ~origin in
+    check_int
+      (Printf.sprintf "origin %d covers all" origin)
+      16
+      (List.length (List.sort_uniq compare r.covered))
+  done
+
+let test_broadcast_plan_stages_width_one () =
+  List.iter
+    (fun stage ->
+      check_int "width 1 per stage" 1 (Cst_comm.Width.width_auto stage))
+    (Broadcast.plan ~n:32 ~origin:5)
+
+let test_broadcast_invalid () =
+  check_raises_invalid "npot" (fun () -> Broadcast.plan ~n:12 ~origin:0);
+  check_raises_invalid "bad origin" (fun () -> Broadcast.plan ~n:8 ~origin:8)
+
+let suite =
+  [
+    case "grid create" test_grid_create;
+    case "grid invalid" test_grid_invalid;
+    case "grid indexing" test_grid_indexing;
+    case "topologies" test_topologies;
+    case "row schedule" test_row_schedule;
+    case "col schedule" test_col_schedule;
+    case "row schedule error reports tree" test_row_schedule_error_reports_tree;
+    case "row schedule bad index" test_row_schedule_bad_index;
+    case "shift phase" test_shift_phase;
+    case "broadcast from zero" test_broadcast_from_zero;
+    case "broadcast from middle" test_broadcast_from_middle;
+    case "broadcast all origins" test_broadcast_all_origins;
+    case "broadcast stage widths" test_broadcast_plan_stages_width_one;
+    case "broadcast invalid" test_broadcast_invalid;
+  ]

@@ -1,0 +1,66 @@
+open Helpers
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let test_mean () =
+  check_true "mean" (feq (Cst_util.Stats.mean [| 1.0; 2.0; 3.0 |]) 2.0)
+
+let test_mean_empty () =
+  check_raises_invalid "empty" (fun () -> Cst_util.Stats.mean [||])
+
+let test_stddev () =
+  check_true "stddev of constant" (feq (Cst_util.Stats.stddev [| 5.0; 5.0; 5.0 |]) 0.0);
+  check_true "known sample"
+    (feq (Cst_util.Stats.stddev [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |])
+       (sqrt (32.0 /. 7.0)))
+
+let test_median () =
+  check_true "odd" (feq (Cst_util.Stats.median [| 3.0; 1.0; 2.0 |]) 2.0);
+  check_true "even" (feq (Cst_util.Stats.median [| 4.0; 1.0; 3.0; 2.0 |]) 2.5)
+
+let test_percentile () =
+  let xs = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  check_true "p50" (feq (Cst_util.Stats.percentile xs 50.0) 50.0);
+  check_true "p100" (feq (Cst_util.Stats.percentile xs 100.0) 100.0);
+  check_true "p1" (feq (Cst_util.Stats.percentile xs 1.0) 1.0)
+
+let test_summarize () =
+  let s = Cst_util.Stats.summarize [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_int "n" 4 s.n;
+  check_true "min" (feq s.min 1.0);
+  check_true "max" (feq s.max 4.0);
+  check_true "mean" (feq s.mean 2.5)
+
+let test_linear_fit_exact () =
+  let pts = Array.init 10 (fun i ->
+      let x = float_of_int i in
+      (x, (3.0 *. x) +. 1.0))
+  in
+  let f = Cst_util.Stats.linear_fit pts in
+  check_true "slope" (feq f.slope 3.0);
+  check_true "intercept" (feq f.intercept 1.0);
+  check_true "r2" (feq f.r2 1.0)
+
+let test_linear_fit_flat () =
+  let pts = Array.init 10 (fun i -> (float_of_int i, 7.0)) in
+  let f = Cst_util.Stats.linear_fit pts in
+  check_true "flat slope" (feq f.slope 0.0)
+
+let test_linear_fit_invalid () =
+  check_raises_invalid "one point" (fun () ->
+      Cst_util.Stats.linear_fit [| (1.0, 1.0) |]);
+  check_raises_invalid "degenerate x" (fun () ->
+      Cst_util.Stats.linear_fit [| (1.0, 1.0); (1.0, 2.0) |])
+
+let suite =
+  [
+    case "mean" test_mean;
+    case "mean empty" test_mean_empty;
+    case "stddev" test_stddev;
+    case "median" test_median;
+    case "percentile" test_percentile;
+    case "summarize" test_summarize;
+    case "linear fit exact" test_linear_fit_exact;
+    case "linear fit flat" test_linear_fit_flat;
+    case "linear fit invalid" test_linear_fit_invalid;
+  ]

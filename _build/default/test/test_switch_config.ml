@@ -1,0 +1,125 @@
+open Helpers
+open Cst
+
+let set_ = Switch_config.set
+
+let test_empty () =
+  check_true "no connections" (Switch_config.is_empty Switch_config.empty);
+  check_int "count" 0 (Switch_config.connection_count Switch_config.empty);
+  List.iter
+    (fun o -> check_true "no driver" (Switch_config.driver Switch_config.empty o = None))
+    Side.all
+
+let test_set_and_query () =
+  let c = set_ Switch_config.empty ~output:Side.R ~input:Side.L in
+  check_true "driver" (Switch_config.driver c Side.R = Some Side.L);
+  check_true "output_of" (Switch_config.output_of c Side.L = Some Side.R);
+  check_true "others empty" (Switch_config.driver c Side.P = None);
+  check_int "count" 1 (Switch_config.connection_count c)
+
+let test_same_side_rejected () =
+  List.iter
+    (fun s ->
+      check_raises_invalid "same side" (fun () ->
+          set_ Switch_config.empty ~output:s ~input:s))
+    Side.all
+
+let test_double_drive_rejected () =
+  let c = set_ Switch_config.empty ~output:Side.R ~input:Side.L in
+  check_raises_invalid "output already driven" (fun () ->
+      set_ c ~output:Side.R ~input:Side.P);
+  check_raises_invalid "input already used" (fun () ->
+      set_ c ~output:Side.P ~input:Side.L)
+
+let test_three_connections () =
+  (* l_i -> r_o, r_i -> p_o, p_i -> l_o : a fully loaded switch. *)
+  let c =
+    set_
+      (set_
+         (set_ Switch_config.empty ~output:Side.R ~input:Side.L)
+         ~output:Side.P ~input:Side.R)
+      ~output:Side.L ~input:Side.P
+  in
+  check_int "count" 3 (Switch_config.connection_count c)
+
+let test_equal () =
+  let a = set_ Switch_config.empty ~output:Side.R ~input:Side.L in
+  let b = set_ Switch_config.empty ~output:Side.R ~input:Side.L in
+  check_true "equal" (Switch_config.equal a b);
+  check_true "not equal to empty" (not (Switch_config.equal a Switch_config.empty))
+
+let test_diff_counts () =
+  let open Switch_config in
+  let a = set_ empty ~output:Side.R ~input:Side.L in
+  let b = set_ empty ~output:Side.R ~input:Side.P in
+  let d = diff ~old_config:a ~new_config:b in
+  check_int "driver change is one connect" 1 d.connects;
+  check_int "no disconnect on change" 0 d.disconnects;
+  let d2 = diff ~old_config:a ~new_config:empty in
+  check_int "teardown connects" 0 d2.connects;
+  check_int "teardown disconnects" 1 d2.disconnects;
+  let d3 = diff ~old_config:empty ~new_config:a in
+  check_int "setup connects" 1 d3.connects;
+  let d4 = diff ~old_config:a ~new_config:a in
+  check_int "no-op connects" 0 d4.connects;
+  check_int "no-op disconnects" 0 d4.disconnects
+
+let test_merge_lazy_keeps () =
+  let open Switch_config in
+  let prev = set_ empty ~output:Side.R ~input:Side.L in
+  let merged = merge_lazy ~prev ~want:empty in
+  check_true "persists" (equal merged prev)
+
+let test_merge_lazy_overrides_output () =
+  let open Switch_config in
+  let prev = set_ empty ~output:Side.R ~input:Side.L in
+  let want = set_ empty ~output:Side.R ~input:Side.P in
+  let merged = merge_lazy ~prev ~want in
+  check_true "want wins output" (driver merged Side.R = Some Side.P)
+
+let test_merge_lazy_steals_input () =
+  let open Switch_config in
+  (* prev: l_i -> r_o; want: l_i -> p_o.  Keeping the old connection would
+     fan the input out to two outputs. *)
+  let prev = set_ empty ~output:Side.R ~input:Side.L in
+  let want = set_ empty ~output:Side.P ~input:Side.L in
+  let merged = merge_lazy ~prev ~want in
+  check_true "input stolen" (driver merged Side.R = None);
+  check_true "want present" (driver merged Side.P = Some Side.L)
+
+let test_merge_lazy_disjoint_union () =
+  let open Switch_config in
+  let prev = set_ empty ~output:Side.R ~input:Side.L in
+  let want = set_ empty ~output:Side.L ~input:Side.P in
+  let merged = merge_lazy ~prev ~want in
+  check_int "both kept" 2 (connection_count merged)
+
+let test_pp () =
+  let c = set_ Switch_config.empty ~output:Side.R ~input:Side.L in
+  check_true "pp nonempty"
+    (Format.asprintf "%a" Switch_config.pp c = "{L->R}");
+  check_true "pp empty"
+    (Format.asprintf "%a" Switch_config.pp Switch_config.empty = "{}")
+
+let test_side_index_round_trip () =
+  List.iter
+    (fun s -> check_true "round trip" (Side.of_index (Side.index s) = s))
+    Side.all;
+  check_raises_invalid "bad index" (fun () -> Side.of_index 3)
+
+let suite =
+  [
+    case "empty" test_empty;
+    case "set and query" test_set_and_query;
+    case "same-side rejected" test_same_side_rejected;
+    case "double drive rejected" test_double_drive_rejected;
+    case "three connections" test_three_connections;
+    case "equal" test_equal;
+    case "diff counts" test_diff_counts;
+    case "merge_lazy keeps" test_merge_lazy_keeps;
+    case "merge_lazy overrides output" test_merge_lazy_overrides_output;
+    case "merge_lazy steals input" test_merge_lazy_steals_input;
+    case "merge_lazy disjoint union" test_merge_lazy_disjoint_union;
+    case "pp" test_pp;
+    case "side index round trip" test_side_index_round_trip;
+  ]

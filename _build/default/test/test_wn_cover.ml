@@ -1,0 +1,99 @@
+open Helpers
+
+let test_well_nested_is_one_layer () =
+  let s = set ~n:8 [ (0, 7); (1, 2); (3, 4) ] in
+  check_int "one layer" 1 (Cst_comm.Wn_cover.num_layers s);
+  check_int "clique bound" 1 (Cst_comm.Wn_cover.clique_lower_bound s)
+
+let test_empty () =
+  let s = set ~n:8 [] in
+  check_true "no layers" (Cst_comm.Wn_cover.layers s = []);
+  check_int "bound" 0 (Cst_comm.Wn_cover.clique_lower_bound s)
+
+let test_crossing_pair () =
+  let s = set ~n:8 [ (0, 2); (1, 3) ] in
+  check_int "two layers" 2 (Cst_comm.Wn_cover.num_layers s);
+  check_int "clique bound" 2 (Cst_comm.Wn_cover.clique_lower_bound s);
+  List.iter
+    (fun layer ->
+      check_true "layer well-nested"
+        (Cst_comm.Well_nested.is_well_nested layer))
+    (Cst_comm.Wn_cover.layers s)
+
+let test_butterfly_layers () =
+  List.iter
+    (fun stage ->
+      let s = Cst_workloads.Gen_arbitrary.butterfly ~n:32 ~stage in
+      let expected = 1 lsl stage in
+      check_int
+        (Printf.sprintf "stage %d clique" stage)
+        expected
+        (Cst_comm.Wn_cover.clique_lower_bound s);
+      check_int
+        (Printf.sprintf "stage %d layers" stage)
+        expected
+        (Cst_comm.Wn_cover.num_layers s))
+    [ 0; 1; 2; 3; 4 ]
+
+let test_layers_partition () =
+  let s = Cst_workloads.Gen_arbitrary.butterfly ~n:32 ~stage:3 in
+  let layers = Cst_comm.Wn_cover.layers s in
+  let union =
+    List.concat_map
+      (fun l -> Array.to_list (Cst_comm.Comm_set.comms l))
+      layers
+    |> List.sort Cst_comm.Comm.compare
+  in
+  check_true "partition"
+    (union = Array.to_list (Cst_comm.Comm_set.comms s))
+
+let test_rejects_left_oriented () =
+  check_raises_invalid "left member" (fun () ->
+      Cst_comm.Wn_cover.layers (set ~n:8 [ (3, 1) ]))
+
+let prop_layers_sound =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"cover layers are well-nested partitions"
+       QCheck.(pair (int_bound 100000) (int_range 2 6))
+       (fun (seed, exp) ->
+         let n = 1 lsl exp in
+         let rng = Cst_util.Prng.create seed in
+         let s =
+           Cst_workloads.Gen_arbitrary.random_pairs rng ~n ~pairs:(n / 4)
+         in
+         let right, _ = Cst_comm.Decompose.split s in
+         let layers = Cst_comm.Wn_cover.layers right in
+         List.for_all Cst_comm.Well_nested.is_well_nested layers
+         && List.fold_left
+              (fun acc l -> acc + Cst_comm.Comm_set.size l)
+              0 layers
+            = Cst_comm.Comm_set.size right
+         && List.length layers
+            >= Cst_comm.Wn_cover.clique_lower_bound right))
+
+let prop_bound_le_layers =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"clique bound never exceeds layers"
+       QCheck.(pair (int_bound 100000) (int_range 2 6))
+       (fun (seed, exp) ->
+         let n = 1 lsl exp in
+         let rng = Cst_util.Prng.create seed in
+         let s =
+           Cst_workloads.Gen_arbitrary.bit_reversal_sample rng ~n
+         in
+         let right, _ = Cst_comm.Decompose.split s in
+         Cst_comm.Wn_cover.clique_lower_bound right
+         <= max 1 (Cst_comm.Wn_cover.num_layers right)
+         || Cst_comm.Comm_set.size right = 0))
+
+let suite =
+  [
+    case "well-nested is one layer" test_well_nested_is_one_layer;
+    case "empty" test_empty;
+    case "crossing pair" test_crossing_pair;
+    case "butterfly layers" test_butterfly_layers;
+    case "layers partition" test_layers_partition;
+    case "rejects left-oriented" test_rejects_left_oriented;
+    prop_layers_sound;
+    prop_bound_le_layers;
+  ]

@@ -1,0 +1,134 @@
+open Helpers
+
+let wn s = Cst_comm.Well_nested.is_well_nested s
+
+let test_uniform_valid () =
+  let rng = Cst_util.Prng.create 5 in
+  for _ = 1 to 50 do
+    let s = Cst_workloads.Gen_wn.uniform rng ~n:64 ~density:0.7 in
+    check_true "well-nested" (wn s)
+  done
+
+let test_uniform_density () =
+  let rng = Cst_util.Prng.create 5 in
+  let s = Cst_workloads.Gen_wn.uniform rng ~n:1000 ~density:1.0 in
+  check_int "full density" 500 (Cst_comm.Comm_set.size s);
+  let s0 = Cst_workloads.Gen_wn.uniform rng ~n:1000 ~density:0.0 in
+  check_int "zero density" 0 (Cst_comm.Comm_set.size s0)
+
+let test_uniform_determinism () =
+  let a = Cst_workloads.Gen_wn.uniform (Cst_util.Prng.create 9) ~n:64 ~density:0.5 in
+  let b = Cst_workloads.Gen_wn.uniform (Cst_util.Prng.create 9) ~n:64 ~density:0.5 in
+  check_true "same seed, same set" (Cst_comm.Comm_set.equal a b)
+
+let test_uniform_invalid () =
+  let rng = Cst_util.Prng.create 1 in
+  check_raises_invalid "bad density" (fun () ->
+      Cst_workloads.Gen_wn.uniform rng ~n:8 ~density:1.5);
+  check_raises_invalid "bad n" (fun () ->
+      Cst_workloads.Gen_wn.uniform rng ~n:1 ~density:0.5)
+
+let test_onion () =
+  let s = Cst_workloads.Gen_wn.onion ~n:16 ~width:5 in
+  check_int "size" 5 (Cst_comm.Comm_set.size s);
+  check_int "width exact" 5 (Cst_comm.Width.width ~leaves:16 s);
+  check_true "well-nested" (wn s);
+  check_raises_invalid "too wide" (fun () ->
+      Cst_workloads.Gen_wn.onion ~n:8 ~width:5)
+
+let test_pairs () =
+  let s = Cst_workloads.Gen_wn.pairs ~n:16 in
+  check_int "size" 8 (Cst_comm.Comm_set.size s);
+  check_int "width 1" 1 (Cst_comm.Width.width ~leaves:16 s)
+
+let test_with_width_exact () =
+  let rng = Cst_util.Prng.create 11 in
+  List.iter
+    (fun w ->
+      let s = Cst_workloads.Gen_wn.with_width rng ~n:256 ~width:w in
+      check_int (Printf.sprintf "width %d" w) w
+        (Cst_comm.Width.width ~leaves:256 s);
+      check_true "well-nested" (wn s);
+      check_true "has filler beyond the core"
+        (Cst_comm.Comm_set.size s >= w))
+    [ 1; 2; 3; 5; 8; 16; 33; 64; 128 ]
+
+let test_with_width_invalid () =
+  let rng = Cst_util.Prng.create 1 in
+  check_raises_invalid "npot n" (fun () ->
+      Cst_workloads.Gen_wn.with_width rng ~n:100 ~width:4)
+
+let test_nested_blocks () =
+  let rng = Cst_util.Prng.create 2 in
+  let s = Cst_workloads.Gen_wn.nested_blocks rng ~n:64 ~blocks:4 ~depth:4 in
+  check_int "size" 16 (Cst_comm.Comm_set.size s);
+  check_int "width = depth" 4 (Cst_comm.Width.width ~leaves:64 s);
+  check_true "well-nested" (wn s)
+
+let test_patterns_valid () =
+  List.iter
+    (fun (name, s) ->
+      check_true (name ^ " well-nested") (wn s))
+    [
+      ("fig2", Cst_workloads.Patterns.fig2 ());
+      ("fig3b", Cst_workloads.Patterns.fig3b ());
+      ("interleaved", Cst_workloads.Patterns.interleaved_pairs ~n:16);
+      ("comb", Cst_workloads.Patterns.comb ~n:32 ~teeth:4);
+      ("staircase", Cst_workloads.Patterns.staircase ~n:32);
+      ("full-onion", Cst_workloads.Patterns.full_onion ~n:32);
+      ("segment", Cst_workloads.Patterns.segment_neighbors ~n:32);
+      ("flip-flop", Cst_workloads.Adversarial.flip_flop ~n:32);
+      ("deep-staircase", Cst_workloads.Adversarial.deep_staircase ~n:32);
+    ]
+
+let test_comb_width () =
+  let s = Cst_workloads.Patterns.comb ~n:32 ~teeth:4 in
+  check_int "width is tooth depth" 4 (Cst_comm.Width.width ~leaves:32 s)
+
+let test_fig3b_semantics () =
+  (* Figure 3(b): at the switch covering PEs 0..7, two pairs are matched
+     and two sources pass above. *)
+  let t = topo 16 in
+  let p1 = Padr.Phase1.run t (Cst_workloads.Patterns.fig3b ()) in
+  let st = Padr.Phase1.state p1 2 in
+  check_int "m at u" 2 st.m;
+  check_int "pass-up sources" 2 (st.sl + st.sr)
+
+let test_suite_registry () =
+  check_true "has uniform" (Cst_workloads.Suite.find "uniform" <> None);
+  check_true "unknown" (Cst_workloads.Suite.find "nope" = None);
+  let rng = Cst_util.Prng.create 77 in
+  List.iter
+    (fun (g : Cst_workloads.Suite.gen) ->
+      let s = g.make rng ~n:32 in
+      check_true (g.name ^ " generates a valid well-nested set") (wn s);
+      check_true (g.name ^ " fits n") (Cst_comm.Comm_set.n s = 32))
+    Cst_workloads.Suite.all
+
+let test_all_suite_workloads_schedulable () =
+  let rng = Cst_util.Prng.create 78 in
+  List.iter
+    (fun (g : Cst_workloads.Suite.gen) ->
+      let s = g.make rng ~n:64 in
+      let sched = Padr.schedule_exn s in
+      let r = Padr.verify sched in
+      check_true (g.name ^ " schedules: " ^ String.concat ";" r.issues) r.ok)
+    Cst_workloads.Suite.all
+
+let suite =
+  [
+    case "uniform valid" test_uniform_valid;
+    case "uniform density" test_uniform_density;
+    case "uniform determinism" test_uniform_determinism;
+    case "uniform invalid" test_uniform_invalid;
+    case "onion" test_onion;
+    case "pairs" test_pairs;
+    case "with_width exact" test_with_width_exact;
+    case "with_width invalid" test_with_width_invalid;
+    case "nested blocks" test_nested_blocks;
+    case "patterns valid" test_patterns_valid;
+    case "comb width" test_comb_width;
+    case "fig3b semantics" test_fig3b_semantics;
+    case "suite registry" test_suite_registry;
+    case "all suite workloads schedulable" test_all_suite_workloads_schedulable;
+  ]
