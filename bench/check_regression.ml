@@ -1,0 +1,149 @@
+(* Perf-regression gate over BENCH_engine.json files.
+
+   Usage:
+     check_regression.exe --validate FILE
+         Parse a benchmark JSON file and verify it is structurally sound
+         (>= 1 result row, positive finite timings).  Used by the
+         `bench-smoke` runtest rule on the --fast --json output.
+
+     check_regression.exe BASELINE FRESH [--threshold PCT]
+         Compare a fresh run against the committed baseline: any timed
+         kernel (matched on kernel/pes/width) slower by more than PCT
+         percent (default 25) fails with exit code 1.  A kernel present in
+         the baseline but missing from the fresh run also fails — a
+         silently dropped kernel is not a passing one.
+
+   The parser is deliberately line-based: bench/main.ml emits exactly one
+   result object per line, so no JSON dependency is needed. *)
+
+type row = { kernel : string; pes : int; width : int; ns_per_op : float }
+
+let find_field line key =
+  let pat = Printf.sprintf "\"%s\": " key in
+  let plen = String.length pat in
+  let rec search i =
+    if i + plen > String.length line then None
+    else if String.sub line i plen = pat then Some (i + plen)
+    else search (i + 1)
+  in
+  search 0
+
+let string_field line key =
+  match find_field line key with
+  | None -> None
+  | Some start ->
+      if start >= String.length line || line.[start] <> '"' then None
+      else
+        let rec close i =
+          if i >= String.length line then None
+          else if line.[i] = '"' then Some (String.sub line (start + 1) (i - start - 1))
+          else close (i + 1)
+        in
+        close (start + 1)
+
+let number_field line key =
+  match find_field line key with
+  | None -> None
+  | Some start ->
+      let stop = ref start in
+      while
+        !stop < String.length line
+        && (match line.[!stop] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        incr stop
+      done;
+      if !stop = start then None
+      else float_of_string_opt (String.sub line start (!stop - start))
+
+let parse_rows file =
+  let ic = open_in file in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match string_field line "kernel" with
+       | None -> ()
+       | Some kernel -> (
+           match
+             ( number_field line "pes",
+               number_field line "width",
+               number_field line "ns_per_op" )
+           with
+           | Some pes, Some width, Some ns ->
+               rows :=
+                 {
+                   kernel;
+                   pes = int_of_float pes;
+                   width = int_of_float width;
+                   ns_per_op = ns;
+                 }
+                 :: !rows
+           | _ ->
+               Printf.eprintf "check_regression: malformed row in %s: %s\n"
+                 file line;
+               exit 2)
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !rows
+
+let key r = Printf.sprintf "%s/%d/%d" r.kernel r.pes r.width
+
+let validate file =
+  let rows = parse_rows file in
+  if rows = [] then begin
+    Printf.eprintf "check_regression: %s contains no benchmark rows\n" file;
+    exit 1
+  end;
+  List.iter
+    (fun r ->
+      if not (Float.is_finite r.ns_per_op) || r.ns_per_op <= 0.0 then begin
+        Printf.eprintf "check_regression: %s: bad timing for %s (%f)\n" file
+          (key r) r.ns_per_op;
+        exit 1
+      end)
+    rows;
+  Printf.printf "check_regression: %s ok (%d rows)\n" file (List.length rows)
+
+let compare_files ~threshold baseline fresh =
+  let base = parse_rows baseline and cur = parse_rows fresh in
+  let lookup rows k = List.find_opt (fun r -> key r = k) rows in
+  let failures = ref 0 in
+  Printf.printf "%-28s %12s %12s %8s\n" "kernel/pes/width" "baseline ns"
+    "fresh ns" "ratio";
+  List.iter
+    (fun b ->
+      match lookup cur (key b) with
+      | None ->
+          incr failures;
+          Printf.printf "%-28s %12.0f %12s %8s  MISSING\n" (key b)
+            b.ns_per_op "-" "-"
+      | Some f ->
+          let ratio = f.ns_per_op /. b.ns_per_op in
+          let bad = ratio > 1.0 +. (threshold /. 100.0) in
+          if bad then incr failures;
+          Printf.printf "%-28s %12.0f %12.0f %7.2fx%s\n" (key b) b.ns_per_op
+            f.ns_per_op ratio
+            (if bad then "  REGRESSION" else ""))
+    base;
+  if !failures > 0 then begin
+    Printf.printf "check_regression: %d kernel(s) regressed beyond %.0f%%\n"
+      !failures threshold;
+    exit 1
+  end;
+  Printf.printf "check_regression: no kernel regressed beyond %.0f%%\n"
+    threshold
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; "--validate"; file ] -> validate file
+  | [ _; baseline; fresh ] -> compare_files ~threshold:25.0 baseline fresh
+  | [ _; baseline; fresh; "--threshold"; pct ] ->
+      compare_files ~threshold:(float_of_string pct) baseline fresh
+  | _ ->
+      prerr_endline
+        "usage: check_regression (--validate FILE | BASELINE FRESH \
+         [--threshold PCT])";
+      exit 2

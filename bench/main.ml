@@ -550,8 +550,126 @@ let microbench () =
     rows;
   Cst_report.Table.print table
 
-let () =
-  let fast = Array.exists (( = ) "--fast") Sys.argv in
+(* --json FILE: machine-readable perf baseline.
+
+   Times the sparse engine, the dense reference engine and every registry
+   algorithm over a PEs-by-width grid of width-targeted well-nested sets
+   and writes one JSON object with one result row per (kernel, pes, width)
+   point: ns/op, schedule rounds, engine cycles, control messages and
+   allocated words per op (via Gc.allocated_bytes).  The committed
+   BENCH_engine.json is the perf trajectory baseline; compare a fresh run
+   against it with bench/check_regression.ml.  With --fast a small smoke
+   grid is used (wired into `dune runtest`). *)
+
+let measure ~budget_s f =
+  ignore (f ());
+  (* warm-up *)
+  let a0 = Gc.allocated_bytes () in
+  let t0 = Sys.time () in
+  let reps = ref 0 in
+  let elapsed = ref 0.0 in
+  while !elapsed < budget_s || !reps < 3 do
+    ignore (f ());
+    incr reps;
+    elapsed := Sys.time () -. t0
+  done;
+  let a1 = Gc.allocated_bytes () in
+  let r = float_of_int !reps in
+  ( !elapsed *. 1e9 /. r,
+    (a1 -. a0) /. float_of_int (Sys.word_size / 8) /. r,
+    !reps )
+
+type json_row = {
+  kernel : string;
+  pes : int;
+  bwidth : int;
+  ns_per_op : float;
+  rounds : int;
+  row_cycles : int;
+  row_messages : int;
+  alloc_words : float;
+  reps : int;
+}
+
+let bench_json ~fast file =
+  let grid_pes = if fast then [ 64; 256 ] else [ 256; 2048; 16384; 65536 ] in
+  let grid_widths = if fast then [ 1; 8 ] else [ 1; 8; 64 ] in
+  (* The dense engine and the per-round baselines are only timed on the
+     smaller trees: their full-tree scans at 2^16 PEs are exactly the cost
+     this benchmark exists to avoid paying. *)
+  let dense_cap = 4096 and registry_cap = 2048 in
+  let budget_s = if fast then 0.02 else 0.25 in
+  let rows = ref [] in
+  let add row = rows := row :: !rows in
+  List.iter
+    (fun n ->
+      let topo = Cst.Topology.create ~leaves:n in
+      List.iter
+        (fun w ->
+          if 2 * w <= n then begin
+            let rng = Cst_util.Prng.create (1000 + n + w) in
+            let set = Cst_workloads.Gen_wn.with_width rng ~n ~width:w in
+            let sched, stats = Padr.Engine.run_exn ~keep_configs:false topo set in
+            let engine_rounds = Padr.Schedule.num_rounds sched in
+            let time kernel ?(rounds = engine_rounds) ?(cycles = stats.cycles)
+                ?(msgs = 0) f =
+              let ns, alloc, reps = measure ~budget_s f in
+              add
+                {
+                  kernel;
+                  pes = n;
+                  bwidth = w;
+                  ns_per_op = ns;
+                  rounds;
+                  row_cycles = cycles;
+                  row_messages = msgs;
+                  alloc_words = alloc;
+                  reps;
+                }
+            in
+            time "engine" ~msgs:stats.control_messages (fun () ->
+                Padr.Engine.run_exn ~keep_configs:false topo set);
+            if n <= dense_cap then
+              time "engine-dense" ~msgs:stats.control_messages (fun () ->
+                  Padr.Engine.run_dense_exn ~keep_configs:false topo set);
+            if n <= registry_cap then
+              List.iter
+                (fun (a : Cst_baselines.Registry.algo) ->
+                  let s = a.run topo set in
+                  time a.name ~rounds:(Padr.Schedule.num_rounds s)
+                    ~cycles:s.cycles (fun () -> a.run topo set))
+                algos
+          end)
+        grid_widths)
+    grid_pes;
+  let oc = open_out file in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"cst-padr/bench-engine/v1\",\n";
+  p "  \"fast\": %b,\n" fast;
+  p "  \"pes_grid\": [%s],\n"
+    (String.concat ", " (List.map string_of_int grid_pes));
+  p "  \"width_grid\": [%s],\n"
+    (String.concat ", " (List.map string_of_int grid_widths));
+  p "  \"dense_cap\": %d,\n" dense_cap;
+  p "  \"registry_cap\": %d,\n" registry_cap;
+  p "  \"results\": [\n";
+  let rows = List.rev !rows in
+  List.iteri
+    (fun i r ->
+      p
+        "    {\"kernel\": \"%s\", \"pes\": %d, \"width\": %d, \"ns_per_op\": \
+         %.1f, \"rounds\": %d, \"cycles\": %d, \"control_messages\": %d, \
+         \"alloc_words\": %.1f, \"reps\": %d}%s\n"
+        r.kernel r.pes r.bwidth r.ns_per_op r.rounds r.row_cycles
+        r.row_messages r.alloc_words r.reps
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ]\n}\n";
+  close_out oc;
+  Format.printf "wrote %d benchmark rows to %s@." (List.length rows) file
+
+let run_experiments ~fast =
   Format.printf
     "Reproduction harness: El-Boghdadi, \"Power-Aware Routing for \
      Well-Nested Communications On The Circuit Switched Tree\" (IPPS 2007)@.";
@@ -570,3 +688,18 @@ let () =
   f2 ();
   if not fast then microbench ();
   Format.printf "@.done.@."
+
+let () =
+  let fast = Array.exists (( = ) "--fast") Sys.argv in
+  let json_file =
+    let rec find i =
+      if i >= Array.length Sys.argv then None
+      else if Sys.argv.(i) = "--json" && i + 1 < Array.length Sys.argv then
+        Some Sys.argv.(i + 1)
+      else find (i + 1)
+    in
+    find 1
+  in
+  match json_file with
+  | Some file -> bench_json ~fast file
+  | None -> run_experiments ~fast

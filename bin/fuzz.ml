@@ -21,8 +21,17 @@ let check_well_nested seed rng =
   let topo = Cst.Topology.create ~leaves:n in
   let expected = Cst_comm.Comm_set.matching set in
   let width = Cst_comm.Width.width ~leaves:n set in
-  (* the CSA, functional and message-passing *)
-  let spec = Padr.Csa.run_exn topo set in
+  (* the CSA, functional and message-passing; scheduler failures (notably
+     the typed Stalled no-progress error) are reported structurally
+     instead of crashing the fuzz run *)
+  match (Padr.Csa.run topo set, Padr.Engine.run topo set) with
+  | Error e, _ | _, Error e ->
+      (match e with
+      | Padr.Csa.Stalled { round; remaining } ->
+          complain seed "scheduler stalled: round %d, %d remaining" round
+            remaining
+      | e -> complain seed "scheduler rejected the set: %a" Padr.Csa.pp_error e)
+  | Ok spec, Ok (eng, stats) ->
   let report = Padr.verify spec in
   if not report.ok then
     complain seed "csa verification: %s" (String.concat "; " report.issues);
@@ -30,7 +39,6 @@ let check_well_nested seed rng =
     complain seed "csa rounds %d <> width %d"
       (Padr.Schedule.num_rounds spec)
       width;
-  let eng, stats = Padr.Engine.run_exn topo set in
   if Padr.Schedule.all_deliveries eng <> expected then
     complain seed "engine deliveries diverge";
   if
@@ -39,6 +47,16 @@ let check_well_nested seed rng =
   then complain seed "engine/spec mismatch";
   if stats.max_message_words > 4 || stats.state_words_per_switch <> 5 then
     complain seed "engine exceeded constant word sizes";
+  (* the sparse engine against the dense reference sweep *)
+  (match Padr.Engine.run_dense topo set with
+  | Error e -> complain seed "dense engine failed: %a" Padr.Csa.pp_error e
+  | Ok (dense, dstats) ->
+      if
+        Padr.Schedule.all_deliveries dense <> Padr.Schedule.all_deliveries eng
+        || dense.cycles <> eng.cycles
+        || dense.power.total_writes <> eng.power.total_writes
+        || dstats.control_messages <> stats.control_messages
+      then complain seed "sparse/dense engines diverge");
   (* every baseline *)
   List.iter
     (fun (a : Cst_baselines.Registry.algo) ->

@@ -45,6 +45,17 @@ let config_for_batch topo batch =
     batch;
   wants
 
+(* Per-run workspace for the batch loop: wants are computed only for the
+   switches on the batch's tree paths (tracked in a dirty list stamped per
+   batch), so a round costs O(paths * depth) instead of O(n) even though
+   the per-round scheduler still installs its configuration eagerly. *)
+type workspace = {
+  wants : Cst.Switch_config.t array;  (* indexed by internal node id *)
+  stamp : int array;  (* batch number that last touched the slot *)
+  mutable dirty : int list;  (* this batch's touched switches *)
+  mutable prev_dirty : int list;  (* last batch's, to clear eagerly *)
+}
+
 let run ~name:_ topo set batches =
   let leaves = Cst.Topology.leaves topo in
   let scheduled =
@@ -57,13 +68,81 @@ let run ~name:_ topo set batches =
   if not (List.equal Cst_comm.Comm.equal scheduled members) then
     invalid_arg "Round_runner.run: batches do not partition the set";
   let net = Cst.Net.create topo in
+  let ws =
+    {
+      wants = Array.make leaves Cst.Switch_config.empty;
+      stamp = Array.make leaves 0;
+      dirty = [];
+      prev_dirty = [];
+    }
+  in
   let rounds =
     List.mapi
       (fun i batch ->
-        let wants = config_for_batch topo batch in
-        for node = 1 to leaves - 1 do
-          Cst.Net.reconfigure net ~node wants.(node)
-        done;
+        let batch_no = i + 1 in
+        let touch node =
+          if ws.stamp.(node) <> batch_no then begin
+            ws.stamp.(node) <- batch_no;
+            ws.wants.(node) <- Cst.Switch_config.empty;
+            ws.dirty <- node :: ws.dirty
+          end
+        in
+        let connect node ~output ~input =
+          touch node;
+          try
+            ws.wants.(node) <-
+              Cst.Switch_config.set ws.wants.(node) ~output ~input
+          with Invalid_argument _ ->
+            invalid_arg
+              (Printf.sprintf
+                 "Round_runner.run: conflicting demands at switch %d" node)
+        in
+        ws.dirty <- [];
+        List.iter
+          (fun (c : Cst_comm.Comm.t) ->
+            if not (Cst_comm.Comm.is_right_oriented c) then
+              invalid_arg "Round_runner.run: left-oriented member";
+            let s_leaf = Cst.Topology.node_of_pe topo c.src in
+            let d_leaf = Cst.Topology.node_of_pe topo c.dst in
+            let lca = Cst.Topology.lca topo s_leaf d_leaf in
+            let rec up node =
+              let p = Cst.Topology.parent_u node in
+              if p <> lca then begin
+                connect p ~output:Cst.Side.P
+                  ~input:(Cst.Topology.child_side topo node);
+                up p
+              end
+              else node
+            in
+            let rec down node =
+              let p = Cst.Topology.parent_u node in
+              if p <> lca then begin
+                connect p
+                  ~output:(Cst.Topology.child_side topo node)
+                  ~input:Cst.Side.P;
+                down p
+              end
+              else node
+            in
+            let s_child = up s_leaf and d_child = down d_leaf in
+            connect lca
+              ~output:(Cst.Topology.child_side topo d_child)
+              ~input:(Cst.Topology.child_side topo s_child))
+          batch;
+        (* Eager per-round installation, but only where it can matter:
+           switches demanded this round, plus last round's switches not
+           demanded again (reconfiguring them to empty is what charges
+           their disconnects — exactly what the full scan used to do;
+           everywhere else empty -> empty is a no-op). *)
+        List.iter
+          (fun node -> Cst.Net.reconfigure net ~node ws.wants.(node))
+          ws.dirty;
+        List.iter
+          (fun node ->
+            if ws.stamp.(node) <> batch_no then
+              Cst.Net.reconfigure net ~node Cst.Switch_config.empty)
+          ws.prev_dirty;
+        ws.prev_dirty <- ws.dirty;
         let sources =
           List.sort compare (List.map (fun (c : Cst_comm.Comm.t) -> c.src) batch)
         in
@@ -74,13 +153,19 @@ let run ~name:_ topo set batches =
         let deliveries = Cst.Data_plane.transfer net ~sources in
         assert (List.length deliveries = List.length batch);
         let configs =
-          let acc = ref [] in
-          for node = leaves - 1 downto 1 do
-            let cfg = Cst.Net.config net node in
-            if not (Cst.Switch_config.is_empty cfg) then
-              acc := (node, cfg) :: !acc
-          done;
-          Array.of_list !acc
+          (* Eager installation leaves exactly this batch's switches
+             non-empty. *)
+          let arr =
+            List.filter_map
+              (fun node ->
+                let cfg = Cst.Net.config net node in
+                if Cst.Switch_config.is_empty cfg then None
+                else Some (node, cfg))
+              ws.dirty
+            |> Array.of_list
+          in
+          Array.sort (fun (a, _) (b, _) -> compare a b) arr;
+          arr
         in
         { Padr.Schedule.index = i + 1; sources; dests; deliveries; configs })
       batches

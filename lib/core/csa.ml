@@ -1,6 +1,7 @@
 type error =
   | Too_large of { n : int; leaves : int }
   | Not_well_nested of Cst_comm.Well_nested.violation
+  | Stalled of { round : int; remaining : int }
 
 let pp_error fmt = function
   | Too_large { n; leaves } ->
@@ -8,6 +9,15 @@ let pp_error fmt = function
   | Not_well_nested v ->
       Format.fprintf fmt "set is not schedulable by the CSA: %a"
         Cst_comm.Well_nested.pp_violation v
+  | Stalled { round; remaining } ->
+      Format.fprintf fmt
+        "scheduler stalled in round %d with %d communications pending \
+         (internal invariant broken)"
+        round remaining
+
+exception Stall of { round : int; remaining : int }
+(* Internal signal raised from inside a scheduling loop and converted to
+   [Error (Stalled _)] at the run boundary. *)
 
 let snapshot_configs net topo =
   let acc = ref [] in
@@ -41,12 +51,13 @@ let run ?trace ?(keep_configs = true) ?(eager_clear = false) ?net topo set =
         let remaining = ref (Phase1.total_matched phase1) in
         let rounds = ref [] in
         let index = ref 0 in
+        try
         while !remaining > 0 do
           incr index;
           Cst.Trace.emit trace (Cst.Trace.Round_start !index);
           let out = Round.sweep topo phase1.states in
           if out.matched_count = 0 then
-            failwith "Csa.run: no progress (internal invariant broken)";
+            raise (Stall { round = !index; remaining = !remaining });
           for node = 1 to leaves - 1 do
             let prev = Cst.Net.config net node in
             (if eager_clear then Cst.Net.reconfigure net ~node out.wants.(node)
@@ -96,6 +107,7 @@ let run ?trace ?(keep_configs = true) ?(eager_clear = false) ?net topo set =
                    ~baseline:meter_baseline);
             cycles = levels + (!index * (levels + 1));
           }
+        with Stall { round; remaining } -> Error (Stalled { round; remaining })
 
 let run_exn ?trace ?keep_configs ?eager_clear ?net topo set =
   match run ?trace ?keep_configs ?eager_clear ?net topo set with

@@ -11,8 +11,18 @@
 type error =
   | Too_large of { n : int; leaves : int }
   | Not_well_nested of Cst_comm.Well_nested.violation
+  | Stalled of { round : int; remaining : int }
+      (** A scheduling round matched nothing while communications remained.
+          Impossible for well-nested input (Theorem 4 guarantees progress);
+          reported as data so harnesses like [bin/fuzz.ml] can detect a
+          broken internal invariant structurally instead of catching
+          [Failure _]. *)
 
 val pp_error : Format.formatter -> error -> unit
+
+exception Stall of { round : int; remaining : int }
+(** Internal: raised by scheduling loops on a no-progress round and mapped
+    to [Error (Stalled _)] at each [run] boundary. *)
 
 val run :
   ?trace:Cst.Trace.t ->

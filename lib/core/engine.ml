@@ -5,11 +5,288 @@ type stats = {
   state_words_per_switch : int;
 }
 
-(* Mailboxes indexed by node id; a None mailbox means no message this
-   sweep.  The up pass carries (s, d) counter pairs, the down pass carries
-   Downmsg.t values. *)
+(* A small growable int buffer: the per-round source/dest/dirty lists are
+   appended to thousands of times per run, so they are reused across rounds
+   and only ever grow. *)
+module Ibuf = struct
+  type t = { mutable a : int array; mutable len : int }
 
+  let create cap = { a = Array.make (max cap 1) 0; len = 0 }
+  let clear b = b.len <- 0
+  let get b i = b.a.(i)
+
+  let push b x =
+    if b.len = Array.length b.a then begin
+      let a' = Array.make (2 * Array.length b.a) 0 in
+      Array.blit b.a 0 a' 0 b.len;
+      b.a <- a'
+    end;
+    b.a.(b.len) <- x;
+    b.len <- b.len + 1
+
+  let to_list b = List.init b.len (fun i -> b.a.(i))
+end
+
+(* Per-run workspace, allocated once and reused by every round.  All
+   node-indexed arrays are sized exactly ([num_nodes] or [leaves - 1]
+   slots, indexed [node - 1]) and cleared through dirty lists, never by
+   whole-array fills. *)
+type workspace = {
+  up_s : int array;  (* Phase-1 mailboxes, (s, d) split into two *)
+  up_d : int array;  (* unboxed int arrays; length num_nodes. *)
+  states : Csa_state.t array;  (* switch registers; length leaves - 1 *)
+  pending : int array;
+      (* pending.(v-1) = unscheduled matches left in v's subtree; the
+         frontier prunes any child subtree with no message and no pending
+         match, which bounds a round at O(active paths * depth). *)
+  wants : Cst.Switch_config.t array;  (* length leaves - 1 *)
+  dirty : Ibuf.t;  (* switches whose want was set this round *)
+  nonempty : Ibuf.t;  (* switches whose live config ever became non-empty *)
+  is_nonempty : bool array;  (* membership mask for [nonempty] *)
+  stack_node : int array;  (* DFS frontier stack; length levels + 2 *)
+  stack_msg : Downmsg.t array;
+  srcs : Ibuf.t;
+  dsts : Ibuf.t;
+}
+
+let make_workspace topo =
+  let leaves = Cst.Topology.leaves topo in
+  let num = (2 * leaves) - 1 in
+  let cap = Cst.Topology.levels topo + 2 in
+  {
+    up_s = Array.make num 0;
+    up_d = Array.make num 0;
+    states = Array.init (leaves - 1) (fun _ -> Csa_state.zero ());
+    pending = Array.make (leaves - 1) 0;
+    wants = Array.make (leaves - 1) Cst.Switch_config.empty;
+    dirty = Ibuf.create 64;
+    nonempty = Ibuf.create 64;
+    is_nonempty = Array.make (leaves - 1) false;
+    stack_node = Array.make cap 0;
+    stack_msg = Array.make cap Downmsg.null;
+    srcs = Ibuf.create 64;
+    dsts = Ibuf.create 64;
+  }
+
+(* The sparse engine executes the same message-passing algorithm as
+   {!run_dense} but only ever visits nodes that can act: Phase 1 walks the
+   precomputed level buckets (every node speaks exactly once), and each
+   Phase-2 down sweep follows an explicit frontier of nodes that hold a
+   message or still contain unscheduled matches.  Quiescent switches
+   neither execute [Round.configure] (their decision is provably the null
+   decision) nor get reconfigured.  Cycle and control-message counts are
+   accounted in closed form for the skipped switches — the simulated
+   hardware still clocks every level and still exchanges the null
+   messages; the simulator just does not spend wall-clock on them. *)
 let run ?(keep_configs = true) topo set =
+  let leaves = Cst.Topology.leaves topo in
+  if Cst_comm.Comm_set.n set > leaves then
+    Error (Csa.Too_large { n = Cst_comm.Comm_set.n set; leaves })
+  else
+    match Cst_comm.Well_nested.check set with
+    | Error v -> Error (Csa.Not_well_nested v)
+    | Ok _ ->
+        let width = Cst_comm.Width.width ~leaves set in
+        let levels = Cst.Topology.levels topo in
+        let ws = make_workspace topo in
+        let cycles = ref 0 and messages = ref 0 in
+        let max_words = ref 0 in
+        let send words =
+          incr messages;
+          max_words := max !max_words words
+        in
+
+        (* Phase 1: leaves post (s, d) pairs, then one level per cycle,
+           walking the level buckets — O(n) total instead of a full-tree
+           scan per level. *)
+        let roles = Cst_comm.Comm_set.roles set in
+        for pe = 0 to leaves - 1 do
+          let node = leaves + pe in
+          let s, d =
+            if pe < Array.length roles then
+              match roles.(pe) with
+              | Cst_comm.Comm_set.Source _ -> (1, 0)
+              | Cst_comm.Comm_set.Dest _ -> (0, 1)
+              | Cst_comm.Comm_set.Idle -> (0, 0)
+            else (0, 0)
+          in
+          ws.up_s.(node - 1) <- s;
+          ws.up_d.(node - 1) <- d;
+          send Phase1.up_words_per_message
+        done;
+        incr cycles;
+        for lvl = 1 to levels do
+          let bucket = Cst.Topology.nodes_at_level topo lvl in
+          Array.iter
+            (fun node ->
+              let y = Cst.Topology.left_u node
+              and z = Cst.Topology.right_u node in
+              let s_l = ws.up_s.(y - 1) and d_l = ws.up_d.(y - 1) in
+              let s_r = ws.up_s.(z - 1) and d_r = ws.up_d.(z - 1) in
+              let m = min s_l d_r in
+              ws.states.(node - 1) <-
+                Csa_state.make ~m ~sl:(s_l - m) ~dl:d_l ~sr:s_r ~dr:(d_r - m);
+              if node <> Cst.Topology.root then begin
+                ws.up_s.(node - 1) <- s_l - m + s_r;
+                ws.up_d.(node - 1) <- d_l + (d_r - m);
+                send Phase1.up_words_per_message
+              end)
+            bucket;
+          incr cycles
+        done;
+
+        (* Subtree pending-match counters drive the frontier pruning. *)
+        for v = leaves - 1 downto 1 do
+          let below =
+            if 2 * v < leaves then ws.pending.(2 * v - 1) + ws.pending.(2 * v)
+            else 0
+          in
+          ws.pending.(v - 1) <- ws.states.(v - 1).m + below
+        done;
+
+        let net = Cst.Net.create topo in
+        let remaining = ref ws.pending.(Cst.Topology.root - 1) in
+        let rounds = ref [] in
+        let index = ref 0 in
+        (* Per round, the modeled hardware exchanges one down message per
+           tree link (2*(leaves-1) messages of [Downmsg.words] words) and
+           clocks levels+1 sweep cycles plus one data cycle, whether or not
+           a switch has anything to do; charged in closed form. *)
+        let round_messages = 2 * (leaves - 1) in
+        let round_message_words = Downmsg.words Downmsg.null in
+        try
+          while !remaining > 0 do
+            incr index;
+            for i = 0 to ws.dirty.len - 1 do
+              ws.wants.(Ibuf.get ws.dirty i - 1) <- Cst.Switch_config.empty
+            done;
+            Ibuf.clear ws.dirty;
+            Ibuf.clear ws.srcs;
+            Ibuf.clear ws.dsts;
+            let matched = ref 0 in
+            (* Down sweep over the active frontier only.  Pushing the right
+               child first makes the explicit stack visit leaves in
+               increasing PE order, like the dense level scan. *)
+            let sp = ref 0 in
+            let push node msg =
+              ws.stack_node.(!sp) <- node;
+              ws.stack_msg.(!sp) <- msg;
+              incr sp
+            in
+            push Cst.Topology.root Downmsg.null;
+            while !sp > 0 do
+              decr sp;
+              let node = ws.stack_node.(!sp) in
+              let msg = ws.stack_msg.(!sp) in
+              if node >= leaves then begin
+                let pe = node - leaves in
+                (match msg.Downmsg.sreq with
+                | Some 0 -> Ibuf.push ws.srcs pe
+                | None -> ()
+                | Some _ -> assert false);
+                match msg.Downmsg.dreq with
+                | Some 0 -> Ibuf.push ws.dsts pe
+                | None -> ()
+                | Some _ -> assert false
+              end
+              else begin
+                let d = Round.configure ws.states.(node - 1) msg in
+                if not (Cst.Switch_config.is_empty d.config) then begin
+                  ws.wants.(node - 1) <- d.config;
+                  Ibuf.push ws.dirty node
+                end;
+                if d.scheduled_matched then begin
+                  incr matched;
+                  let v = ref node in
+                  while !v >= 1 do
+                    ws.pending.(!v - 1) <- ws.pending.(!v - 1) - 1;
+                    v := !v lsr 1
+                  done
+                end;
+                let live child (m : Downmsg.t) =
+                  m.sreq <> None || m.dreq <> None
+                  || (child < leaves && ws.pending.(child - 1) > 0)
+                in
+                let l = Cst.Topology.left_u node
+                and r = Cst.Topology.right_u node in
+                if live r d.to_right then push r d.to_right;
+                if live l d.to_left then push l d.to_left
+              end
+            done;
+            if !matched = 0 then
+              raise (Csa.Stall { round = !index; remaining = !remaining });
+            messages := !messages + round_messages;
+            max_words := max !max_words round_message_words;
+            cycles := !cycles + levels + 1;
+            (* Only switches whose want changed are reconfigured; for every
+               other switch [reconfigure_lazy] with an empty want is a
+               provable no-op (lazy merge keeps the old configuration and
+               charges nothing). *)
+            for i = 0 to ws.dirty.len - 1 do
+              let node = Ibuf.get ws.dirty i in
+              Cst.Net.reconfigure_lazy net ~node ~want:ws.wants.(node - 1);
+              if keep_configs && not ws.is_nonempty.(node - 1) then begin
+                ws.is_nonempty.(node - 1) <- true;
+                Ibuf.push ws.nonempty node
+              end
+            done;
+            let sources = Ibuf.to_list ws.srcs in
+            let dests = Ibuf.to_list ws.dsts in
+            List.iter (fun pe -> Cst.Net.pe_write net ~pe pe) sources;
+            let deliveries = Cst.Data_plane.transfer net ~sources in
+            incr cycles;
+            (* the data transfer cycle *)
+            remaining := !remaining - !matched;
+            let configs =
+              if keep_configs then begin
+                (* Lazy reconfiguration never empties a switch, so the
+                   non-empty set is exactly the switches ever dirtied. *)
+                let arr =
+                  Array.init ws.nonempty.len (fun i ->
+                      let node = Ibuf.get ws.nonempty i in
+                      (node, Cst.Net.config net node))
+                in
+                Array.sort (fun (a, _) (b, _) -> compare a b) arr;
+                arr
+              end
+              else [||]
+            in
+            rounds :=
+              { Schedule.index = !index; sources; dests; deliveries; configs }
+              :: !rounds
+          done;
+          let sched =
+            {
+              Schedule.leaves;
+              set;
+              width;
+              rounds = Array.of_list (List.rev !rounds);
+              power = Schedule.power_of_meter (Cst.Net.meter net);
+              cycles = !cycles;
+            }
+          in
+          Ok
+            ( sched,
+              {
+                cycles = !cycles;
+                control_messages = !messages;
+                max_message_words = !max_words;
+                state_words_per_switch = Csa_state.words ws.states.(0);
+              } )
+        with Csa.Stall { round; remaining } ->
+          Error (Csa.Stalled { round; remaining })
+
+let run_exn ?keep_configs topo set =
+  match run ?keep_configs topo set with
+  | Ok r -> r
+  | Error e -> invalid_arg (Format.asprintf "%a" Csa.pp_error e)
+
+(* The original dense engine: scans every node at every level of every
+   sweep.  Kept verbatim as the reference implementation — the
+   equivalence suite (test/test_engine_equiv.ml) asserts that {!run}
+   produces byte-identical schedules and stats, and the benchmark
+   baseline times both. *)
+let run_dense ?(keep_configs = true) topo set =
   let leaves = Cst.Topology.leaves topo in
   if Cst_comm.Comm_set.n set > leaves then
     Error (Csa.Too_large { n = Cst_comm.Comm_set.n set; leaves })
@@ -75,92 +352,95 @@ let run ?(keep_configs = true) topo set =
         let rounds = ref [] in
         let index = ref 0 in
         let down_box = Array.make (2 * leaves) None in
-        while !remaining > 0 do
-          incr index;
-          Array.fill down_box 0 (Array.length down_box) None;
-          down_box.(Cst.Topology.root) <- Some Downmsg.null;
-          let sources = ref [] and dests = ref [] in
-          let matched = ref 0 in
-          let wants = Array.make leaves Cst.Switch_config.empty in
-          (* Down pass: one level per cycle, root first. *)
-          for lvl = levels downto 0 do
-            for node = 1 to (2 * leaves) - 1 do
-              if Cst.Topology.level topo node = lvl then
-                match down_box.(node) with
-                | None -> ()
-                | Some (msg : Downmsg.t) ->
-                    if Cst.Topology.is_leaf topo node then begin
-                      let pe = Cst.Topology.pe_of_node topo node in
-                      (match msg.sreq with
-                      | Some 0 -> sources := pe :: !sources
-                      | None -> ()
-                      | Some _ -> assert false);
-                      match msg.dreq with
-                      | Some 0 -> dests := pe :: !dests
-                      | None -> ()
-                      | Some _ -> assert false
-                    end
-                    else begin
-                      let d = Round.configure states.(node) msg in
-                      wants.(node) <- d.config;
-                      if d.scheduled_matched then incr matched;
-                      down_box.(Cst.Topology.left topo node) <-
-                        Some d.to_left;
-                      down_box.(Cst.Topology.right topo node) <-
-                        Some d.to_right;
-                      send (Downmsg.words d.to_left);
-                      send (Downmsg.words d.to_right)
-                    end
-            done;
-            incr cycles
-          done;
-          if !matched = 0 then
-            failwith "Engine.run: no progress (internal invariant broken)";
-          for node = 1 to leaves - 1 do
-            Cst.Net.reconfigure_lazy net ~node ~want:wants.(node)
-          done;
-          let sources = List.rev !sources and dests = List.rev !dests in
-          List.iter (fun pe -> Cst.Net.pe_write net ~pe pe) sources;
-          let deliveries = Cst.Data_plane.transfer net ~sources in
-          incr cycles;
-          (* the data transfer cycle *)
-          remaining := !remaining - !matched;
-          let configs =
-            if keep_configs then begin
-              let acc = ref [] in
-              for node = leaves - 1 downto 1 do
-                let cfg = Cst.Net.config net node in
-                if not (Cst.Switch_config.is_empty cfg) then
-                  acc := (node, cfg) :: !acc
+        try
+          while !remaining > 0 do
+            incr index;
+            Array.fill down_box 0 (Array.length down_box) None;
+            down_box.(Cst.Topology.root) <- Some Downmsg.null;
+            let sources = ref [] and dests = ref [] in
+            let matched = ref 0 in
+            let wants = Array.make leaves Cst.Switch_config.empty in
+            (* Down pass: one level per cycle, root first. *)
+            for lvl = levels downto 0 do
+              for node = 1 to (2 * leaves) - 1 do
+                if Cst.Topology.level topo node = lvl then
+                  match down_box.(node) with
+                  | None -> ()
+                  | Some (msg : Downmsg.t) ->
+                      if Cst.Topology.is_leaf topo node then begin
+                        let pe = Cst.Topology.pe_of_node topo node in
+                        (match msg.sreq with
+                        | Some 0 -> sources := pe :: !sources
+                        | None -> ()
+                        | Some _ -> assert false);
+                        match msg.dreq with
+                        | Some 0 -> dests := pe :: !dests
+                        | None -> ()
+                        | Some _ -> assert false
+                      end
+                      else begin
+                        let d = Round.configure states.(node) msg in
+                        wants.(node) <- d.config;
+                        if d.scheduled_matched then incr matched;
+                        down_box.(Cst.Topology.left topo node) <-
+                          Some d.to_left;
+                        down_box.(Cst.Topology.right topo node) <-
+                          Some d.to_right;
+                        send (Downmsg.words d.to_left);
+                        send (Downmsg.words d.to_right)
+                      end
               done;
-              Array.of_list !acc
-            end
-            else [||]
-          in
-          rounds :=
-            { Schedule.index = !index; sources; dests; deliveries; configs }
-            :: !rounds
-        done;
-        let sched =
-          {
-            Schedule.leaves;
-            set;
-            width;
-            rounds = Array.of_list (List.rev !rounds);
-            power = Schedule.power_of_meter (Cst.Net.meter net);
-            cycles = !cycles;
-          }
-        in
-        Ok
-          ( sched,
+              incr cycles
+            done;
+            if !matched = 0 then
+              raise (Csa.Stall { round = !index; remaining = !remaining });
+            for node = 1 to leaves - 1 do
+              Cst.Net.reconfigure_lazy net ~node ~want:wants.(node)
+            done;
+            let sources = List.rev !sources and dests = List.rev !dests in
+            List.iter (fun pe -> Cst.Net.pe_write net ~pe pe) sources;
+            let deliveries = Cst.Data_plane.transfer net ~sources in
+            incr cycles;
+            (* the data transfer cycle *)
+            remaining := !remaining - !matched;
+            let configs =
+              if keep_configs then begin
+                let acc = ref [] in
+                for node = leaves - 1 downto 1 do
+                  let cfg = Cst.Net.config net node in
+                  if not (Cst.Switch_config.is_empty cfg) then
+                    acc := (node, cfg) :: !acc
+                done;
+                Array.of_list !acc
+              end
+              else [||]
+            in
+            rounds :=
+              { Schedule.index = !index; sources; dests; deliveries; configs }
+              :: !rounds
+          done;
+          let sched =
             {
+              Schedule.leaves;
+              set;
+              width;
+              rounds = Array.of_list (List.rev !rounds);
+              power = Schedule.power_of_meter (Cst.Net.meter net);
               cycles = !cycles;
-              control_messages = !messages;
-              max_message_words = !max_words;
-              state_words_per_switch = Csa_state.words states.(1);
-            } )
+            }
+          in
+          Ok
+            ( sched,
+              {
+                cycles = !cycles;
+                control_messages = !messages;
+                max_message_words = !max_words;
+                state_words_per_switch = Csa_state.words states.(1);
+              } )
+        with Csa.Stall { round; remaining } ->
+          Error (Csa.Stalled { round; remaining })
 
-let run_exn ?keep_configs topo set =
-  match run ?keep_configs topo set with
+let run_dense_exn ?keep_configs topo set =
+  match run_dense ?keep_configs topo set with
   | Ok r -> r
   | Error e -> invalid_arg (Format.asprintf "%a" Csa.pp_error e)

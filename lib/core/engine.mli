@@ -8,6 +8,16 @@
     engine therefore demonstrates the locality claim and measures the
     quantities of Theorem 5: cycles, message count and message size.
 
+    Two implementations are exposed.  {!run} is the sparse-frontier engine:
+    Phase 1 walks precomputed level buckets and each Phase-2 down sweep
+    follows an explicit frontier of nodes that hold a message or still own
+    an unscheduled match, so a round costs O(active paths * depth) of
+    simulator time instead of O(n log n).  {!run_dense} is the original
+    full-tree level scan, kept as the reference: both produce identical
+    schedules and stats (asserted by test/test_engine_equiv.ml) — the
+    modeled hardware cost (cycles, control messages) is the same, only the
+    simulation cost differs.
+
     Tests assert that the engine's schedule is identical, round for round,
     to {!Csa.run}'s. *)
 
@@ -23,8 +33,25 @@ val run :
   Cst.Topology.t ->
   Cst_comm.Comm_set.t ->
   (Schedule.t * stats, Csa.error) result
+(** Sparse-frontier engine.  [Error (Stalled _)] signals a no-progress
+    round — impossible for well-nested input. *)
 
 val run_exn :
+  ?keep_configs:bool ->
+  Cst.Topology.t ->
+  Cst_comm.Comm_set.t ->
+  Schedule.t * stats
+
+val run_dense :
+  ?keep_configs:bool ->
+  Cst.Topology.t ->
+  Cst_comm.Comm_set.t ->
+  (Schedule.t * stats, Csa.error) result
+(** Reference implementation: scans all [2n-1] nodes at every level of
+    every sweep.  Kept for the equivalence suite and as the benchmark
+    baseline; produces exactly {!run}'s output. *)
+
+val run_dense_exn :
   ?keep_configs:bool ->
   Cst.Topology.t ->
   Cst_comm.Comm_set.t ->

@@ -1,9 +1,29 @@
-type t = { leaves : int; levels : int }
+type t = {
+  leaves : int;
+  levels : int;
+  depth : int array;
+      (* depth.(v) = ilog2 v for v in [1 .. 2*leaves-1]; slot 0 unused.
+         Leaves sit at depth [levels], the root at depth 0. *)
+  nodes_at_level : int array array;
+      (* nodes_at_level.(lvl) = every node of level [lvl] in increasing id
+         order; level levels = root, level 0 = leaves. *)
+}
 
 let create ~leaves =
   if leaves < 2 || not (Cst_util.Bits.is_power_of_two leaves) then
     invalid_arg "Topology.create: leaves must be a power of two >= 2";
-  { leaves; levels = Cst_util.Bits.ilog2 leaves }
+  let levels = Cst_util.Bits.ilog2 leaves in
+  let depth = Array.make (2 * leaves) 0 in
+  for v = 2 to (2 * leaves) - 1 do
+    depth.(v) <- depth.(v / 2) + 1
+  done;
+  let nodes_at_level =
+    Array.init (levels + 1) (fun lvl ->
+        let d = levels - lvl in
+        let first = 1 lsl d in
+        Array.init first (fun i -> first + i))
+  in
+  { leaves; levels; depth; nodes_at_level }
 
 let leaves t = t.leaves
 let levels t = t.levels
@@ -38,6 +58,15 @@ let left t v =
 let right t v =
   if is_leaf t v then invalid_arg "Topology.right: leaf" else (2 * v) + 1
 
+(* Unchecked hot-path accessors: callers guarantee 1 <= v <= 2*leaves-1
+   (and internality where children are taken). *)
+let left_u v = v lsl 1
+let right_u v = (v lsl 1) lor 1
+let parent_u v = v lsr 1
+let depth_u t v = Array.unsafe_get t.depth v
+let level_u t v = t.levels - Array.unsafe_get t.depth v
+let nodes_at_level t lvl = t.nodes_at_level.(lvl)
+
 let child_side t v =
   check_node t v;
   if v = root then invalid_arg "Topology.child_side: root"
@@ -46,35 +75,49 @@ let child_side t v =
 
 let level t v =
   check_node t v;
-  t.levels - Cst_util.Bits.ilog2 v
+  level_u t v
 
 let lca t a b =
   check_node t a;
   check_node t b;
+  (* Equalize depths via the depth table, then climb in lock-step. *)
   let a = ref a and b = ref b in
+  let da = ref t.depth.(!a) and db = ref t.depth.(!b) in
+  while !da > !db do
+    a := !a lsr 1;
+    decr da
+  done;
+  while !db > !da do
+    b := !b lsr 1;
+    decr db
+  done;
   while !a <> !b do
-    if !a > !b then a := !a / 2 else b := !b / 2
+    a := !a lsr 1;
+    b := !b lsr 1
   done;
   !a
 
 let interval t v =
   check_node t v;
   (* The subtree of v spans a contiguous block of leaves whose size is
-     determined by v's level. *)
-  let size = 1 lsl level t v in
-  let first_at_level = 1 lsl (t.levels - level t v) in
-  let lo = (v - first_at_level) * size in
+     determined by v's depth. *)
+  let d = t.depth.(v) in
+  let size = t.leaves lsr d in
+  let lo = (v - (1 lsl d)) * size in
   (lo, lo + size)
 
 let mid t v =
   if is_leaf t v then invalid_arg "Topology.mid: leaf";
-  fst (interval t (right t v))
+  let d = t.depth.(v) in
+  let size = t.leaves lsr d in
+  let lo = (v - (1 lsl d)) * size in
+  lo + (size / 2)
 
 let mirror_node t v =
   check_node t v;
   (* Nodes at depth d occupy ids [2^d .. 2^{d+1}-1]; reflection reverses
      the order within the level. *)
-  let d = Cst_util.Bits.ilog2 v in
+  let d = t.depth.(v) in
   (3 * (1 lsl d)) - 1 - v
 
 let path_to_root t v =

@@ -39,6 +39,34 @@ val child_side : t -> int -> Side.t
 val level : t -> int -> int
 (** Leaves are level 0; the root is level [levels]. *)
 
+(** {2 Hot-path accessors}
+
+    The [_u] accessors skip node validation (and, for [level_u]/[depth_u],
+    read a precomputed depth table instead of re-deriving [ilog2]).  They
+    are meant for the engines' inner loops; callers must guarantee
+    [1 <= v <= num_nodes t] (and internality where children are taken) or
+    the result is meaningless. *)
+
+val left_u : int -> int
+(** [2*v], unchecked. *)
+
+val right_u : int -> int
+(** [2*v + 1], unchecked. *)
+
+val parent_u : int -> int
+(** [v/2], unchecked. *)
+
+val depth_u : t -> int -> int
+(** Depth of node [v] ([ilog2 v], table lookup): root 0, leaves [levels]. *)
+
+val level_u : t -> int -> int
+(** [levels t - depth_u t v], unchecked table lookup. *)
+
+val nodes_at_level : t -> int -> int array
+(** All nodes of a level in increasing id order; level [levels t] is
+    [[|root|]], level 0 the leaves.  The returned array is the topology's
+    own bucket — callers must not mutate it. *)
+
 val lca : t -> int -> int -> int
 val interval : t -> int -> int * int
 (** Leaf interval [\[lo, hi)] covered by a node; a leaf covers

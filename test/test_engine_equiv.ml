@@ -1,0 +1,147 @@
+(* Schedule-equivalence guard: the sparse-frontier engine (Engine.run)
+   must be observationally identical to the dense reference sweep
+   (Engine.run_dense) — same rounds, sources, dests, deliveries, configs,
+   power, cycles and engine stats — across a broad randomized sweep of
+   sizes, densities and widths. *)
+
+open Helpers
+
+let check_power msg (a : Padr.Schedule.power) (b : Padr.Schedule.power) =
+  check_int (msg ^ ": total connects") a.total_connects b.total_connects;
+  check_int (msg ^ ": total disconnects") a.total_disconnects
+    b.total_disconnects;
+  check_int (msg ^ ": total writes") a.total_writes b.total_writes;
+  check_int (msg ^ ": max connects/switch") a.max_connects_per_switch
+    b.max_connects_per_switch;
+  check_int (msg ^ ": max writes/switch") a.max_writes_per_switch
+    b.max_writes_per_switch;
+  check_int (msg ^ ": max events/switch") a.max_events_per_switch
+    b.max_events_per_switch;
+  check_true (msg ^ ": per-switch connects")
+    (a.per_switch_connects = b.per_switch_connects);
+  check_true (msg ^ ": per-switch writes")
+    (a.per_switch_writes = b.per_switch_writes);
+  check_true (msg ^ ": per-switch disconnects")
+    (a.per_switch_disconnects = b.per_switch_disconnects)
+
+let check_round msg (a : Padr.Schedule.round) (b : Padr.Schedule.round) =
+  check_int (msg ^ ": index") a.index b.index;
+  check_true (msg ^ ": sources") (a.sources = b.sources);
+  check_true (msg ^ ": dests") (a.dests = b.dests);
+  check_true (msg ^ ": deliveries") (a.deliveries = b.deliveries);
+  check_int (msg ^ ": config count") (Array.length a.configs)
+    (Array.length b.configs);
+  Array.iteri
+    (fun i (node_a, cfg_a) ->
+      let node_b, cfg_b = b.configs.(i) in
+      check_int (msg ^ ": config node") node_a node_b;
+      check_true (msg ^ ": config value") (Cst.Switch_config.equal cfg_a cfg_b))
+    a.configs
+
+let check_equiv msg topo set =
+  let dense, dstats = Padr.Engine.run_dense_exn topo set in
+  let sparse, sstats = Padr.Engine.run_exn topo set in
+  check_int (msg ^ ": rounds") (Padr.Schedule.num_rounds dense)
+    (Padr.Schedule.num_rounds sparse);
+  check_int (msg ^ ": width") dense.width sparse.width;
+  check_int (msg ^ ": cycles") dense.cycles sparse.cycles;
+  Array.iteri
+    (fun i r -> check_round (Printf.sprintf "%s round %d" msg i) r
+        sparse.rounds.(i))
+    dense.rounds;
+  check_power msg dense.power sparse.power;
+  check_int (msg ^ ": stat cycles") dstats.cycles sstats.cycles;
+  check_int (msg ^ ": stat messages") dstats.control_messages
+    sstats.control_messages;
+  check_int (msg ^ ": stat max words") dstats.max_message_words
+    sstats.max_message_words;
+  check_int (msg ^ ": stat state words") dstats.state_words_per_switch
+    sstats.state_words_per_switch
+
+(* ~200 random well-nested sets: sizes 4..512, all densities. *)
+let test_random_sweep () =
+  let cases = ref 0 in
+  let rng = Cst_util.Prng.create 0xE9 in
+  while !cases < 200 do
+    incr cases;
+    let n = 1 lsl (2 + Cst_util.Prng.int rng 8) in
+    let density = 0.05 +. Cst_util.Prng.float rng 0.95 in
+    let set = Cst_workloads.Gen_wn.uniform rng ~n ~density in
+    check_equiv
+      (Printf.sprintf "case %d (n=%d)" !cases n)
+      (topo n) set
+  done
+
+(* Width-targeted sets hit the frontier pruning hardest: few active paths
+   in a large tree. *)
+let test_width_targeted () =
+  let rng = Cst_util.Prng.create 0xF1 in
+  List.iter
+    (fun (n, w) ->
+      let set = Cst_workloads.Gen_wn.with_width rng ~n ~width:w in
+      check_equiv (Printf.sprintf "width %d on %d PEs" w n) (topo n) set)
+    [ (64, 1); (64, 8); (256, 2); (256, 16); (1024, 4); (1024, 32) ]
+
+let test_degenerate () =
+  check_equiv "empty" (topo 8) (set ~n:8 []);
+  check_equiv "single long" (topo 8) (set ~n:8 [ (0, 7) ]);
+  check_equiv "single short" (topo 8) (set ~n:8 [ (3, 4) ]);
+  check_equiv "full onion" (topo 16)
+    (set ~n:16 [ (0, 15); (1, 14); (2, 13); (3, 12); (4, 11); (5, 10) ]);
+  check_equiv "nested mix" (topo 16)
+    (set ~n:16 [ (0, 15); (1, 6); (2, 3); (4, 5); (8, 13) ]);
+  (* a set smaller than the tree it runs on *)
+  check_equiv "oversized tree" (topo 64) (set ~n:8 [ (1, 2); (4, 7) ])
+
+(* Engine.run and Engine.run_dense also keep matching the functional
+   spec's no-config view when snapshots are disabled. *)
+let test_keep_configs_false () =
+  let t = topo 32 in
+  let rng = Cst_util.Prng.create 99 in
+  let s = Cst_workloads.Gen_wn.uniform rng ~n:32 ~density:0.8 in
+  let dense, _ = Padr.Engine.run_dense_exn ~keep_configs:false t s in
+  let sparse, _ = Padr.Engine.run_exn ~keep_configs:false t s in
+  Array.iteri
+    (fun i (r : Padr.Schedule.round) ->
+      check_int "no dense configs" 0 (Array.length r.configs);
+      check_int "no sparse configs" 0
+        (Array.length sparse.rounds.(i).configs);
+      check_true "deliveries" (r.deliveries = sparse.rounds.(i).deliveries))
+    dense.rounds
+
+(* Satellite of the Stalled error work: generator-produced well-nested
+   sets can never stall either engine (Theorem 4 progress guarantee). *)
+let prop_never_stalls =
+  prop "well-nested sets never stall the engines" ~count:150 (fun params ->
+      let s = set_of_params params in
+      let t = Padr.topology_for s in
+      let ok = function
+        | Ok _ -> true
+        | Error (Padr.Csa.Stalled _) -> false
+        | Error _ -> false
+      in
+      ok (Padr.Engine.run t s) && ok (Padr.Engine.run_dense t s)
+      && ok (Padr.Csa.run t s))
+
+(* tiny substring helper, no extra deps *)
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_stalled_formatting () =
+  let msg =
+    Format.asprintf "%a" Padr.Csa.pp_error
+      (Padr.Csa.Stalled { round = 3; remaining = 7 })
+  in
+  check_true "mentions round" (contains msg "round 3" && contains msg "7")
+
+let suite =
+  [
+    case "random sweep (200 sets)" test_random_sweep;
+    case "width-targeted" test_width_targeted;
+    case "degenerate shapes" test_degenerate;
+    case "keep_configs:false" test_keep_configs_false;
+    prop_never_stalls;
+    case "Stalled formats" test_stalled_formatting;
+  ]

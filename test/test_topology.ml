@@ -96,6 +96,158 @@ let test_mirror_node_interval () =
     check_int "reflected hi" (8 - lo) hi'
   done
 
+(* Brute-force pinning of the depth-table-backed operations, for every
+   node of every tree size in {2, 4, ..., 256}.  The references use only
+   first-principles definitions (child recursion, linear search), never
+   the formulas under test. *)
+
+let sizes = [ 2; 4; 8; 16; 32; 64; 128; 256 ]
+
+let brute_interval t v =
+  let rec go v =
+    if Cst.Topology.is_leaf t v then
+      let p = Cst.Topology.pe_of_node t v in
+      (p, p + 1)
+    else
+      let llo, _ = go (Cst.Topology.left t v) in
+      let _, rhi = go (Cst.Topology.right t v) in
+      (llo, rhi)
+  in
+  go v
+
+let brute_level t v =
+  (* distance to a leaf by walking left children *)
+  let rec go v acc =
+    if Cst.Topology.is_leaf t v then acc
+    else go (Cst.Topology.left t v) (acc + 1)
+  in
+  go v 0
+
+let test_interval_bruteforce () =
+  List.iter
+    (fun leaves ->
+      let t = Cst.Topology.create ~leaves in
+      for v = 1 to Cst.Topology.num_nodes t do
+        check_true
+          (Printf.sprintf "interval leaves=%d v=%d" leaves v)
+          (Cst.Topology.interval t v = brute_interval t v)
+      done)
+    sizes
+
+let test_mid_bruteforce () =
+  List.iter
+    (fun leaves ->
+      let t = Cst.Topology.create ~leaves in
+      for v = 1 to leaves - 1 do
+        (* definition: first leaf of the right child's subtree *)
+        let expect = fst (brute_interval t (Cst.Topology.right t v)) in
+        check_int
+          (Printf.sprintf "mid leaves=%d v=%d" leaves v)
+          expect (Cst.Topology.mid t v)
+      done)
+    sizes
+
+let test_mirror_bruteforce () =
+  List.iter
+    (fun leaves ->
+      let t = Cst.Topology.create ~leaves in
+      for v = 1 to Cst.Topology.num_nodes t do
+        (* definition: the same-level node covering the reflected interval,
+           found by linear search *)
+        let lo, hi = brute_interval t v in
+        let target = (leaves - hi, leaves - lo) in
+        let found = ref 0 in
+        for u = 1 to Cst.Topology.num_nodes t do
+          if
+            brute_level t u = brute_level t v
+            && brute_interval t u = target
+          then found := u
+        done;
+        check_int
+          (Printf.sprintf "mirror leaves=%d v=%d" leaves v)
+          !found
+          (Cst.Topology.mirror_node t v)
+      done)
+    sizes
+
+let test_lca_bruteforce () =
+  let brute_lca t a b =
+    (* deepest node whose interval contains both leaves' intervals *)
+    let pa = Cst.Topology.path_to_root t a
+    and pb = Cst.Topology.path_to_root t b in
+    let common = List.filter (fun v -> List.mem v pb) pa in
+    List.hd common
+  in
+  List.iter
+    (fun leaves ->
+      let t = Cst.Topology.create ~leaves in
+      let n = Cst.Topology.num_nodes t in
+      (* all pairs on small trees, a deterministic stride sample above *)
+      let step = if n <= 63 then 1 else 13 in
+      let a = ref 1 in
+      while !a <= n do
+        let b = ref 1 in
+        while !b <= n do
+          check_int
+            (Printf.sprintf "lca leaves=%d (%d,%d)" leaves !a !b)
+            (brute_lca t !a !b)
+            (Cst.Topology.lca t !a !b);
+          b := !b + step
+        done;
+        a := !a + step
+      done)
+    sizes
+
+let test_level_table () =
+  List.iter
+    (fun leaves ->
+      let t = Cst.Topology.create ~leaves in
+      for v = 1 to Cst.Topology.num_nodes t do
+        check_int
+          (Printf.sprintf "level leaves=%d v=%d" leaves v)
+          (brute_level t v) (Cst.Topology.level t v);
+        check_int "level_u agrees" (Cst.Topology.level t v)
+          (Cst.Topology.level_u t v);
+        check_int "depth_u complements level"
+          (Cst.Topology.levels t - Cst.Topology.level t v)
+          (Cst.Topology.depth_u t v)
+      done)
+    sizes
+
+let test_unchecked_children () =
+  let t = Cst.Topology.create ~leaves:64 in
+  for v = 1 to 63 do
+    check_int "left_u" (Cst.Topology.left t v) (Cst.Topology.left_u v);
+    check_int "right_u" (Cst.Topology.right t v) (Cst.Topology.right_u v)
+  done;
+  for v = 2 to Cst.Topology.num_nodes t do
+    check_int "parent_u" (Cst.Topology.parent t v) (Cst.Topology.parent_u v)
+  done
+
+let test_level_buckets () =
+  List.iter
+    (fun leaves ->
+      let t = Cst.Topology.create ~leaves in
+      let seen = Array.make (Cst.Topology.num_nodes t + 1) false in
+      for lvl = 0 to Cst.Topology.levels t do
+        let bucket = Cst.Topology.nodes_at_level t lvl in
+        Array.iteri
+          (fun i v ->
+            check_int
+              (Printf.sprintf "bucket level leaves=%d v=%d" leaves v)
+              lvl (Cst.Topology.level t v);
+            check_true "bucket is fresh" (not seen.(v));
+            seen.(v) <- true;
+            if i > 0 then
+              check_true "bucket increasing" (bucket.(i - 1) < v))
+          bucket
+      done;
+      (* every node appears in exactly one bucket *)
+      for v = 1 to Cst.Topology.num_nodes t do
+        check_true "bucket covers" seen.(v)
+      done)
+    sizes
+
 let prop_lca_interval =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~count:300 ~name:"lca interval contains both leaves"
@@ -137,6 +289,13 @@ let suite =
     case "internal iteration order" test_internal_iteration;
     case "mirror node" test_mirror_node;
     case "mirror node intervals" test_mirror_node_interval;
+    case "interval vs brute force" test_interval_bruteforce;
+    case "mid vs brute force" test_mid_bruteforce;
+    case "mirror vs brute force" test_mirror_bruteforce;
+    case "lca vs brute force" test_lca_bruteforce;
+    case "level table" test_level_table;
+    case "unchecked accessors" test_unchecked_children;
+    case "level buckets" test_level_buckets;
     prop_lca_interval;
     prop_interval_parent;
   ]
