@@ -9,14 +9,22 @@
      check_regression.exe BASELINE FRESH [--threshold PCT]
          Compare a fresh run against the committed baseline: any timed
          kernel (matched on kernel/pes/width) slower by more than PCT
-         percent (default 25) fails with exit code 1.  A kernel present in
-         the baseline but missing from the fresh run also fails — a
-         silently dropped kernel is not a passing one.
+         percent (default 25) fails with exit code 1, and any
+         service_throughput row (matched on pes/domains) with more than
+         PCT percent fewer jobs/sec does too.  A row present in the
+         baseline but missing from the fresh run also fails — a silently
+         dropped kernel is not a passing one.
 
    The parser is deliberately line-based: bench/main.ml emits exactly one
    result object per line, so no JSON dependency is needed. *)
 
 type row = { kernel : string; pes : int; width : int; ns_per_op : float }
+
+type service_row = {
+  srv_domains : int;
+  srv_pes : int;
+  srv_jobs_per_sec : float;
+}
 
 let find_field line key =
   let pat = Printf.sprintf "\"%s\": " key in
@@ -60,11 +68,11 @@ let number_field line key =
 let parse_rows file =
   let ic = open_in file in
   let rows = ref [] in
+  let service = ref [] in
   (try
      while true do
        let line = input_line ic in
        match string_field line "kernel" with
-       | None -> ()
        | Some kernel -> (
            match
              ( number_field line "pes",
@@ -84,15 +92,34 @@ let parse_rows file =
                Printf.eprintf "check_regression: malformed row in %s: %s\n"
                  file line;
                exit 2)
+       | None -> (
+           (* service_throughput rows have no "kernel" field *)
+           match
+             ( number_field line "domains",
+               number_field line "jobs_per_sec" )
+           with
+           | Some d, Some jps ->
+               let pes =
+                 Option.value ~default:0.0 (number_field line "pes")
+               in
+               service :=
+                 {
+                   srv_domains = int_of_float d;
+                   srv_pes = int_of_float pes;
+                   srv_jobs_per_sec = jps;
+                 }
+                 :: !service
+           | _ -> ())
      done
    with End_of_file -> ());
   close_in ic;
-  List.rev !rows
+  (List.rev !rows, List.rev !service)
 
 let key r = Printf.sprintf "%s/%d/%d" r.kernel r.pes r.width
+let skey s = Printf.sprintf "service/%d/%dd" s.srv_pes s.srv_domains
 
 let validate file =
-  let rows = parse_rows file in
+  let rows, service = parse_rows file in
   if rows = [] then begin
     Printf.eprintf "check_regression: %s contains no benchmark rows\n" file;
     exit 1
@@ -105,10 +132,26 @@ let validate file =
         exit 1
       end)
     rows;
-  Printf.printf "check_regression: %s ok (%d rows)\n" file (List.length rows)
+  if service = [] then begin
+    Printf.eprintf
+      "check_regression: %s contains no service_throughput rows\n" file;
+    exit 1
+  end;
+  List.iter
+    (fun s ->
+      if not (Float.is_finite s.srv_jobs_per_sec) || s.srv_jobs_per_sec <= 0.0
+      then begin
+        Printf.eprintf "check_regression: %s: bad throughput for %s (%f)\n"
+          file (skey s) s.srv_jobs_per_sec;
+        exit 1
+      end)
+    service;
+  Printf.printf "check_regression: %s ok (%d rows, %d service rows)\n" file
+    (List.length rows) (List.length service)
 
 let compare_files ~threshold baseline fresh =
-  let base = parse_rows baseline and cur = parse_rows fresh in
+  let base, base_srv = parse_rows baseline
+  and cur, cur_srv = parse_rows fresh in
   let lookup rows k = List.find_opt (fun r -> key r = k) rows in
   let failures = ref 0 in
   Printf.printf "%-28s %12s %12s %8s\n" "kernel/pes/width" "baseline ns"
@@ -128,6 +171,28 @@ let compare_files ~threshold baseline fresh =
             f.ns_per_op ratio
             (if bad then "  REGRESSION" else ""))
     base;
+  (* Throughput rows gate in the opposite direction: fewer jobs/sec than
+     the baseline by more than the threshold fails. *)
+  List.iter
+    (fun b ->
+      match
+        List.find_opt
+          (fun s ->
+            s.srv_domains = b.srv_domains && s.srv_pes = b.srv_pes)
+          cur_srv
+      with
+      | None ->
+          incr failures;
+          Printf.printf "%-28s %12.0f %12s %8s  MISSING\n" (skey b)
+            b.srv_jobs_per_sec "-" "-"
+      | Some f ->
+          let ratio = f.srv_jobs_per_sec /. b.srv_jobs_per_sec in
+          let bad = ratio < 1.0 -. (threshold /. 100.0) in
+          if bad then incr failures;
+          Printf.printf "%-28s %12.0f %12.0f %7.2fx%s\n" (skey b)
+            b.srv_jobs_per_sec f.srv_jobs_per_sec ratio
+            (if bad then "  REGRESSION" else ""))
+    base_srv;
   if !failures > 0 then begin
     Printf.printf "check_regression: %d kernel(s) regressed beyond %.0f%%\n"
       !failures threshold;

@@ -125,9 +125,17 @@ let e3 () =
     "paper claim: CSA O(1) vs Roy et al. O(w) per switch -> compare slopes@.";
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) per_algo []
 
-(* F1 — the headline figure. *)
+(* F1 — the headline figure.  The contrasted pair is selected by
+   capability, not by name: the power-optimal scheduler(s) against the
+   ID-based representative of the per-round O(w) family. *)
 let f1 per_algo =
   section "F1 - figure: per-switch configuration writes, CSA vs ID-scheduling";
+  let contrast =
+    List.map
+      (fun (a : Cst_baselines.Registry.algo) -> a.name)
+      (Cst_baselines.Registry.capable ~power_optimal:true ())
+    @ [ Cst_baselines.Registry.roy_id.name ]
+  in
   let series =
     List.filter_map
       (fun name ->
@@ -135,41 +143,38 @@ let f1 per_algo =
           (fun pts ->
             { Cst_report.Ascii_plot.label = name; points = List.rev pts })
           (List.assoc_opt name per_algo))
-      [ "csa"; "roy-id" ]
+      contrast
   in
   Cst_report.Ascii_plot.print ~title:"max writes per switch vs width"
     ~x_label:"width" ~y_label:"max writes/switch" series
 
-(* E4 — total power units. *)
+(* E4 — total power units.  Columns come from the registry's capability
+   view, so a new scheduler shows up here without editing the harness. *)
 let e4 () =
   section "E4 - total power (connection writes) and the structural floor";
+  let e4_algos = Cst_baselines.Registry.capable () in
   let table =
     Cst_report.Table.create
       ~title:
         (Printf.sprintf "total writes over the whole schedule (%d PEs)"
            sweep_n)
       ~columns:
-        [ "width"; "comms"; "floor"; "csa"; "eager-csa"; "roy-id"; "naive" ]
+        ("width" :: "comms" :: "floor"
+        :: List.map
+             (fun (a : Cst_baselines.Registry.algo) -> a.name)
+             e4_algos)
   in
   let topo = Cst.Topology.create ~leaves:sweep_n in
   List.iter
     (fun w ->
       let set = set_for_width ~seed:100 w in
       let floor_ = Cst_baselines.Bounds.min_total_connects topo set in
-      let total name =
-        let a = Option.get (Cst_baselines.Registry.find name) in
-        (a.run topo set).power.total_writes
-      in
       Cst_report.Table.add_int_row table
-        [
-          w;
-          Cst_comm.Comm_set.size set;
-          floor_;
-          total "csa";
-          total "eager-csa";
-          total "roy-id";
-          total "naive";
-        ])
+        (w :: Cst_comm.Comm_set.size set :: floor_
+        :: List.map
+             (fun (a : Cst_baselines.Registry.algo) ->
+               (a.run topo set).power.total_writes)
+             e4_algos))
     widths;
   Cst_report.Table.print table;
   Format.printf
@@ -556,10 +561,11 @@ let microbench () =
    algorithm over a PEs-by-width grid of width-targeted well-nested sets
    and writes one JSON object with one result row per (kernel, pes, width)
    point: ns/op, schedule rounds, engine cycles, control messages and
-   allocated words per op (via Gc.allocated_bytes).  The committed
-   BENCH_engine.json is the perf trajectory baseline; compare a fresh run
-   against it with bench/check_regression.ml.  With --fast a small smoke
-   grid is used (wired into `dune runtest`). *)
+   allocated words per op (via Gc.allocated_bytes), plus a
+   "service_throughput" section timing the batch service over a domain
+   grid.  The committed BENCH_engine.json is the perf trajectory baseline;
+   compare a fresh run against it with bench/check_regression.ml.  With
+   --fast a small smoke grid is used (wired into `dune runtest`). *)
 
 let measure ~budget_s f =
   ignore (f ());
@@ -590,6 +596,70 @@ type json_row = {
   alloc_words : float;
   reps : int;
 }
+
+(* Batch-service throughput: one fixed mixed trace of jobs (well-nested
+   suite workloads interleaved with arbitrary crossing sets, all dispatched
+   as csa), run through Service.run at each domain count.  Wall-clock, not
+   CPU time: with several domains Sys.time sums across cores. *)
+
+type service_row = {
+  srv_domains : int;
+  srv_pes : int;
+  srv_jobs : int;
+  srv_jobs_per_sec : float;
+  srv_failed : int;
+  srv_reps : int;
+}
+
+let service_throughput ~fast =
+  let n = if fast then 128 else 1024 in
+  let job_count = if fast then 16 else 96 in
+  let domain_grid = if fast then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  let budget_s = if fast then 0.05 else 1.0 in
+  let gens = Cst_workloads.Suite.all in
+  let rng = Cst_util.Prng.create 9000 in
+  let jobs =
+    List.init job_count (fun i ->
+        let set =
+          if i mod 4 = 3 then
+            Cst_workloads.Gen_arbitrary.random_pairs rng ~n
+              ~pairs:(max 1 (n / 8))
+          else (List.nth gens (i mod List.length gens)).make rng ~n
+        in
+        Cst_service.Service.job ~id:i ~algo:"csa" set)
+  in
+  List.map
+    (fun domains ->
+      let failed = ref 0 in
+      let run_once () =
+        let outcomes = Cst_service.Service.run ~domains jobs in
+        failed :=
+          List.length
+            (List.filter
+               (fun (o : Cst_service.Service.outcome) ->
+                 Result.is_error o.result)
+               outcomes)
+      in
+      run_once ();
+      (* warm-up *)
+      let t0 = Unix.gettimeofday () in
+      let reps = ref 0 in
+      let elapsed = ref 0.0 in
+      while !elapsed < budget_s || !reps < 2 do
+        run_once ();
+        incr reps;
+        elapsed := Unix.gettimeofday () -. t0
+      done;
+      {
+        srv_domains = domains;
+        srv_pes = n;
+        srv_jobs = job_count;
+        srv_jobs_per_sec =
+          float_of_int (job_count * !reps) /. Float.max !elapsed 1e-9;
+        srv_failed = !failed;
+        srv_reps = !reps;
+      })
+    domain_grid
 
 let bench_json ~fast file =
   let grid_pes = if fast then [ 64; 256 ] else [ 256; 2048; 16384; 65536 ] in
@@ -653,6 +723,18 @@ let bench_json ~fast file =
     (String.concat ", " (List.map string_of_int grid_widths));
   p "  \"dense_cap\": %d,\n" dense_cap;
   p "  \"registry_cap\": %d,\n" registry_cap;
+  let srv = service_throughput ~fast in
+  p "  \"service_throughput\": [\n";
+  List.iteri
+    (fun i r ->
+      p
+        "    {\"domains\": %d, \"pes\": %d, \"jobs\": %d, \"jobs_per_sec\": \
+         %.1f, \"failed\": %d, \"reps\": %d}%s\n"
+        r.srv_domains r.srv_pes r.srv_jobs r.srv_jobs_per_sec r.srv_failed
+        r.srv_reps
+        (if i = List.length srv - 1 then "" else ","))
+    srv;
+  p "  ],\n";
   p "  \"results\": [\n";
   let rows = List.rev !rows in
   List.iteri

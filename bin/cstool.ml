@@ -4,9 +4,15 @@
      gen    generate a workload and print/save it as a comm-set file
      info   validate a set and print its statistics
      route  schedule a set with a chosen algorithm, optionally verifying
-     sweep  width sweep comparing algorithms (the E3 experiment, ad hoc) *)
+     batch  run many generated jobs through the multicore batch service
+     sweep  width sweep comparing algorithms (the E3 experiment, ad hoc)
+
+   Scheduling goes through Cst_service.Service — cstool is a thin client:
+   it builds jobs, lets the service dispatch on registry capabilities and
+   renders the outcomes. *)
 
 open Cmdliner
+module Service = Cst_service.Service
 
 let read_file path =
   let ic = open_in_bin path in
@@ -129,43 +135,58 @@ let info_cmd =
 
 (* route *)
 let route_cmd =
-  let run file workload n seed algo verbose no_verify =
+  let run file workload n seed algo engine verbose no_verify =
     match obtain_set file workload n seed with
     | Error e -> exit_err e
     | Ok set -> (
-        match Cst_baselines.Registry.find algo with
-        | None ->
-            exit_err
-              (Printf.sprintf "unknown algorithm %S (known: %s)" algo
-                 (String.concat ", " Cst_baselines.Registry.names))
-        | Some a -> (
-            let leaves =
-              Cst_util.Bits.ceil_pow2 (max 2 (Cst_comm.Comm_set.n set))
-            in
-            let topo = Cst.Topology.create ~leaves in
-            match a.run topo set with
-            | exception Invalid_argument m -> exit_err m
-            | sched ->
-                if verbose then Format.printf "%a@." Padr.Schedule.pp sched
-                else
-                  Format.printf
-                    "%s: %d communications, width %d -> %d rounds, %d power \
-                     units (%d writes), max %d connects/switch@."
-                    a.name
-                    (Cst_comm.Comm_set.size set)
-                    sched.width
-                    (Padr.Schedule.num_rounds sched)
-                    sched.power.total_connects sched.power.total_writes
-                    sched.power.max_connects_per_switch;
-                if not no_verify then begin
-                  let report =
-                    Padr.Verify.schedule
-                      ~check_rounds_optimal:a.round_optimal topo set sched
-                  in
-                  Format.printf "verification: %a@." Padr.Verify.pp_report
-                    report;
-                  if not report.ok then exit 1
-                end))
+        let engine =
+          if engine then Service.Message_passing else Service.Spec
+        in
+        match Service.run_job (Service.job ~engine ~id:0 ~algo set) with
+        | Error e -> exit_err (Format.asprintf "%a" Service.pp_error e)
+        | Ok r ->
+            (if verbose then
+               match r.detail with
+               | Service.Sched s -> Format.printf "%a@." Padr.Schedule.pp s
+               | Service.Waves w -> Format.printf "%a@." Padr.Waves.pp w
+             else
+               Format.printf
+                 "%s: %d communications, width %d -> %d rounds in %d \
+                  wave(s), %d power units (%d writes), max %d \
+                  connects/switch@."
+                 r.algo
+                 (Cst_comm.Comm_set.size set)
+                 r.width r.rounds r.waves r.power.total_connects
+                 r.power.total_writes r.power.max_connects_per_switch);
+            if r.control_messages > 0 then
+              Format.printf "control messages: %d@." r.control_messages;
+            if not no_verify then begin
+              let ok =
+                match r.detail with
+                | Service.Sched sched ->
+                    let round_optimal =
+                      match Cst_baselines.Registry.find algo with
+                      | Some a -> a.caps.round_optimal
+                      | None -> false
+                    in
+                    let topo = Cst.Topology.create ~leaves:sched.leaves in
+                    let report =
+                      Padr.Verify.schedule ~check_rounds_optimal:round_optimal
+                        topo set sched
+                    in
+                    Format.printf "verification: %a@." Padr.Verify.pp_report
+                      report;
+                    report.ok
+                | Service.Waves w ->
+                    let ok =
+                      Padr.Waves.deliveries w = Cst_comm.Comm_set.matching set
+                    in
+                    Format.printf
+                      "verification: wave deliveries match the set: %b@." ok;
+                    ok
+              in
+              if not ok then exit 1
+            end)
   in
   let algo =
     Arg.(
@@ -174,6 +195,12 @@ let route_cmd =
           ~doc:
             (Printf.sprintf "Scheduler: %s."
                (String.concat ", " Cst_baselines.Registry.names)))
+  in
+  let engine =
+    Arg.(
+      value & flag
+      & info [ "engine" ]
+          ~doc:"Execute through the message-passing engine (CSA only).")
   in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every round.")
@@ -184,21 +211,109 @@ let route_cmd =
   Cmd.v
     (Cmd.info "route" ~doc:"Schedule a set on the CST")
     Term.(
-      const run $ file_arg $ workload_arg $ n_arg $ seed_arg $ algo $ verbose
-      $ no_verify)
+      const run $ file_arg $ workload_arg $ n_arg $ seed_arg $ algo $ engine
+      $ verbose $ no_verify)
+
+(* batch: many jobs through the domain pool *)
+let batch_cmd =
+  let run n jobs algos seed domains queue verbose =
+    let algos =
+      match algos with
+      | [] -> List.map (fun (a : Cst_baselines.Registry.algo) -> a.name)
+                (Cst_baselines.Registry.capable ())
+      | names ->
+          List.iter
+            (fun name ->
+              if Cst_baselines.Registry.find name = None then
+                exit_err (Printf.sprintf "unknown algorithm %S" name))
+            names;
+          names
+    in
+    let gens = Cst_workloads.Suite.all in
+    let rng = Cst_util.Prng.create seed in
+    let make_job i =
+      let algo = List.nth algos (i mod List.length algos) in
+      let set =
+        (* Every fourth job is an arbitrary (possibly crossing, possibly
+           mixed-orientation) set, so the batch exercises the service's
+           capability dispatch, not just the well-nested fast path. *)
+        if i mod 4 = 3 then
+          Cst_workloads.Gen_arbitrary.random_pairs rng ~n ~pairs:(max 1 (n / 8))
+        else
+          let g = List.nth gens (i mod List.length gens) in
+          g.make rng ~n
+      in
+      Service.job ~id:i ~algo set
+    in
+    let js = List.init jobs make_job in
+    let t0 = Unix.gettimeofday () in
+    let outcomes = Service.run ?domains ~queue_capacity:queue js in
+    let dt = Unix.gettimeofday () -. t0 in
+    let failed =
+      List.filter (fun (o : Service.outcome) -> Result.is_error o.result)
+        outcomes
+    in
+    List.iter
+      (fun (o : Service.outcome) ->
+        if verbose || Result.is_error o.result then
+          Format.printf "%a@." Service.pp_outcome o)
+      outcomes;
+    let d =
+      match domains with
+      | Some d -> max 1 d
+      | None -> max 1 (Domain.recommended_domain_count ())
+    in
+    Format.printf "%d jobs (%d failed) on %d domain(s) in %.3f s (%.0f jobs/s)@."
+      jobs (List.length failed) d dt
+      (float_of_int jobs /. Float.max dt 1e-9)
+  in
+  let jobs =
+    Arg.(value & opt int 64 & info [ "jobs" ] ~docv:"J" ~doc:"Number of jobs to generate.")
+  in
+  let algos =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "algos" ] ~docv:"A,A,..."
+          ~doc:"Algorithms to cycle through (default: every registry algorithm).")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"D"
+          ~doc:"Worker domains (default: the runtime's recommendation).")
+  in
+  let queue =
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"Q" ~doc:"Submission channel capacity (backpressure bound).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every outcome, not only failures.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Run generated scheduling jobs through the multicore service")
+    Term.(
+      const run $ n_arg $ jobs $ algos $ seed_arg $ domains $ queue $ verbose)
 
 (* sweep *)
 let sweep_cmd =
   let run n widths algos seed csv =
     let algos =
-      List.map
-        (fun name ->
-          match Cst_baselines.Registry.find name with
-          | Some a -> a
-          | None -> exit_err (Printf.sprintf "unknown algorithm %S" name))
-        algos
+      match algos with
+      | [] ->
+          (* Capability-selected default: every algorithm whose run
+             function accepts a well-nested set — i.e. the whole
+             registry, in presentation order. *)
+          Cst_baselines.Registry.capable ~supports:`Well_nested ()
+      | names ->
+          List.map
+            (fun name ->
+              match Cst_baselines.Registry.find name with
+              | Some a -> a
+              | None -> exit_err (Printf.sprintf "unknown algorithm %S" name))
+            names
     in
-    let topo = Cst.Topology.create ~leaves:n in
     let table =
       Cst_report.Table.create
         ~title:(Printf.sprintf "width sweep on %d PEs" n)
@@ -209,25 +324,47 @@ let sweep_cmd =
                  [ a.name ^ ":rounds"; a.name ^ ":maxwrites" ])
                algos)
     in
+    (* One batch: job id = row-major (width, algo) cell index. *)
+    let sets =
+      List.map
+        (fun w ->
+          let rng = Cst_util.Prng.create (seed + w) in
+          (w, Cst_workloads.Gen_wn.with_width rng ~n ~width:w))
+        widths
+    in
+    let jobs =
+      List.concat
+        (List.mapi
+           (fun wi (_, set) ->
+             List.mapi
+               (fun ai (a : Cst_baselines.Registry.algo) ->
+                 Service.job
+                   ~id:((wi * List.length algos) + ai)
+                   ~algo:a.name set)
+               algos)
+           sets)
+    in
+    let outcomes = Array.of_list (Service.run jobs) in
     let rows = ref [] in
-    List.iter
-      (fun w ->
-        let rng = Cst_util.Prng.create (seed + w) in
-        let set = Cst_workloads.Gen_wn.with_width rng ~n ~width:w in
+    List.iteri
+      (fun wi (w, _) ->
         let cells =
           List.concat_map
-            (fun (a : Cst_baselines.Registry.algo) ->
-              let s = a.run topo set in
-              [
-                string_of_int (Padr.Schedule.num_rounds s);
-                string_of_int s.power.max_writes_per_switch;
-              ])
-            algos
+            (fun ai ->
+              let o = outcomes.((wi * List.length algos) + ai) in
+              match o.Service.result with
+              | Ok r ->
+                  [
+                    string_of_int r.rounds;
+                    string_of_int r.power.max_writes_per_switch;
+                  ]
+              | Error _ -> [ "-"; "-" ])
+            (List.init (List.length algos) Fun.id)
         in
         let row = string_of_int w :: cells in
         Cst_report.Table.add_row table row;
         rows := row :: !rows)
-      widths;
+      sets;
     Cst_report.Table.print table;
     match csv with
     | None -> ()
@@ -251,8 +388,9 @@ let sweep_cmd =
   let algos =
     Arg.(
       value
-      & opt (list string) [ "csa"; "roy-id" ]
-      & info [ "algos" ] ~docv:"A,A,..." ~doc:"Algorithms to compare.")
+      & opt (list string) []
+      & info [ "algos" ] ~docv:"A,A,..."
+          ~doc:"Algorithms to compare (default: every registry algorithm).")
   in
   let csv =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Also write CSV.")
@@ -402,6 +540,6 @@ let () =
        (Cmd.group
           (Cmd.info "cstool" ~version:"1.0.0" ~doc)
           [
-            gen_cmd; info_cmd; route_cmd; sweep_cmd; waves_cmd; dot_cmd;
-            stats_cmd;
+            gen_cmd; info_cmd; route_cmd; batch_cmd; sweep_cmd; waves_cmd;
+            dot_cmd; stats_cmd;
           ]))

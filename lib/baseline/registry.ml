@@ -1,17 +1,41 @@
+type support = [ `Well_nested | `Arbitrary ]
+
+type capability = {
+  supports : support;
+  via_waves : bool;
+  engine_available : bool;
+  round_optimal : bool;
+  power_optimal : bool;
+}
+
 type algo = {
   name : string;
   description : string;
-  round_optimal : bool;
-  power_optimal : bool;
+  caps : capability;
   run : Cst.Topology.t -> Cst_comm.Comm_set.t -> Padr.Schedule.t;
 }
+
+let well_nested_only =
+  {
+    supports = `Well_nested;
+    via_waves = false;
+    engine_available = false;
+    round_optimal = false;
+    power_optimal = false;
+  }
 
 let csa =
   {
     name = "csa";
     description = "the paper's power-aware CSA (lazy reconfiguration)";
-    round_optimal = true;
-    power_optimal = true;
+    caps =
+      {
+        supports = `Well_nested;
+        via_waves = true;
+        engine_available = true;
+        round_optimal = true;
+        power_optimal = true;
+      };
     run = (fun topo set -> Padr.Csa.run_exn topo set);
   }
 
@@ -19,8 +43,7 @@ let eager_csa =
   {
     name = "eager-csa";
     description = "CSA round decisions with eager per-round reconfiguration";
-    round_optimal = true;
-    power_optimal = false;
+    caps = { well_nested_only with round_optimal = true };
     run = Eager_csa.run;
   }
 
@@ -28,8 +51,7 @@ let roy_id =
   {
     name = "roy-id";
     description = "ID-based rounds (Roy-Vaidyanathan-Trahan style)";
-    round_optimal = false;
-    power_optimal = false;
+    caps = well_nested_only;
     run = Roy_id.run;
   }
 
@@ -37,8 +59,7 @@ let depth =
   {
     name = "depth";
     description = "one round per nesting depth (correct, not round-optimal)";
-    round_optimal = false;
-    power_optimal = false;
+    caps = well_nested_only;
     run = Depth_sched.run;
   }
 
@@ -46,8 +67,7 @@ let greedy =
   {
     name = "greedy";
     description = "greedy maximal compatible batches";
-    round_optimal = false;
-    power_optimal = false;
+    caps = { well_nested_only with supports = `Arbitrary };
     run = Greedy.run;
   }
 
@@ -55,11 +75,25 @@ let naive =
   {
     name = "naive";
     description = "one communication per round";
-    round_optimal = false;
-    power_optimal = false;
+    caps = { well_nested_only with supports = `Arbitrary };
     run = Naive.run;
   }
 
 let all = [ csa; eager_csa; roy_id; depth; greedy; naive ]
 let find name = List.find_opt (fun a -> a.name = name) all
 let names = List.map (fun a -> a.name) all
+
+let capable ?supports ?engine ?power_optimal () =
+  List.filter
+    (fun a ->
+      (match supports with
+      | None -> true
+      | Some `Well_nested -> true
+      | Some `Arbitrary -> a.caps.supports = `Arbitrary)
+      && (match engine with
+         | None -> true
+         | Some e -> a.caps.engine_available = e)
+      && match power_optimal with
+         | None -> true
+         | Some p -> a.caps.power_optimal = p)
+    all

@@ -1,12 +1,36 @@
 (** Name-indexed registry of every scheduler in the repository, for the
-    CLI and the benchmark harness. *)
+    CLI, the benchmark harness and the batch service.
+
+    Each entry carries a {!capability} record describing what the
+    scheduler can do, so dispatchers (the service, [cstool sweep],
+    [bench/main.exe]) select algorithms by capability instead of by
+    hard-coded name lists. *)
+
+type support = [ `Well_nested | `Arbitrary ]
+(** Input domain of {!algo.run} over right-oriented sets:
+    [`Well_nested] requires a non-crossing set, [`Arbitrary] accepts any
+    right-oriented set (crossing pairs allowed).  No registry scheduler
+    accepts left-oriented members directly; the service covers those by
+    orientation decomposition when {!capability.via_waves} is set. *)
+
+type capability = {
+  supports : support;
+  via_waves : bool;
+      (** the service may cover crossing or mixed-orientation sets with
+          this algorithm's decisions by running one CSA wave per
+          well-nested layer ({!Padr.Waves}); true only for the CSA *)
+  engine_available : bool;
+      (** a message-passing engine ({!Padr.Engine}) executes the same
+          decisions; true only for the CSA *)
+  round_optimal : bool;
+      (** guarantees exactly-width rounds on well-nested input *)
+  power_optimal : bool;  (** guarantees O(1) configuration changes *)
+}
 
 type algo = {
   name : string;
   description : string;
-  round_optimal : bool;
-      (** guarantees exactly-width rounds on well-nested input *)
-  power_optimal : bool;  (** guarantees O(1) configuration changes *)
+  caps : capability;
   run : Cst.Topology.t -> Cst_comm.Comm_set.t -> Padr.Schedule.t;
 }
 
@@ -22,3 +46,11 @@ val all : algo list
 
 val find : string -> algo option
 val names : string list
+
+val capable :
+  ?supports:support -> ?engine:bool -> ?power_optimal:bool -> unit -> algo list
+(** Capability-filtered view of {!all}, preserving order.  [supports]
+    keeps algorithms accepting at least that domain ([`Arbitrary] asks
+    for crossing-tolerant ones); [engine] filters on
+    {!capability.engine_available}; [power_optimal] on the O(1)
+    configuration guarantee.  No filter means no constraint. *)

@@ -169,11 +169,12 @@ let run ?(keep_configs = true) ?net topo set =
         in
         let rounds = ref [] in
         let index = ref 0 in
+        try
         while !remaining > 0 do
           incr index;
           let out = sweep topo states in
           if out.matched_count = 0 then
-            failwith "Left.run: no progress (internal invariant broken)";
+            raise (Csa.Stall { round = !index; remaining = !remaining });
           for node = 1 to leaves - 1 do
             Cst.Net.reconfigure_lazy net ~node ~want:out.wants.(node)
           done;
@@ -215,6 +216,8 @@ let run ?(keep_configs = true) ?net topo set =
                 (Cst.Power_meter.diff_since (Cst.Net.meter net) ~baseline);
             cycles = levels + (!index * (levels + 1));
           }
+        with Csa.Stall { round; remaining } ->
+          Error (Csa.Stalled { round; remaining })
 
 let run_exn ?keep_configs ?net topo set =
   match run ?keep_configs ?net topo set with

@@ -1,0 +1,356 @@
+type engine = Spec | Message_passing
+
+type job = {
+  id : int;
+  set : Cst_comm.Comm_set.t;
+  algo : string;
+  engine : engine;
+  leaves : int option;
+}
+
+let job ?(engine = Spec) ?leaves ~id ~algo set =
+  { id; set; algo; engine; leaves }
+
+type error =
+  | Unknown_algo of string
+  | Unsupported of { algo : string; what : string }
+  | Too_large of { n : int; leaves : int }
+  | Not_well_nested of Cst_comm.Well_nested.violation
+  | Stalled of { round : int; remaining : int }
+  | Crashed of string
+
+let error_of_csa : Padr.error -> error = function
+  | Padr.Csa.Too_large { n; leaves } -> Too_large { n; leaves }
+  | Padr.Csa.Not_well_nested v -> Not_well_nested v
+  | Padr.Csa.Stalled { round; remaining } -> Stalled { round; remaining }
+
+let pp_error fmt = function
+  | Unknown_algo name -> Format.fprintf fmt "unknown algorithm %S" name
+  | Unsupported { algo; what } ->
+      Format.fprintf fmt "algorithm %s does not support %s" algo what
+  | Too_large { n; leaves } ->
+      Format.fprintf fmt "set over %d PEs does not fit a %d-leaf CST" n leaves
+  | Not_well_nested v ->
+      Format.fprintf fmt "set is not schedulable: %a"
+        Cst_comm.Well_nested.pp_violation v
+  | Stalled { round; remaining } ->
+      Format.fprintf fmt "scheduler stalled in round %d with %d pending"
+        round remaining
+  | Crashed msg -> Format.fprintf fmt "scheduler crashed: %s" msg
+
+type detail = Sched of Padr.Schedule.t | Waves of Padr.Waves.t
+
+type job_result = {
+  algo : string;
+  digest : string;
+  width : int;
+  waves : int;
+  rounds : int;
+  cycles : int;
+  control_messages : int;
+  power : Padr.Schedule.power;
+  detail : detail;
+}
+
+type outcome = { job_id : int; result : (job_result, error) result }
+
+(* --- digests ------------------------------------------------------- *)
+
+(* The digest covers the semantic content of a schedule: the per-round
+   delivery transcript (round index, sources, destinations, realized
+   transfers) plus the tree size and set width.  Switch configurations
+   are a deterministic function of these decisions, so two schedules with
+   equal digests are the same schedule. *)
+
+let add_schedule buf (s : Padr.Schedule.t) =
+  Buffer.add_string buf
+    (Printf.sprintf "leaves=%d;width=%d;" s.leaves s.width);
+  Array.iter
+    (fun (r : Padr.Schedule.round) ->
+      Buffer.add_string buf (Printf.sprintf "r%d:" r.index);
+      List.iter
+        (fun (src, dst) ->
+          Buffer.add_string buf (Printf.sprintf "%d>%d," src dst))
+        r.deliveries;
+      Buffer.add_char buf ';')
+    s.rounds
+
+let digest_of_detail = function
+  | Sched s ->
+      let buf = Buffer.create 256 in
+      add_schedule buf s;
+      Digest.to_hex (Digest.string (Buffer.contents buf))
+  | Waves (w : Padr.Waves.t) ->
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf "waves:right:";
+      List.iter (add_schedule buf) w.right_waves;
+      Buffer.add_string buf "left:";
+      List.iter (add_schedule buf) w.left_waves;
+      Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* --- per-job execution --------------------------------------------- *)
+
+let leaves_for job =
+  match job.leaves with
+  | Some l -> l
+  | None -> Cst_util.Bits.ceil_pow2 (max 2 (Cst_comm.Comm_set.n job.set))
+
+let result_of_schedule ~algo ?(control_messages = 0) (s : Padr.Schedule.t) =
+  let detail = Sched s in
+  {
+    algo;
+    digest = digest_of_detail detail;
+    width = s.width;
+    waves = 1;
+    rounds = Padr.Schedule.num_rounds s;
+    cycles = s.cycles;
+    control_messages;
+    power = s.power;
+    detail;
+  }
+
+let result_of_waves ~algo ~leaves (w : Padr.Waves.t) =
+  let detail = Waves w in
+  {
+    algo;
+    digest = digest_of_detail detail;
+    width = Cst_comm.Width.width ~leaves w.set;
+    waves = Padr.Waves.num_waves w;
+    rounds = w.rounds;
+    cycles = w.cycles;
+    control_messages = 0;
+    power = w.power;
+    detail;
+  }
+
+type classification =
+  | Right_well_nested
+  | Right_crossing of Cst_comm.Well_nested.violation
+  | Mixed_orientation
+
+let classify set =
+  if Cst_comm.Comm_set.is_right_oriented set then
+    match Cst_comm.Well_nested.check set with
+    | Ok _ -> Right_well_nested
+    | Error v -> Right_crossing v
+  else Mixed_orientation
+
+let dispatch (job : job) =
+  match Cst_baselines.Registry.find job.algo with
+  | None -> Error (Unknown_algo job.algo)
+  | Some a -> (
+      let leaves = leaves_for job in
+      let n = Cst_comm.Comm_set.n job.set in
+      if n > leaves then Error (Too_large { n; leaves })
+      else
+        let topo = Cst.Topology.create ~leaves in
+        let direct () = Ok (result_of_schedule ~algo:a.name (a.run topo job.set)) in
+        let waves () =
+          match Padr.Waves.schedule ~leaves job.set with
+          | Ok w -> Ok (result_of_waves ~algo:a.name ~leaves w)
+          | Error e -> Error (error_of_csa e)
+        in
+        match job.engine with
+        | Message_passing ->
+            if not a.caps.engine_available then
+              Error
+                (Unsupported { algo = a.name; what = "the message-passing engine" })
+            else (
+              match Padr.Engine.run topo job.set with
+              | Ok (s, stats) ->
+                  Ok
+                    (result_of_schedule ~algo:a.name
+                       ~control_messages:stats.control_messages s)
+              | Error e -> Error (error_of_csa e))
+        | Spec -> (
+            match classify job.set with
+            | Right_well_nested -> direct ()
+            | Right_crossing v ->
+                if a.caps.supports = `Arbitrary then direct ()
+                else if a.caps.via_waves then waves ()
+                else Error (Not_well_nested v)
+            | Mixed_orientation ->
+                if a.caps.via_waves then waves ()
+                else
+                  Error
+                    (Unsupported
+                       { algo = a.name; what = "left-oriented members" })))
+
+let run_job job =
+  (* The catch-all is the pool's fault isolation: whatever escapes a
+     scheduler becomes a typed outcome on this job's id. *)
+  match dispatch job with
+  | result -> result
+  | exception e -> Error (Crashed (Printexc.to_string e))
+
+(* --- canonical serialization --------------------------------------- *)
+
+let outcome_to_string o =
+  match o.result with
+  | Ok r ->
+      Printf.sprintf
+        "job %d: ok algo=%s digest=%s width=%d waves=%d rounds=%d cycles=%d \
+         msgs=%d connects=%d disconnects=%d writes=%d maxc/sw=%d maxw/sw=%d"
+        o.job_id r.algo r.digest r.width r.waves r.rounds r.cycles
+        r.control_messages r.power.total_connects r.power.total_disconnects
+        r.power.total_writes r.power.max_connects_per_switch
+        r.power.max_writes_per_switch
+  | Error e ->
+      Format.asprintf "job %d: error %a" o.job_id pp_error e
+
+let pp_outcome fmt o = Format.pp_print_string fmt (outcome_to_string o)
+
+(* --- bounded channel ----------------------------------------------- *)
+
+module Chan = struct
+  type 'a t = {
+    q : 'a Queue.t;
+    capacity : int;
+    mutable closed : bool;
+    m : Mutex.t;
+    not_empty : Condition.t;
+    not_full : Condition.t;
+  }
+
+  let create capacity =
+    {
+      q = Queue.create ();
+      capacity = max 1 capacity;
+      closed = false;
+      m = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+    }
+
+  let send t x =
+    Mutex.lock t.m;
+    while Queue.length t.q >= t.capacity && not t.closed do
+      Condition.wait t.not_full t.m
+    done;
+    if t.closed then begin
+      Mutex.unlock t.m;
+      invalid_arg "Service: submit after shutdown"
+    end;
+    Queue.push x t.q;
+    Condition.signal t.not_empty;
+    Mutex.unlock t.m
+
+  (* [None] only after [close] once the queue has drained. *)
+  let recv t =
+    Mutex.lock t.m;
+    while Queue.is_empty t.q && not t.closed do
+      Condition.wait t.not_empty t.m
+    done;
+    let x = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
+    Condition.signal t.not_full;
+    Mutex.unlock t.m;
+    x
+
+  let close t =
+    Mutex.lock t.m;
+    t.closed <- true;
+    Condition.broadcast t.not_empty;
+    Condition.broadcast t.not_full;
+    Mutex.unlock t.m
+end
+
+(* --- the domain pool ----------------------------------------------- *)
+
+type t = {
+  chan : (int * job) Chan.t;  (* submission index paired with the job *)
+  m : Mutex.t;  (* guards everything below *)
+  completed_one : Condition.t;
+  results : (int, outcome) Hashtbl.t;  (* submission index -> outcome *)
+  submitted : int ref;
+  completed : int ref;
+  stopped : bool ref;
+  workers : unit Domain.t array;
+  domain_count : int;
+}
+
+let create ?domains ?(queue_capacity = 64) () =
+  let domain_count =
+    match domains with
+    | Some d -> max 1 d
+    | None -> max 1 (Domain.recommended_domain_count ())
+  in
+  let chan = Chan.create queue_capacity in
+  let m = Mutex.create () in
+  let completed_one = Condition.create () in
+  let results = Hashtbl.create 64 in
+  let completed = ref 0 in
+  let rec worker () =
+    match Chan.recv chan with
+    | None -> ()
+    | Some (idx, job) ->
+        let result = run_job job in
+        Mutex.lock m;
+        Hashtbl.replace results idx { job_id = job.id; result };
+        incr completed;
+        Condition.broadcast completed_one;
+        Mutex.unlock m;
+        worker ()
+  in
+  {
+    chan;
+    m;
+    completed_one;
+    results;
+    submitted = ref 0;
+    completed;
+    stopped = ref false;
+    workers = Array.init domain_count (fun _ -> Domain.spawn worker);
+    domain_count;
+  }
+
+let domains t = t.domain_count
+
+let submit t job =
+  Mutex.lock t.m;
+  if !(t.stopped) then begin
+    Mutex.unlock t.m;
+    invalid_arg "Service: submit after shutdown"
+  end;
+  let idx = !(t.submitted) in
+  t.submitted := idx + 1;
+  Mutex.unlock t.m;
+  (* Blocks here when the bounded channel is full: backpressure. *)
+  Chan.send t.chan (idx, job)
+
+let drain t =
+  Mutex.lock t.m;
+  while !(t.completed) < !(t.submitted) do
+    Condition.wait t.completed_one t.m
+  done;
+  let collected =
+    Hashtbl.fold (fun idx o acc -> (idx, o) :: acc) t.results []
+  in
+  Hashtbl.reset t.results;
+  Mutex.unlock t.m;
+  (* Deterministic order regardless of completion interleaving: job id,
+     ties broken by submission index. *)
+  List.sort
+    (fun (i1, o1) (i2, o2) ->
+      match Int.compare o1.job_id o2.job_id with
+      | 0 -> Int.compare i1 i2
+      | c -> c)
+    collected
+  |> List.map snd
+
+let shutdown t =
+  Mutex.lock t.m;
+  let already = !(t.stopped) in
+  t.stopped := true;
+  Mutex.unlock t.m;
+  if not already then begin
+    Chan.close t.chan;
+    Array.iter Domain.join t.workers
+  end
+
+let run ?domains ?queue_capacity jobs =
+  let t = create ?domains ?queue_capacity () in
+  Fun.protect
+    ~finally:(fun () -> shutdown t)
+    (fun () ->
+      List.iter (submit t) jobs;
+      drain t)

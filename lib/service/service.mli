@@ -1,0 +1,139 @@
+(** Multicore batch-scheduling service.
+
+    Every entry point of the repository used to schedule one communication
+    set at a time on one core, each behind a slightly different API and
+    error convention.  This module is the single front door: a {!job}
+    names a set, a registry algorithm and an execution engine; the service
+    shards submitted jobs across a pool of OCaml 5 domains (a hand-rolled
+    [Domain] + [Mutex]/[Condition] work queue, no dependencies) and
+    returns id-ordered {!outcome}s carrying a schedule digest, the round
+    and cycle counts and the full power ledger.
+
+    {2 Determinism}
+
+    Scheduling a job is a pure function of the job alone — no scheduler in
+    the repository consults global mutable state — so the outcome list is
+    a function of the submitted jobs only, never of the domain count or of
+    completion order: [run ~domains:1 jobs] and [run ~domains:8 jobs] are
+    byte-identical under {!outcome_to_string} (property-tested).
+
+    {2 Dispatch}
+
+    The service dispatches through {!Cst_baselines.Registry} capability
+    records instead of ad-hoc name matches:
+    - a right-oriented well-nested set runs the algorithm directly;
+    - a crossing set runs directly when the algorithm [supports
+      `Arbitrary], is covered by CSA waves when [via_waves] is set, and is
+      otherwise rejected with the typed well-nestedness violation;
+    - a mixed-orientation set requires [via_waves] ({!Padr.Waves}
+      decomposes by orientation);
+    - [Message_passing] requires [engine_available] ({!Padr.Engine}).
+
+    {2 Fault isolation}
+
+    A failing job — unknown algorithm, capability mismatch, scheduler
+    error, even an exception escaping a scheduler — produces an [Error]
+    outcome on its own job id.  Workers never die and the queue is never
+    poisoned. *)
+
+type engine = Spec | Message_passing
+(** [Spec]: the functional scheduler ([Registry.algo.run]).
+    [Message_passing]: the mailbox-level engine ({!Padr.Engine}), which
+    additionally reports control-message statistics. *)
+
+type job = {
+  id : int;  (** caller-chosen; outcomes are ordered by it *)
+  set : Cst_comm.Comm_set.t;
+  algo : string;  (** registry name, e.g. ["csa"] *)
+  engine : engine;
+  leaves : int option;
+      (** CST size override; default: smallest adequate power of two *)
+}
+
+val job : ?engine:engine -> ?leaves:int -> id:int -> algo:string ->
+  Cst_comm.Comm_set.t -> job
+(** Convenience constructor; [engine] defaults to [Spec]. *)
+
+type error =
+  | Unknown_algo of string
+  | Unsupported of { algo : string; what : string }
+      (** capability mismatch, e.g. a message-passing request for an
+          algorithm without an engine, or left-oriented members for one
+          that cannot be wave-covered *)
+  | Too_large of { n : int; leaves : int }
+  | Not_well_nested of Cst_comm.Well_nested.violation
+  | Stalled of { round : int; remaining : int }
+  | Crashed of string
+      (** an exception escaped a scheduler; the pool survives and the
+          exception text is attached to the offending job's id *)
+
+val error_of_csa : Padr.error -> error
+(** Embeds the scheduler's error type ({!Padr.Csa.error}). *)
+
+val pp_error : Format.formatter -> error -> unit
+
+type detail =
+  | Sched of Padr.Schedule.t  (** single well-nested schedule *)
+  | Waves of Padr.Waves.t  (** wave cover of a crossing or mixed set *)
+
+type job_result = {
+  algo : string;
+  digest : string;
+      (** MD5 over the canonical per-round delivery transcript — equal
+          digests mean equal schedules *)
+  width : int;
+  waves : int;  (** 1 for a direct schedule *)
+  rounds : int;
+  cycles : int;
+  control_messages : int;  (** engine jobs only; 0 under [Spec] *)
+  power : Padr.Schedule.power;  (** full ledger, per-switch arrays included *)
+  detail : detail;
+}
+
+type outcome = { job_id : int; result : (job_result, error) result }
+
+val run_job : job -> (job_result, error) result
+(** The pure per-job function every worker runs; exposed for direct
+    (in-process, single-core) clients and for tests. *)
+
+val outcome_to_string : outcome -> string
+(** Canonical one-line serialization (digest, counts, power totals) used
+    for byte-identical determinism comparison; excludes [detail]. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** {2 Batch API} *)
+
+val run : ?domains:int -> ?queue_capacity:int -> job list -> outcome list
+(** Runs the batch on [domains] worker domains (default
+    [Domain.recommended_domain_count ()], min 1) and returns one outcome
+    per job, sorted by job id (ties by submission order).  Blocks until
+    every job completes.  [queue_capacity] bounds the submission channel
+    (default 64): submission applies backpressure instead of queueing
+    unboundedly. *)
+
+(** {2 Streaming API}
+
+    [create] spawns the pool; {!submit} enqueues (blocking when the
+    bounded channel is full); {!drain} waits for everything submitted
+    since the last drain and returns those outcomes id-ordered;
+    {!shutdown} closes the queue and joins the domains.  One submitter
+    and one drainer at a time; workers are internal. *)
+
+type t
+
+val create : ?domains:int -> ?queue_capacity:int -> unit -> t
+val domains : t -> int
+
+val submit : t -> job -> unit
+(** Blocks while the submission channel is full (backpressure).  Raises
+    [Invalid_argument] after {!shutdown}. *)
+
+val drain : t -> outcome list
+(** Waits for all jobs submitted since the last [drain], returns their
+    outcomes sorted by job id (ties by submission order).  The service
+    remains usable afterwards. *)
+
+val shutdown : t -> unit
+(** Closes the submission channel, lets workers finish queued jobs and
+    joins them.  Idempotent. *)

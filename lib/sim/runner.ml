@@ -76,29 +76,47 @@ let run_padr (trace : Traffic.t) =
   in
   finish ~scheduler:"padr" ~power phases
 
-let run_baseline (algo : Cst_baselines.Registry.algo) (trace : Traffic.t) =
-  let topo = Cst.Topology.create ~leaves:trace.leaves in
-  let power = ref (Padr.Schedule.zero_power ~num_nodes:(Cst.Topology.num_nodes topo)) in
-  let phases =
-    List.map
-      (fun (p : Traffic.phase) ->
-        let s = algo.run topo p.set in
-        power := Padr.Schedule.combine_power !power s.power;
-        {
-          label = p.label;
-          comms = Cst_comm.Comm_set.size p.set;
-          width = s.width;
-          waves = 1;
-          rounds = Padr.Schedule.num_rounds s;
-          cycles = s.cycles;
-          connects = s.power.total_connects;
-          writes = s.power.total_writes;
-        })
+let run_baseline ?domains (algo : Cst_baselines.Registry.algo)
+    (trace : Traffic.t) =
+  (* Thin client of the batch service: one job per phase, sharded across
+     the domain pool; outcomes come back ordered by phase index. *)
+  let jobs =
+    List.mapi
+      (fun i (p : Traffic.phase) ->
+        Cst_service.Service.job ~leaves:trace.leaves ~id:i ~algo:algo.name
+          p.set)
       trace.phases
+  in
+  let outcomes = Cst_service.Service.run ?domains jobs in
+  let topo = Cst.Topology.create ~leaves:trace.leaves in
+  let power =
+    ref (Padr.Schedule.zero_power ~num_nodes:(Cst.Topology.num_nodes topo))
+  in
+  let phases =
+    List.map2
+      (fun (p : Traffic.phase) (o : Cst_service.Service.outcome) ->
+        match o.result with
+        | Error e ->
+            invalid_arg
+              (Format.asprintf "Runner.run_baseline: phase %s: %a" p.label
+                 Cst_service.Service.pp_error e)
+        | Ok r ->
+            power := Padr.Schedule.combine_power !power r.power;
+            {
+              label = p.label;
+              comms = Cst_comm.Comm_set.size p.set;
+              width = r.width;
+              waves = r.waves;
+              rounds = r.rounds;
+              cycles = r.cycles;
+              connects = r.power.total_connects;
+              writes = r.power.total_writes;
+            })
+      trace.phases outcomes
   in
   finish ~scheduler:algo.name ~power:!power phases
 
-let compare_all ?algos trace =
+let compare_all ?domains ?algos trace =
   let algos =
     match algos with
     | Some l -> l
@@ -108,7 +126,10 @@ let compare_all ?algos trace =
           Cst_baselines.Registry.all
   in
   ("padr", run_padr trace)
-  :: List.map (fun (a : Cst_baselines.Registry.algo) -> (a.name, run_baseline a trace)) algos
+  :: List.map
+       (fun (a : Cst_baselines.Registry.algo) ->
+         (a.name, run_baseline ?domains a trace))
+       algos
 
 let energy_ratio a b =
   float_of_int a.power.total_writes /. float_of_int (max 1 b.power.total_writes)

@@ -27,13 +27,20 @@ type result = {
 }
 
 val run_padr : Traffic.t -> result
-(** The CSA with cross-phase carry-over; accepts any valid phases. *)
+(** The CSA with cross-phase carry-over; accepts any valid phases.  Runs
+    in-process: the live carried-over networks make phases inherently
+    sequential, so there is nothing for a domain pool to shard. *)
 
-val run_baseline : Cst_baselines.Registry.algo -> Traffic.t -> result
-(** Cold per-phase execution; phases must be right-oriented (and
-    well-nested for schedulers that require it). *)
+val run_baseline :
+  ?domains:int -> Cst_baselines.Registry.algo -> Traffic.t -> result
+(** Cold per-phase execution as a {!Cst_service.Service} batch — one job
+    per phase, sharded over [domains] workers (service default when
+    omitted).  Phases the algorithm cannot handle (see the registry
+    capability record) raise [Invalid_argument] with the service's typed
+    error rendered. *)
 
 val compare_all :
+  ?domains:int ->
   ?algos:Cst_baselines.Registry.algo list ->
   Traffic.t ->
   (string * result) list

@@ -1,17 +1,36 @@
 type phase = { label : string; set : Cst_comm.Comm_set.t }
 type t = { leaves : int; phases : phase list }
 
+type error =
+  | Leaves_not_power_of_two of int
+  | Phase_overflow of { label : string; n : int; leaves : int }
+
+let pp_error fmt = function
+  | Leaves_not_power_of_two leaves ->
+      Format.fprintf fmt "trace needs a power-of-two leaf count, got %d"
+        leaves
+  | Phase_overflow { label; n; leaves } ->
+      Format.fprintf fmt "phase %S spans %d PEs, more than the %d leaves"
+        label n leaves
+
 let make ~leaves phases =
   if not (Cst_util.Bits.is_power_of_two leaves) then
-    invalid_arg "Traffic.make: leaves must be a power of two";
-  List.iter
-    (fun p ->
-      if Cst_comm.Comm_set.n p.set > leaves then
-        invalid_arg
-          (Printf.sprintf "Traffic.make: phase %S does not fit %d leaves"
-             p.label leaves))
-    phases;
-  { leaves; phases }
+    Error (Leaves_not_power_of_two leaves)
+  else
+    let rec check = function
+      | [] -> Ok { leaves; phases }
+      | p :: rest ->
+          let n = Cst_comm.Comm_set.n p.set in
+          if n > leaves then
+            Error (Phase_overflow { label = p.label; n; leaves })
+          else check rest
+    in
+    check phases
+
+let make_exn ~leaves phases =
+  match make ~leaves phases with
+  | Ok t -> t
+  | Error e -> invalid_arg (Format.asprintf "Traffic.make: %a" pp_error e)
 
 let length t = List.length t.phases
 
@@ -24,7 +43,7 @@ let random_well_nested rng ~leaves ~phases ?(density_lo = 0.2)
     ?(density_hi = 1.0) () =
   if density_lo < 0.0 || density_hi > 1.0 || density_lo > density_hi then
     invalid_arg "Traffic.random_well_nested: bad density range";
-  make ~leaves
+  make_exn ~leaves
     (List.init phases (fun i ->
          let density =
            density_lo +. Cst_util.Prng.float rng (density_hi -. density_lo)
@@ -35,7 +54,7 @@ let random_well_nested rng ~leaves ~phases ?(density_lo = 0.2)
          }))
 
 let from_suite rng ~leaves ~rounds =
-  make ~leaves
+  make_exn ~leaves
     (List.concat
        (List.init rounds (fun r ->
             List.map

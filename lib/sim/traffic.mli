@@ -8,8 +8,18 @@
 type phase = { label : string; set : Cst_comm.Comm_set.t }
 type t = { leaves : int; phases : phase list }
 
-val make : leaves:int -> phase list -> t
-(** Validates that every phase fits [leaves] (a power of two). *)
+type error =
+  | Leaves_not_power_of_two of int
+  | Phase_overflow of { label : string; n : int; leaves : int }
+      (** a phase's set spans more PEs than the trace's tree has leaves *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val make : leaves:int -> phase list -> (t, error) result
+(** Validates that [leaves] is a power of two and that every phase fits. *)
+
+val make_exn : leaves:int -> phase list -> t
+(** Like {!make} but raises [Invalid_argument] with a diagnostic. *)
 
 val length : t -> int
 

@@ -2,6 +2,17 @@ let comm src dst = Cst_comm.Comm.make ~src ~dst
 
 let set ~n pairs = Cst_comm.Comm_set.create_exn ~n (List.map (fun (s, d) -> comm s d) pairs)
 
+type error = { pattern : string; n : int; reason : string }
+
+let pp_error fmt { pattern; n; reason } =
+  Format.fprintf fmt "Patterns.%s rejects n = %d: %s" pattern n reason
+
+let reject pattern n reason = Error { pattern; n; reason }
+
+let exn_of_result pattern = function
+  | Ok s -> s
+  | Error e -> invalid_arg (Format.asprintf "Patterns.%s: %a" pattern pp_error e)
+
 let fig2 () =
   set ~n:16
     [ (0, 15); (1, 6); (2, 3); (4, 5); (8, 13); (9, 10); (11, 12) ]
@@ -14,34 +25,56 @@ let fig3b () =
   set ~n:16 [ (0, 14); (1, 13); (2, 5); (3, 4); (8, 11); (9, 10) ]
 
 let interleaved_pairs ~n =
-  if n < 4 then invalid_arg "Patterns.interleaved_pairs";
-  let rec go i acc =
-    if i + 1 >= n then List.rev acc else go (i + 4) ((i, i + 1) :: acc)
-  in
-  set ~n (go 0 [])
+  if n < 4 then reject "interleaved_pairs" n "needs at least 4 PEs"
+  else
+    let rec go i acc =
+      if i + 1 >= n then List.rev acc else go (i + 4) ((i, i + 1) :: acc)
+    in
+    Ok (set ~n (go 0 []))
+
+let interleaved_pairs_exn ~n =
+  exn_of_result "interleaved_pairs" (interleaved_pairs ~n)
 
 let comb ~n ~teeth =
-  if teeth < 1 || n / teeth < 2 then invalid_arg "Patterns.comb";
-  let tooth = n / teeth in
-  let depth = tooth / 2 in
-  set ~n
-    (List.concat
-       (List.init teeth (fun t ->
-            let lo = t * tooth in
-            List.init depth (fun i -> (lo + i, lo + (2 * depth) - 1 - i)))))
+  if teeth < 1 || n / teeth < 2 then
+    reject "comb" n
+      (Printf.sprintf "needs at least 2 PEs per tooth (%d teeth)" teeth)
+  else
+    let tooth = n / teeth in
+    let depth = tooth / 2 in
+    Ok
+      (set ~n
+         (List.concat
+            (List.init teeth (fun t ->
+                 let lo = t * tooth in
+                 List.init depth (fun i ->
+                     (lo + i, lo + (2 * depth) - 1 - i))))))
+
+let comb_exn ~n ~teeth = exn_of_result "comb" (comb ~n ~teeth)
 
 let staircase ~n =
   if n < 4 || not (Cst_util.Bits.is_power_of_two n) then
-    invalid_arg "Patterns.staircase";
-  (* Communication k spans from PE 1 lsl k - ... build hops crossing ever
-     higher switches: (2^k - 1, 2^k) for k = 1 .. log n - 1. *)
-  let levels = Cst_util.Bits.ilog2 n in
-  set ~n (List.init (levels - 1) (fun k -> ((1 lsl (k + 1)) - 1, 1 lsl (k + 1))))
+    reject "staircase" n "needs a power-of-two n >= 4"
+  else
+    (* Communication k spans from PE 1 lsl k - ... build hops crossing ever
+       higher switches: (2^k - 1, 2^k) for k = 1 .. log n - 1. *)
+    let levels = Cst_util.Bits.ilog2 n in
+    Ok
+      (set ~n
+         (List.init (levels - 1) (fun k ->
+              ((1 lsl (k + 1)) - 1, 1 lsl (k + 1)))))
+
+let staircase_exn ~n = exn_of_result "staircase" (staircase ~n)
 
 let full_onion ~n =
-  if n < 2 then invalid_arg "Patterns.full_onion";
-  set ~n (List.init (n / 2) (fun i -> (i, n - 1 - i)))
+  if n < 2 then reject "full_onion" n "needs at least 2 PEs"
+  else Ok (set ~n (List.init (n / 2) (fun i -> (i, n - 1 - i))))
+
+let full_onion_exn ~n = exn_of_result "full_onion" (full_onion ~n)
 
 let segment_neighbors ~n =
-  if n < 2 then invalid_arg "Patterns.segment_neighbors";
-  set ~n (List.init (n / 2) (fun i -> (2 * i, (2 * i) + 1)))
+  if n < 2 then reject "segment_neighbors" n "needs at least 2 PEs"
+  else Ok (set ~n (List.init (n / 2) (fun i -> (2 * i, (2 * i) + 1))))
+
+let segment_neighbors_exn ~n =
+  exn_of_result "segment_neighbors" (segment_neighbors ~n)

@@ -1,4 +1,15 @@
-(** Fixed, named communication patterns, including the paper's figures. *)
+(** Fixed, named communication patterns, including the paper's figures.
+
+    Parameterized constructors validate their PE-count arguments and
+    return a typed {!error} instead of raising, so a malformed request
+    arriving through an external surface (CLI, batch service client)
+    stays data; the [*_exn] variants keep the raising behaviour for
+    callers with known-good arguments (the workload {!Suite}, tests). *)
+
+type error = { pattern : string; n : int; reason : string }
+(** [pattern] rejects [n] PEs: [reason]. *)
+
+val pp_error : Format.formatter -> error -> unit
 
 val fig2 : unit -> Cst_comm.Comm_set.t
 (** The shape of the paper's Figure 2: a right-oriented well-nested set
@@ -11,20 +22,31 @@ val fig3b : unit -> Cst_comm.Comm_set.t
     outer communications leaving it.  Realized over 16 PEs with the outer
     destinations to the right. *)
 
-val interleaved_pairs : n:int -> Cst_comm.Comm_set.t
-(** [(0,1) (2,3) ...] alternated with gaps — width 1. *)
+val interleaved_pairs : n:int -> (Cst_comm.Comm_set.t, error) result
+(** [(0,1) (2,3) ...] alternated with gaps — width 1.  Needs [n >= 4]. *)
 
-val comb : n:int -> teeth:int -> Cst_comm.Comm_set.t
+val interleaved_pairs_exn : n:int -> Cst_comm.Comm_set.t
+
+val comb : n:int -> teeth:int -> (Cst_comm.Comm_set.t, error) result
 (** [teeth] disjoint same-depth nests side by side; width equals the
     depth of one tooth ([n / (2 * teeth)]). *)
 
-val staircase : n:int -> Cst_comm.Comm_set.t
-(** Nested set whose i-th layer hops one subtree boundary more than the
-    previous one: exercises pass-through routing at every level. *)
+val comb_exn : n:int -> teeth:int -> Cst_comm.Comm_set.t
 
-val full_onion : n:int -> Cst_comm.Comm_set.t
+val staircase : n:int -> (Cst_comm.Comm_set.t, error) result
+(** Nested set whose i-th layer hops one subtree boundary more than the
+    previous one: exercises pass-through routing at every level.  Needs a
+    power-of-two [n >= 4]. *)
+
+val staircase_exn : n:int -> Cst_comm.Comm_set.t
+
+val full_onion : n:int -> (Cst_comm.Comm_set.t, error) result
 (** Maximum-width onion: [(i, n-1-i)] for all [i < n/2]; width [n/2]. *)
 
-val segment_neighbors : n:int -> Cst_comm.Comm_set.t
+val full_onion_exn : n:int -> Cst_comm.Comm_set.t
+
+val segment_neighbors : n:int -> (Cst_comm.Comm_set.t, error) result
 (** [(i, i+1)] for even [i] — the segmentable-bus neighbour pattern the
     paper's introduction cites as subsumed by well-nested sets. *)
+
+val segment_neighbors_exn : n:int -> Cst_comm.Comm_set.t

@@ -41,6 +41,7 @@ type error =
   | Cross_segment of write
   | Bus_contention of int
   | Self_write of write
+  | Scheduler of Padr.error
 
 let pp_error fmt = function
   | Cross_segment w ->
@@ -49,6 +50,8 @@ let pp_error fmt = function
   | Bus_contention pe ->
       Format.fprintf fmt "two writers drive the segment of PE %d" pe
   | Self_write w -> Format.fprintf fmt "PE %d writes to itself" w.writer
+  | Scheduler e ->
+      Format.fprintf fmt "CST scheduling failed: %a" Padr.pp_error e
 
 let validate t writes =
   let rec go seen = function
@@ -89,5 +92,8 @@ let run_on_cst t writes =
       match Padr.schedule_mixed set with
       | Ok mixed -> Ok mixed
       | Error e ->
-          (* Disjoint segments always produce schedulable parts. *)
-          invalid_arg (Format.asprintf "Segbus.run_on_cst: %a" Padr.pp_error e))
+          (* Disjoint segments always produce schedulable parts, so this
+             is unreachable for sets built by [to_comm_set]; if it ever
+             fires, the caller gets the scheduler's structured error
+             rather than a stringified [Invalid_argument]. *)
+          Error (Scheduler e))

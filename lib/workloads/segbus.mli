@@ -36,6 +36,10 @@ type error =
   | Cross_segment of write  (** writer and reader in different segments *)
   | Bus_contention of int  (** two writers in the segment of this PE *)
   | Self_write of write
+  | Scheduler of Padr.error
+      (** the CST scheduler rejected the compiled set — structurally
+          impossible for sets built by {!to_comm_set}, but propagated as
+          data rather than as a stringified exception *)
 
 val pp_error : Format.formatter -> error -> unit
 

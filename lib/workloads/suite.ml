@@ -34,17 +34,18 @@ let all =
     {
       name = "full-onion";
       description = "maximum-width onion (width n/2)";
-      make = (fun _ ~n -> Patterns.full_onion ~n);
+      make = (fun _ ~n -> Patterns.full_onion_exn ~n);
     };
     {
       name = "comb";
       description = "8 disjoint nests side by side";
-      make = (fun _ ~n -> Patterns.comb ~n ~teeth:(min 8 (max 1 (n / 2))));
+      make =
+        (fun _ ~n -> Patterns.comb_exn ~n ~teeth:(min 8 (max 1 (n / 2))));
     };
     {
       name = "staircase";
       description = "one boundary-hopping pair per tree level";
-      make = (fun _ ~n -> Patterns.staircase ~n);
+      make = (fun _ ~n -> Patterns.staircase_exn ~n);
     };
     {
       name = "flip-flop";
@@ -59,7 +60,7 @@ let all =
     {
       name = "segbus";
       description = "segmentable-bus neighbour writes";
-      make = (fun _ ~n -> Patterns.segment_neighbors ~n);
+      make = (fun _ ~n -> Patterns.segment_neighbors_exn ~n);
     };
     {
       name = "blocks";

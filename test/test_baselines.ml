@@ -6,7 +6,7 @@ let check_algo (a : Cst_baselines.Registry.algo) =
   let t = topo 16 in
   let s = a.run t sample in
   let r =
-    Padr.Verify.schedule ~check_rounds_optimal:a.round_optimal t sample s
+    Padr.Verify.schedule ~check_rounds_optimal:a.caps.round_optimal t sample s
   in
   check_true (a.name ^ " verifies: " ^ String.concat ";" r.issues) r.ok
 

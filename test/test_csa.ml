@@ -15,7 +15,7 @@ let test_independent_matched_same_round () =
   check_verified s
 
 let test_full_onion () =
-  let s = Padr.schedule_exn (Cst_workloads.Patterns.full_onion ~n:16) in
+  let s = Padr.schedule_exn (Cst_workloads.Patterns.full_onion_exn ~n:16) in
   check_int "width n/2 rounds" 8 (Padr.Schedule.num_rounds s);
   check_true "outermost first"
     (s.rounds.(0).deliveries = [ (0, 15) ]);

@@ -8,7 +8,7 @@ let test_hand_example () =
 
 let test_full_onion () =
   let r =
-    Padr.Invariants.audit (topo 32) (Cst_workloads.Patterns.full_onion ~n:32)
+    Padr.Invariants.audit (topo 32) (Cst_workloads.Patterns.full_onion_exn ~n:32)
   in
   check_true "onion invariant" r.ok;
   check_int "n/2 rounds" 16 r.rounds_checked

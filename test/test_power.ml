@@ -105,7 +105,7 @@ let test_shared_net_topology_mismatch () =
 let test_disconnect_tracking () =
   (* A full onion forces the root's l_i->r_o to persist across every
      round: zero disconnects at the root. *)
-  let s = Padr.schedule_exn (Cst_workloads.Patterns.full_onion ~n:32) in
+  let s = Padr.schedule_exn (Cst_workloads.Patterns.full_onion_exn ~n:32) in
   check_true "few disconnects"
     (s.power.total_disconnects <= s.power.total_connects)
 

@@ -1,0 +1,181 @@
+open Helpers
+module Service = Cst_service.Service
+
+(* A random mixed batch: well-nested, crossing and mixed-orientation sets
+   across every registry algorithm and both engines, including jobs that
+   must fail (unknown algorithms, capability mismatches, oversized
+   leaves overrides that crash Topology.create). *)
+
+let algo_names = "not-an-algo" :: Cst_baselines.Registry.names
+
+let random_job rng i =
+  let n = 1 lsl (2 + Cst_util.Prng.int rng 5) in
+  let set =
+    match Cst_util.Prng.int rng 3 with
+    | 0 ->
+        let density = 0.1 +. Cst_util.Prng.float rng 0.9 in
+        Cst_workloads.Gen_wn.uniform rng ~n ~density
+    | 1 ->
+        Cst_workloads.Gen_arbitrary.random_pairs rng ~n
+          ~pairs:(max 1 (n / 4))
+    | _ -> Cst_workloads.Gen_wn.pairs ~n
+  in
+  let algo =
+    List.nth algo_names (Cst_util.Prng.int rng (List.length algo_names))
+  in
+  let engine =
+    if Cst_util.Prng.int rng 4 = 0 then Service.Message_passing
+    else Service.Spec
+  in
+  let leaves =
+    (* Roughly one job in eight carries an invalid override: either too
+       small (Too_large) or not a power of two (Topology.create raises,
+       exercising the Crashed path). *)
+    match Cst_util.Prng.int rng 8 with
+    | 0 -> Some 2
+    | 1 -> Some 100
+    | _ -> None
+  in
+  Service.job ~engine ?leaves ~id:i ~algo set
+
+let random_batch seed count =
+  let rng = Cst_util.Prng.create seed in
+  List.init count (random_job rng)
+
+(* Tentpole property: the outcome list is a function of the jobs only,
+   never of the domain count. *)
+let test_parallel_equals_sequential =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"domains 1 = domains N, byte for byte"
+       QCheck.(pair (int_bound 1_000_000) (int_range 2 8))
+       (fun (seed, domains) ->
+         let jobs = random_batch seed 10 in
+         let seq = List.map Service.outcome_to_string
+             (Service.run ~domains:1 jobs)
+         and par = List.map Service.outcome_to_string
+             (Service.run ~domains jobs)
+         in
+         seq = par))
+
+let test_ids_and_order () =
+  let jobs = random_batch 42 30 in
+  let outcomes = Service.run ~domains:4 jobs in
+  check_int "one outcome per job" 30 (List.length outcomes);
+  let ids = List.map (fun (o : Service.outcome) -> o.job_id) outcomes in
+  check_true "sorted by job id" (List.sort compare ids = ids);
+  check_true "every id present"
+    (List.sort compare ids = List.init 30 Fun.id)
+
+let test_errors_on_right_id () =
+  let ok_job = Service.job ~id:0 ~algo:"csa" (set ~n:8 [ (0, 7); (1, 2) ]) in
+  let bad_algo = Service.job ~id:1 ~algo:"nope" (set ~n:8 [ (1, 2) ]) in
+  let too_large = Service.job ~leaves:2 ~id:2 ~algo:"csa" (set ~n:8 [ (1, 7) ]) in
+  let crasher = Service.job ~leaves:100 ~id:3 ~algo:"csa" (set ~n:8 [ (1, 2) ]) in
+  match Service.run ~domains:2 [ crasher; bad_algo; too_large; ok_job ] with
+  | [ o0; o1; o2; o3 ] ->
+      check_true "job 0 ok" (Result.is_ok o0.result);
+      (match o1.result with
+      | Error (Service.Unknown_algo "nope") -> ()
+      | _ -> Alcotest.fail "job 1 should be Unknown_algo");
+      (match o2.result with
+      | Error (Service.Too_large { n = 8; leaves = 2 }) -> ()
+      | _ -> Alcotest.fail "job 2 should be Too_large");
+      (match o3.result with
+      | Error (Service.Crashed _) -> ()
+      | _ -> Alcotest.fail "job 3 should be Crashed")
+  | os -> Alcotest.fail (Printf.sprintf "expected 4 outcomes, got %d" (List.length os))
+
+(* A crashing job must not poison the pool: workers survive and keep
+   processing later submissions through the streaming API. *)
+let test_crash_does_not_poison_pool () =
+  let t = Service.create ~domains:2 ~queue_capacity:4 () in
+  Fun.protect
+    ~finally:(fun () -> Service.shutdown t)
+    (fun () ->
+      for i = 0 to 9 do
+        Service.submit t
+          (Service.job ~leaves:100 ~id:i ~algo:"csa" (set ~n:8 [ (1, 2) ]))
+      done;
+      let first = Service.drain t in
+      check_int "all crashers answered" 10 (List.length first);
+      List.iter
+        (fun (o : Service.outcome) ->
+          match o.result with
+          | Error (Service.Crashed _) -> ()
+          | _ -> Alcotest.fail "expected Crashed")
+        first;
+      Service.submit t (Service.job ~id:99 ~algo:"csa" (set ~n:8 [ (0, 7) ]));
+      match Service.drain t with
+      | [ o ] ->
+          check_int "later job answered" 99 o.job_id;
+          check_true "and succeeded" (Result.is_ok o.result)
+      | os ->
+          Alcotest.fail
+            (Printf.sprintf "expected 1 outcome, got %d" (List.length os)))
+
+(* Backpressure: a tiny channel still completes a large batch. *)
+let test_backpressure_small_queue () =
+  let jobs = random_batch 7 40 in
+  let outcomes = Service.run ~domains:3 ~queue_capacity:2 jobs in
+  check_int "all jobs complete through a capacity-2 channel" 40
+    (List.length outcomes)
+
+let test_submit_after_shutdown () =
+  let t = Service.create ~domains:1 () in
+  Service.shutdown t;
+  Service.shutdown t;
+  (* idempotent *)
+  check_raises_invalid "submit after shutdown" (fun () ->
+      Service.submit t (Service.job ~id:0 ~algo:"csa" (set ~n:4 [ (0, 1) ])))
+
+(* The message-passing engine realizes the same schedule as the spec
+   scheduler: equal digests on well-nested sets. *)
+let test_engine_digest_equals_spec =
+  prop "engine digest = spec digest (csa)" ~count:50 (fun params ->
+      let s = set_of_params params in
+      let spec = Service.run_job (Service.job ~id:0 ~algo:"csa" s) in
+      let eng =
+        Service.run_job
+          (Service.job ~engine:Service.Message_passing ~id:0 ~algo:"csa" s)
+      in
+      match (spec, eng) with
+      | Ok a, Ok b -> a.digest = b.digest
+      | _ -> false)
+
+(* Capability dispatch: a crossing set is wave-covered for the csa,
+   scheduled directly by crossing-tolerant baselines and rejected with
+   the typed violation otherwise. *)
+let test_capability_dispatch () =
+  let crossing = set ~n:8 [ (0, 2); (1, 3) ] in
+  (match Service.run_job (Service.job ~id:0 ~algo:"csa" crossing) with
+  | Ok r -> check_true "csa wave-covers crossing sets" (r.waves >= 2)
+  | Error _ -> Alcotest.fail "csa should cover a crossing set");
+  (match Service.run_job (Service.job ~id:0 ~algo:"greedy" crossing) with
+  | Ok r -> check_int "greedy schedules it directly" 1 r.waves
+  | Error _ -> Alcotest.fail "greedy supports arbitrary sets");
+  (match Service.run_job (Service.job ~id:0 ~algo:"roy-id" crossing) with
+  | Error (Service.Not_well_nested _) -> ()
+  | _ -> Alcotest.fail "roy-id should reject a crossing set");
+  let mixed = set ~n:8 [ (0, 1); (3, 2) ] in
+  (match Service.run_job (Service.job ~id:0 ~algo:"naive" mixed) with
+  | Error (Service.Unsupported _) -> ()
+  | _ -> Alcotest.fail "naive should reject mixed orientation");
+  match
+    Service.run_job
+      (Service.job ~engine:Service.Message_passing ~id:0 ~algo:"naive"
+         (set ~n:4 [ (0, 1) ]))
+  with
+  | Error (Service.Unsupported _) -> ()
+  | _ -> Alcotest.fail "naive has no message-passing engine"
+
+let suite =
+  [
+    test_parallel_equals_sequential;
+    case "ids and order" test_ids_and_order;
+    case "errors on the right id" test_errors_on_right_id;
+    case "crash does not poison the pool" test_crash_does_not_poison_pool;
+    case "backpressure with a tiny queue" test_backpressure_small_queue;
+    case "submit after shutdown" test_submit_after_shutdown;
+    test_engine_digest_equals_spec;
+    case "capability dispatch" test_capability_dispatch;
+  ]

@@ -11,10 +11,17 @@ let test_traffic_make () =
   check_true "has traffic" (Traffic.total_comms t > 0)
 
 let test_traffic_validation () =
-  check_raises_invalid "npot leaves" (fun () -> Traffic.make ~leaves:6 []);
-  check_raises_invalid "oversized phase" (fun () ->
-      Traffic.make ~leaves:8
-        [ { Traffic.label = "big"; set = set ~n:16 [ (0, 15) ] } ]);
+  (match Traffic.make ~leaves:6 [] with
+  | Error (Traffic.Leaves_not_power_of_two 6) -> ()
+  | _ -> Alcotest.fail "npot leaves accepted");
+  (match
+     Traffic.make ~leaves:8
+       [ { Traffic.label = "big"; set = set ~n:16 [ (0, 15) ] } ]
+   with
+  | Error (Traffic.Phase_overflow { label = "big"; n = 16; leaves = 8 }) -> ()
+  | _ -> Alcotest.fail "oversized phase accepted");
+  check_raises_invalid "make_exn raises" (fun () ->
+      Traffic.make_exn ~leaves:6 []);
   check_raises_invalid "bad densities" (fun () ->
       Traffic.random_well_nested (Cst_util.Prng.create 1) ~leaves:8 ~phases:1
         ~density_lo:0.9 ~density_hi:0.1 ())
@@ -68,7 +75,7 @@ let test_padr_handles_mixed_phases () =
           set = Cst_workloads.Gen_arbitrary.random_pairs rng ~n:32 ~pairs:10;
         })
   in
-  let t = Traffic.make ~leaves:32 phases in
+  let t = Traffic.make_exn ~leaves:32 phases in
   let r = Runner.run_padr t in
   check_int "all phases ran" 4 (List.length r.phases);
   List.iter
@@ -82,7 +89,7 @@ let test_carry_over_across_phases () =
   let phase =
     { Traffic.label = "rep"; set = Cst_workloads.Gen_wn.pairs ~n:32 }
   in
-  let t = Traffic.make ~leaves:32 [ phase; phase; phase ] in
+  let t = Traffic.make_exn ~leaves:32 [ phase; phase; phase ] in
   let r = Runner.run_padr t in
   match r.phases with
   | [ p1; p2; p3 ] ->

@@ -72,18 +72,30 @@ let test_patterns_valid () =
     [
       ("fig2", Cst_workloads.Patterns.fig2 ());
       ("fig3b", Cst_workloads.Patterns.fig3b ());
-      ("interleaved", Cst_workloads.Patterns.interleaved_pairs ~n:16);
-      ("comb", Cst_workloads.Patterns.comb ~n:32 ~teeth:4);
-      ("staircase", Cst_workloads.Patterns.staircase ~n:32);
-      ("full-onion", Cst_workloads.Patterns.full_onion ~n:32);
-      ("segment", Cst_workloads.Patterns.segment_neighbors ~n:32);
+      ("interleaved", Cst_workloads.Patterns.interleaved_pairs_exn ~n:16);
+      ("comb", Cst_workloads.Patterns.comb_exn ~n:32 ~teeth:4);
+      ("staircase", Cst_workloads.Patterns.staircase_exn ~n:32);
+      ("full-onion", Cst_workloads.Patterns.full_onion_exn ~n:32);
+      ("segment", Cst_workloads.Patterns.segment_neighbors_exn ~n:32);
       ("flip-flop", Cst_workloads.Adversarial.flip_flop ~n:32);
       ("deep-staircase", Cst_workloads.Adversarial.deep_staircase ~n:32);
     ]
 
 let test_comb_width () =
-  let s = Cst_workloads.Patterns.comb ~n:32 ~teeth:4 in
+  let s = Cst_workloads.Patterns.comb_exn ~n:32 ~teeth:4 in
   check_int "width is tooth depth" 4 (Cst_comm.Width.width ~leaves:32 s)
+
+let test_patterns_typed_rejection () =
+  (match Cst_workloads.Patterns.staircase ~n:12 with
+  | Ok _ -> Alcotest.fail "staircase accepted npot n"
+  | Error e ->
+      check_true "names the pattern" (e.pattern = "staircase");
+      check_int "carries n" 12 e.n);
+  (match Cst_workloads.Patterns.interleaved_pairs ~n:2 with
+  | Ok _ -> Alcotest.fail "interleaved_pairs accepted n = 2"
+  | Error e -> check_true "names the pattern" (e.pattern = "interleaved_pairs"));
+  check_raises_invalid "exn variant still raises" (fun () ->
+      Cst_workloads.Patterns.full_onion_exn ~n:1)
 
 let test_fig3b_semantics () =
   (* Figure 3(b): at the switch covering PEs 0..7, two pairs are matched
@@ -128,6 +140,7 @@ let suite =
     case "nested blocks" test_nested_blocks;
     case "patterns valid" test_patterns_valid;
     case "comb width" test_comb_width;
+    case "patterns typed rejection" test_patterns_typed_rejection;
     case "fig3b semantics" test_fig3b_semantics;
     case "suite registry" test_suite_registry;
     case "all suite workloads schedulable" test_all_suite_workloads_schedulable;
