@@ -26,6 +26,12 @@ type service_row = {
   srv_jobs_per_sec : float;
 }
 
+type log_row = {
+  lg_pes : int;
+  lg_ns_per_append : float;
+  lg_bytes_per_event : float;
+}
+
 let find_field line key =
   let pat = Printf.sprintf "\"%s\": " key in
   let plen = String.length pat in
@@ -69,9 +75,23 @@ let parse_rows file =
   let ic = open_in file in
   let rows = ref [] in
   let service = ref [] in
+  let log_overhead = ref None in
   (try
      while true do
        let line = input_line ic in
+       match
+         (number_field line "ns_per_append", number_field line "bytes_per_event")
+       with
+       | Some ns, Some bpe ->
+           let pes = Option.value ~default:0.0 (number_field line "pes") in
+           log_overhead :=
+             Some
+               {
+                 lg_pes = int_of_float pes;
+                 lg_ns_per_append = ns;
+                 lg_bytes_per_event = bpe;
+               }
+       | _ -> (
        match string_field line "kernel" with
        | Some kernel -> (
            match
@@ -109,17 +129,17 @@ let parse_rows file =
                    srv_jobs_per_sec = jps;
                  }
                  :: !service
-           | _ -> ())
+           | _ -> ()))
      done
    with End_of_file -> ());
   close_in ic;
-  (List.rev !rows, List.rev !service)
+  (List.rev !rows, List.rev !service, !log_overhead)
 
 let key r = Printf.sprintf "%s/%d/%d" r.kernel r.pes r.width
 let skey s = Printf.sprintf "service/%d/%dd" s.srv_pes s.srv_domains
 
 let validate file =
-  let rows, service = parse_rows file in
+  let rows, service, log_overhead = parse_rows file in
   if rows = [] then begin
     Printf.eprintf "check_regression: %s contains no benchmark rows\n" file;
     exit 1
@@ -146,12 +166,27 @@ let validate file =
         exit 1
       end)
     service;
+  (match log_overhead with
+  | None ->
+      Printf.eprintf "check_regression: %s is missing the log_overhead section\n"
+        file;
+      exit 1
+  | Some lg ->
+      if
+        (not (Float.is_finite lg.lg_ns_per_append))
+        || lg.lg_ns_per_append <= 0.0
+        || lg.lg_bytes_per_event <= 0.0
+      then begin
+        Printf.eprintf "check_regression: %s: bad log_overhead (%f ns, %f B)\n"
+          file lg.lg_ns_per_append lg.lg_bytes_per_event;
+        exit 1
+      end);
   Printf.printf "check_regression: %s ok (%d rows, %d service rows)\n" file
     (List.length rows) (List.length service)
 
 let compare_files ~threshold baseline fresh =
-  let base, base_srv = parse_rows baseline
-  and cur, cur_srv = parse_rows fresh in
+  let base, base_srv, base_lg = parse_rows baseline
+  and cur, cur_srv, cur_lg = parse_rows fresh in
   let lookup rows k = List.find_opt (fun r -> key r = k) rows in
   let failures = ref 0 in
   Printf.printf "%-28s %12s %12s %8s\n" "kernel/pes/width" "baseline ns"
@@ -193,6 +228,23 @@ let compare_files ~threshold baseline fresh =
             b.srv_jobs_per_sec f.srv_jobs_per_sec ratio
             (if bad then "  REGRESSION" else ""))
     base_srv;
+  (* The log append sits on every scheduler's inner loop: gate its rate
+     like any timed kernel. *)
+  (match (base_lg, cur_lg) with
+  | None, _ -> ()
+  | Some b, None ->
+      incr failures;
+      Printf.printf "%-28s %12.2f %12s %8s  MISSING\n"
+        (Printf.sprintf "log-append/%d" b.lg_pes)
+        b.lg_ns_per_append "-" "-"
+  | Some b, Some f ->
+      let ratio = f.lg_ns_per_append /. b.lg_ns_per_append in
+      let bad = ratio > 1.0 +. (threshold /. 100.0) in
+      if bad then incr failures;
+      Printf.printf "%-28s %12.2f %12.2f %7.2fx%s\n"
+        (Printf.sprintf "log-append/%d" b.lg_pes)
+        b.lg_ns_per_append f.lg_ns_per_append ratio
+        (if bad then "  REGRESSION" else ""));
   if !failures > 0 then begin
     Printf.printf "check_regression: %d kernel(s) regressed beyond %.0f%%\n"
       !failures threshold;

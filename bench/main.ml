@@ -661,6 +661,52 @@ let service_throughput ~fast =
       })
     domain_grid
 
+(* Execution-log overhead: the raw append rate on the hot path (the
+   connect/deliver mix every producer emits), and the footprint of a
+   real engine run — events recorded and bytes per event — at 2048 PEs.
+   The append rate is gated by check_regression like any other kernel:
+   the log sits on every scheduler's inner loop, so a slow append taxes
+   every row in this file at once. *)
+
+type log_row = {
+  lg_pes : int;
+  lg_events : int;
+  lg_ns_per_append : float;
+  lg_bytes_per_event : float;
+  lg_reps : int;
+}
+
+let log_overhead ~fast =
+  let n = if fast then 128 else 2048 in
+  let budget_s = if fast then 0.02 else 0.25 in
+  let appends = 65_536 in
+  let ns, _alloc, reps =
+    measure ~budget_s (fun () ->
+        (* capacity 64 so the doubling growth path is part of the cost *)
+        let log = Cst.Exec_log.create ~capacity:64 () in
+        for i = 0 to (appends / 2) - 1 do
+          Cst.Exec_log.connect log ~node:(i land 1023) ~out_port:Cst.Side.P
+            ~in_port:Cst.Side.L;
+          Cst.Exec_log.deliver log ~src:(i land 1023)
+            ~dst:((i + 1) land 1023)
+        done)
+  in
+  let topo = Cst.Topology.create ~leaves:n in
+  let rng = Cst_util.Prng.create 4242 in
+  let set = Cst_workloads.Gen_wn.with_width rng ~n ~width:(min 64 (n / 2)) in
+  let log = Cst.Exec_log.create () in
+  ignore (Padr.Engine.run_exn ~log topo set);
+  let events = Cst.Exec_log.length log in
+  {
+    lg_pes = n;
+    lg_events = events;
+    lg_ns_per_append = ns /. float_of_int appends;
+    lg_bytes_per_event =
+      float_of_int (Cst.Exec_log.bytes_used log)
+      /. float_of_int (max 1 events);
+    lg_reps = reps;
+  }
+
 let bench_json ~fast file =
   let grid_pes = if fast then [ 64; 256 ] else [ 256; 2048; 16384; 65536 ] in
   let grid_widths = if fast then [ 1; 8 ] else [ 1; 8; 64 ] in
@@ -735,6 +781,12 @@ let bench_json ~fast file =
         (if i = List.length srv - 1 then "" else ","))
     srv;
   p "  ],\n";
+  let lg = log_overhead ~fast in
+  p
+    "  \"log_overhead\": {\"pes\": %d, \"events\": %d, \"ns_per_append\": \
+     %.2f, \"bytes_per_event\": %.1f, \"reps\": %d},\n"
+    lg.lg_pes lg.lg_events lg.lg_ns_per_append lg.lg_bytes_per_event
+    lg.lg_reps;
   p "  \"results\": [\n";
   let rows = List.rev !rows in
   List.iteri

@@ -5,6 +5,7 @@
      info   validate a set and print its statistics
      route  schedule a set with a chosen algorithm, optionally verifying
      batch  run many generated jobs through the multicore batch service
+     log    run a scheduler and dump its canonical execution log
      sweep  width sweep comparing algorithms (the E3 experiment, ad hoc)
 
    Scheduling goes through Cst_service.Service — cstool is a thin client:
@@ -502,13 +503,79 @@ let dot_cmd =
     (Cmd.info "dot" ~doc:"Export a scheduled round as Graphviz")
     Term.(const run $ file_arg $ workload_arg $ n_arg $ seed_arg $ round $ out)
 
+(* log: dump a run's canonical execution log *)
+let log_cmd =
+  let run file workload n seed algo narrate summary =
+    match obtain_set file workload n seed with
+    | Error e -> exit_err e
+    | Ok set -> (
+        match Cst_baselines.Registry.find algo with
+        | None ->
+            exit_err
+              (Printf.sprintf "unknown algorithm %S (known: %s)" algo
+                 (String.concat ", " Cst_baselines.Registry.names))
+        | Some a ->
+            let topo =
+              Cst.Topology.create
+                ~leaves:
+                  (Cst_util.Bits.ceil_pow2 (max 2 (Cst_comm.Comm_set.n set)))
+            in
+            let log = Cst.Exec_log.create () in
+            (try ignore (a.run ~log topo set)
+             with Invalid_argument m -> exit_err m);
+            if not summary then
+              if narrate then
+                Format.printf "%a@." Cst.Trace.pp (Cst.Trace.of_log log)
+              else Format.printf "%a@." Cst.Exec_log.pp log;
+            let alternations =
+              let worst = ref 0 in
+              for node = 0 to Cst.Topology.leaves topo - 1 do
+                worst :=
+                  max !worst (Cst.Exec_log.driver_alternations log ~node)
+              done;
+              !worst
+            in
+            Format.printf "events: %d (%d bytes)@." (Cst.Exec_log.length log)
+              (Cst.Exec_log.bytes_used log);
+            Format.printf "max driver alternations per switch: %d@."
+              alternations;
+            Format.printf "digest: %s@." (Cst.Exec_log.digest log))
+  in
+  let algo =
+    Arg.(
+      value & opt string "csa"
+      & info [ "a"; "algo" ] ~docv:"ALGO"
+          ~doc:
+            (Printf.sprintf "Scheduler: %s."
+               (String.concat ", " Cst_baselines.Registry.names)))
+  in
+  let narrate =
+    Arg.(
+      value & flag
+      & info [ "narrate" ]
+          ~doc:"Print the human-readable trace narration instead of raw events.")
+  in
+  let summary =
+    Arg.(
+      value & flag
+      & info [ "summary" ]
+          ~doc:"Suppress the event listing; print only counts and the digest.")
+  in
+  Cmd.v
+    (Cmd.info "log"
+       ~doc:"Run a scheduler and dump its canonical execution log")
+    Term.(
+      const run $ file_arg $ workload_arg $ n_arg $ seed_arg $ algo $ narrate
+      $ summary)
+
 (* stats: post-hoc schedule analysis *)
 let stats_cmd =
   let run file workload n seed =
     match obtain_set file workload n seed with
     | Error e -> exit_err e
     | Ok set -> (
-        match Padr.schedule set with
+        let slog = Cst.Exec_log.create () in
+        match Padr.schedule ~log:slog set with
         | Error e -> exit_err (Format.asprintf "%a" Padr.pp_error e)
         | Ok sched ->
             let occ = Cst_report.Schedule_stats.occupancy sched in
@@ -520,7 +587,7 @@ let stats_cmd =
             Format.printf "max link use: %d@."
               (Cst_report.Schedule_stats.max_link_use sched);
             Cst_report.Table.print
-              (Cst_report.Schedule_stats.per_round_table sched);
+              (Cst_report.Schedule_stats.per_round_table ~log:slog sched);
             let audit =
               Padr.Invariants.audit
                 (Cst.Topology.create ~leaves:sched.leaves)
@@ -541,5 +608,5 @@ let () =
           (Cmd.info "cstool" ~version:"1.0.0" ~doc)
           [
             gen_cmd; info_cmd; route_cmd; batch_cmd; sweep_cmd; waves_cmd;
-            dot_cmd; stats_cmd;
+            dot_cmd; log_cmd; stats_cmd;
           ]))

@@ -16,10 +16,12 @@ let () =
   Format.printf "width:             %d@.@." (Cst_comm.Width.width_auto set);
   Format.printf "%s@." (Cst_report.Arc_diagram.render_set set);
 
-  (* Schedule it.  [Padr.schedule] picks the smallest adequate CST. *)
-  let trace = Cst.Trace.create () in
+  (* Schedule it.  [Padr.schedule] picks the smallest adequate CST.
+     Passing a log captures the canonical execution record — every
+     derived view (trace, power, digest) reads from it. *)
+  let log = Cst.Exec_log.create () in
   let sched =
-    match Padr.schedule ~trace set with
+    match Padr.schedule ~log set with
     | Ok s -> s
     | Error e -> failwith (Format.asprintf "%a" Padr.pp_error e)
   in
@@ -36,8 +38,10 @@ let () =
        (Array.to_list sched.rounds
        |> List.map (fun (r : Padr.Schedule.round) -> (r.index, r.deliveries))));
 
-  (* The trace shows what the hardware did, round by round. *)
-  Format.printf "--- event trace ---@.%a@." Cst.Trace.pp trace;
+  (* The trace narrates the execution log, round by round. *)
+  Format.printf "--- event trace ---@.%a@." Cst.Trace.pp (Cst.Trace.of_log log);
+  Format.printf "log: %d events, digest %s@.@." (Cst.Exec_log.length log)
+    (Cst.Exec_log.digest log);
 
   (* Physical paths of round 1, straight from the data plane. *)
   let topo = Cst.Topology.create ~leaves:sched.leaves in

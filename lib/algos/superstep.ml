@@ -63,11 +63,15 @@ let run ?leaves program ~init =
              step.label);
       states := step.absorb !states deliveries)
     program.steps;
+  let whole net =
+    Padr.Schedule.power_of_meter
+      (Cst.Power_meter.of_log
+         ~num_nodes:(Cst.Topology.num_nodes topo)
+         (Cst.Net.log net))
+  in
   let power =
-    Padr.Schedule.combine_power
-      (Padr.Schedule.power_of_meter (Cst.Net.meter net_right))
-      (Padr.Schedule.mirror_power topo
-         (Padr.Schedule.power_of_meter (Cst.Net.meter net_left)))
+    Padr.Schedule.combine_power (whole net_right)
+      (Padr.Schedule.mirror_power topo (whole net_left))
   in
   ( !states,
     {

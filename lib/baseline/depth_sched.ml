@@ -7,7 +7,7 @@ let forest set =
 
 let rounds_needed set = Cst_comm.Nest_forest.max_depth (forest set)
 
-let run topo set =
+let run ?log topo set =
   let f = forest set in
   let comms = Cst_comm.Comm_set.comms set in
   let depth_count = Cst_comm.Nest_forest.max_depth f in
@@ -21,4 +21,4 @@ let run topo set =
     Array.to_list batches |> List.map List.rev
     |> List.filter (fun b -> b <> [])
   in
-  Round_runner.run ~name:"depth" topo set batches
+  Round_runner.run ~name:"depth" ?log topo set batches

@@ -8,7 +8,11 @@
     scheduling is correct but not round-optimal, a useful contrast to the
     width-exact CSA (the distinction Section 4 of the paper relies on). *)
 
-val run : Cst.Topology.t -> Cst_comm.Comm_set.t -> Padr.Schedule.t
+val run :
+  ?log:Cst.Exec_log.t ->
+  Cst.Topology.t ->
+  Cst_comm.Comm_set.t ->
+  Padr.Schedule.t
 (** Requires a right-oriented {e well-nested} set (raises
     [Invalid_argument] otherwise — depth is undefined for crossing
     sets). *)

@@ -1,1 +1,1 @@
-let run topo set = Padr.Csa.run_exn ~eager_clear:true topo set
+let run ?log topo set = Padr.Csa.run_exn ~eager_clear:true ?log topo set

@@ -7,5 +7,9 @@
     the lazy CSA isolates how much of the power saving comes from the
     carry-over discipline versus from the outermost-first selection. *)
 
-val run : Cst.Topology.t -> Cst_comm.Comm_set.t -> Padr.Schedule.t
+val run :
+  ?log:Cst.Exec_log.t ->
+  Cst.Topology.t ->
+  Cst_comm.Comm_set.t ->
+  Padr.Schedule.t
 (** Raises [Invalid_argument] on invalid input (see {!Padr.schedule}). *)

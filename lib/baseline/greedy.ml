@@ -15,4 +15,5 @@ let batches topo set =
   in
   rounds (Array.to_list (Cst_comm.Comm_set.comms set)) []
 
-let run topo set = Round_runner.run ~name:"greedy" topo set (batches topo set)
+let run ?log topo set =
+  Round_runner.run ~name:"greedy" ?log topo set (batches topo set)

@@ -7,7 +7,11 @@
     busy switches.  Serves as a second comparator showing that round
     optimality alone does not give power optimality. *)
 
-val run : Cst.Topology.t -> Cst_comm.Comm_set.t -> Padr.Schedule.t
+val run :
+  ?log:Cst.Exec_log.t ->
+  Cst.Topology.t ->
+  Cst_comm.Comm_set.t ->
+  Padr.Schedule.t
 (** Requires a right-oriented set. *)
 
 val batches : Cst.Topology.t -> Cst_comm.Comm_set.t -> Cst_comm.Comm.t list list

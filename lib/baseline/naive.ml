@@ -1,5 +1,5 @@
-let run topo set =
+let run ?log topo set =
   let batches =
     List.map (fun c -> [ c ]) (Array.to_list (Cst_comm.Comm_set.comms set))
   in
-  Round_runner.run ~name:"naive" topo set batches
+  Round_runner.run ~name:"naive" ?log topo set batches

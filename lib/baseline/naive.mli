@@ -4,4 +4,8 @@
     every round it participates in; the floor every other algorithm should
     beat. *)
 
-val run : Cst.Topology.t -> Cst_comm.Comm_set.t -> Padr.Schedule.t
+val run :
+  ?log:Cst.Exec_log.t ->
+  Cst.Topology.t ->
+  Cst_comm.Comm_set.t ->
+  Padr.Schedule.t

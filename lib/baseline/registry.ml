@@ -12,7 +12,11 @@ type algo = {
   name : string;
   description : string;
   caps : capability;
-  run : Cst.Topology.t -> Cst_comm.Comm_set.t -> Padr.Schedule.t;
+  run :
+    ?log:Cst.Exec_log.t ->
+    Cst.Topology.t ->
+    Cst_comm.Comm_set.t ->
+    Padr.Schedule.t;
 }
 
 let well_nested_only =
@@ -36,7 +40,7 @@ let csa =
         round_optimal = true;
         power_optimal = true;
       };
-    run = (fun topo set -> Padr.Csa.run_exn topo set);
+    run = (fun ?log topo set -> Padr.Csa.run_exn ?log topo set);
   }
 
 let eager_csa =

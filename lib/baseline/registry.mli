@@ -31,7 +31,11 @@ type algo = {
   name : string;
   description : string;
   caps : capability;
-  run : Cst.Topology.t -> Cst_comm.Comm_set.t -> Padr.Schedule.t;
+  run :
+    ?log:Cst.Exec_log.t ->
+    Cst.Topology.t ->
+    Cst_comm.Comm_set.t ->
+    Padr.Schedule.t;
 }
 
 val csa : algo

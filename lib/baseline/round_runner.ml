@@ -56,7 +56,7 @@ type workspace = {
   mutable prev_dirty : int list;  (* last batch's, to clear eagerly *)
 }
 
-let run ~name:_ topo set batches =
+let run ~name:_ ?log topo set batches =
   let leaves = Cst.Topology.leaves topo in
   let scheduled =
     List.sort Cst_comm.Comm.compare (List.concat batches)
@@ -67,7 +67,9 @@ let run ~name:_ topo set batches =
   in
   if not (List.equal Cst_comm.Comm.equal scheduled members) then
     invalid_arg "Round_runner.run: batches do not partition the set";
-  let net = Cst.Net.create topo in
+  let net = Cst.Net.create ?log topo in
+  let log = Cst.Net.log net in
+  let from = Cst.Exec_log.length log in
   let ws =
     {
       wants = Array.make leaves Cst.Switch_config.empty;
@@ -76,10 +78,10 @@ let run ~name:_ topo set batches =
       prev_dirty = [];
     }
   in
-  let rounds =
-    List.mapi
-      (fun i batch ->
+  List.iteri
+    (fun i batch ->
         let batch_no = i + 1 in
+        Cst.Exec_log.round_begin log ~index:batch_no;
         let touch node =
           if ws.stamp.(node) <> batch_no then begin
             ws.stamp.(node) <- batch_no;
@@ -146,37 +148,16 @@ let run ~name:_ topo set batches =
         let sources =
           List.sort compare (List.map (fun (c : Cst_comm.Comm.t) -> c.src) batch)
         in
-        let dests =
-          List.sort compare (List.map (fun (c : Cst_comm.Comm.t) -> c.dst) batch)
-        in
         List.iter (fun pe -> Cst.Net.pe_write net ~pe pe) sources;
         let deliveries = Cst.Data_plane.transfer net ~sources in
-        assert (List.length deliveries = List.length batch);
-        let configs =
-          (* Eager installation leaves exactly this batch's switches
-             non-empty. *)
-          let arr =
-            List.filter_map
-              (fun node ->
-                let cfg = Cst.Net.config net node in
-                if Cst.Switch_config.is_empty cfg then None
-                else Some (node, cfg))
-              ws.dirty
-            |> Array.of_list
-          in
-          Array.sort (fun (a, _) (b, _) -> compare a b) arr;
-          arr
-        in
-        { Padr.Schedule.index = i + 1; sources; dests; deliveries; configs })
-      batches
-  in
+        List.iter
+          (fun (src, dst) -> Cst.Exec_log.deliver log ~src ~dst)
+          deliveries;
+        assert (List.length deliveries = List.length batch))
+    batches;
   let levels = Cst.Topology.levels topo in
   let num_rounds = List.length batches in
-  {
-    Padr.Schedule.leaves;
-    set;
-    width = Cst_comm.Width.width ~leaves set;
-    rounds = Array.of_list rounds;
-    power = Padr.Schedule.power_of_meter (Cst.Net.meter net);
-    cycles = levels + (num_rounds * (levels + 1));
-  }
+  Cst.Exec_log.run_end log ~rounds:num_rounds;
+  Padr.Schedule.of_log ~from ~set ~topo
+    ~cycles:(levels + (num_rounds * (levels + 1)))
+    log

@@ -4,8 +4,9 @@
     compatible per-round batches, then drive the network round by round".
     The runner turns such a partition into a {!Padr.Schedule.t}: it derives
     each round's switch configurations from the communications' tree paths,
-    installs them (counting power exactly as for the CSA), moves the data
-    through the physical data plane and snapshots the rounds.
+    installs them (the network logs power events exactly as for the CSA),
+    moves the data through the physical data plane, and derives the
+    schedule from the execution log.
 
     Baselines reconfigure {e per round from scratch} — a switch's desired
     configuration is exactly what the round's batch needs.  Transitions are
@@ -22,9 +23,12 @@ val config_for_batch :
 
 val run :
   name:string ->
+  ?log:Cst.Exec_log.t ->
   Cst.Topology.t ->
   Cst_comm.Comm_set.t ->
   Cst_comm.Comm.t list list ->
   Padr.Schedule.t
-(** [run ~name topo set batches] executes the batches in order.  Checks
-    that the batches partition [set]. *)
+(** [run ~name topo set batches] executes the batches in order, emitting
+    the run into [?log] (or a private log) and deriving the returned
+    schedule from it ({!Padr.Schedule.of_log}).  Checks that the batches
+    partition [set]. *)

@@ -26,11 +26,11 @@ let assign_ids topo set =
 let num_ids topo set =
   List.fold_left (fun acc (_, id) -> max acc (id + 1)) 0 (assign_ids topo set)
 
-let run topo set =
+let run ?log topo set =
   let ids = assign_ids topo set in
   let max_id = List.fold_left (fun acc (_, id) -> max acc id) (-1) ids in
   let batches =
     List.init (max_id + 1) (fun r ->
         List.filter_map (fun (c, id) -> if id = r then Some c else None) ids)
   in
-  Round_runner.run ~name:"roy-id" topo set batches
+  Round_runner.run ~name:"roy-id" ?log topo set batches

@@ -17,6 +17,10 @@ val assign_ids : Cst.Topology.t -> Cst_comm.Comm_set.t -> (Cst_comm.Comm.t * int
 
 val num_ids : Cst.Topology.t -> Cst_comm.Comm_set.t -> int
 
-val run : Cst.Topology.t -> Cst_comm.Comm_set.t -> Padr.Schedule.t
+val run :
+  ?log:Cst.Exec_log.t ->
+  Cst.Topology.t ->
+  Cst_comm.Comm_set.t ->
+  Padr.Schedule.t
 (** Requires a right-oriented set (well-nestedness is not required; any
     conflict structure can be coloured). *)

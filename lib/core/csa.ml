@@ -19,15 +19,7 @@ exception Stall of { round : int; remaining : int }
 (* Internal signal raised from inside a scheduling loop and converted to
    [Error (Stalled _)] at the run boundary. *)
 
-let snapshot_configs net topo =
-  let acc = ref [] in
-  for node = Cst.Topology.leaves topo - 1 downto 1 do
-    let cfg = Cst.Net.config net node in
-    if not (Cst.Switch_config.is_empty cfg) then acc := (node, cfg) :: !acc
-  done;
-  Array.of_list !acc
-
-let run ?trace ?(keep_configs = true) ?(eager_clear = false) ?net topo set =
+let run ?keep_configs ?(eager_clear = false) ?net ?log topo set =
   let leaves = Cst.Topology.leaves topo in
   if Cst_comm.Comm_set.n set > leaves then
     Error (Too_large { n = Cst_comm.Comm_set.n set; leaves })
@@ -35,81 +27,55 @@ let run ?trace ?(keep_configs = true) ?(eager_clear = false) ?net topo set =
     match Cst_comm.Well_nested.check set with
     | Error v -> Error (Not_well_nested v)
     | Ok _forest ->
-        let width = Cst_comm.Width.width ~leaves set in
         let phase1 = Phase1.run topo set in
-        Cst.Trace.emit trace
-          (Cst.Trace.Phase1_done { levels = Cst.Topology.levels topo });
         let net =
           match net with
           | Some net ->
+              if log <> None then
+                invalid_arg "Csa.run: ?log and ?net are exclusive";
               if Cst.Topology.leaves (Cst.Net.topology net) <> leaves then
                 invalid_arg "Csa.run: net topology mismatch";
               net
-          | None -> Cst.Net.create topo
+          | None -> Cst.Net.create ?log topo
         in
-        let meter_baseline = Cst.Power_meter.copy (Cst.Net.meter net) in
+        let log = Cst.Net.log net in
+        (* The cursor makes the derived views cover this run only, even
+           on a shared long-lived net. *)
+        let from = Cst.Exec_log.length log in
+        Cst.Exec_log.phase_done log ~levels:(Cst.Topology.levels topo);
         let remaining = ref (Phase1.total_matched phase1) in
-        let rounds = ref [] in
         let index = ref 0 in
         try
         while !remaining > 0 do
           incr index;
-          Cst.Trace.emit trace (Cst.Trace.Round_start !index);
+          Cst.Exec_log.round_begin log ~index:!index;
           let out = Round.sweep topo phase1.states in
           if out.matched_count = 0 then
             raise (Stall { round = !index; remaining = !remaining });
           for node = 1 to leaves - 1 do
-            let prev = Cst.Net.config net node in
-            (if eager_clear then Cst.Net.reconfigure net ~node out.wants.(node)
-             else Cst.Net.reconfigure_lazy net ~node ~want:out.wants.(node));
-            let now = Cst.Net.config net node in
-            if not (Cst.Switch_config.equal prev now) then
-              Cst.Trace.emit trace
-                (Cst.Trace.Reconfigured
-                   { round = !index; node; config = now })
+            if eager_clear then Cst.Net.reconfigure net ~node out.wants.(node)
+            else Cst.Net.reconfigure_lazy net ~node ~want:out.wants.(node)
           done;
           List.iter (fun pe -> Cst.Net.pe_write net ~pe pe) out.sources;
           let deliveries = Cst.Data_plane.transfer net ~sources:out.sources in
           List.iter
-            (fun (src, dst) ->
-              Cst.Trace.emit trace
-                (Cst.Trace.Delivered { round = !index; src; dst }))
+            (fun (src, dst) -> Cst.Exec_log.deliver log ~src ~dst)
             deliveries;
           (* Every scheduled communication produces exactly one active
              source and one delivery. *)
           assert (List.length out.sources = out.matched_count);
           assert (List.length deliveries = out.matched_count);
-          remaining := !remaining - out.matched_count;
-          let configs =
-            if keep_configs then snapshot_configs net topo else [||]
-          in
-          rounds :=
-            {
-              Schedule.index = !index;
-              sources = out.sources;
-              dests = out.dests;
-              deliveries;
-              configs;
-            }
-            :: !rounds
+          remaining := !remaining - out.matched_count
         done;
-        Cst.Trace.emit trace (Cst.Trace.Finished { rounds = !index });
+        Cst.Exec_log.run_end log ~rounds:!index;
         let levels = Cst.Topology.levels topo in
         Ok
-          {
-            Schedule.leaves;
-            set;
-            width;
-            rounds = Array.of_list (List.rev !rounds);
-            power =
-              Schedule.power_of_meter
-                (Cst.Power_meter.diff_since (Cst.Net.meter net)
-                   ~baseline:meter_baseline);
-            cycles = levels + (!index * (levels + 1));
-          }
+          (Schedule.of_log ~from ?keep_configs ~set ~topo
+             ~cycles:(levels + (!index * (levels + 1)))
+             log)
         with Stall { round; remaining } -> Error (Stalled { round; remaining })
 
-let run_exn ?trace ?keep_configs ?eager_clear ?net topo set =
-  match run ?trace ?keep_configs ?eager_clear ?net topo set with
+let run_exn ?keep_configs ?eager_clear ?net ?log topo set =
+  match run ?keep_configs ?eager_clear ?net ?log topo set with
   | Ok s -> s
   | Error e -> invalid_arg (Format.asprintf "%a" pp_error e)

@@ -25,14 +25,18 @@ exception Stall of { round : int; remaining : int }
     to [Error (Stalled _)] at each [run] boundary. *)
 
 val run :
-  ?trace:Cst.Trace.t ->
   ?keep_configs:bool ->
   ?eager_clear:bool ->
   ?net:Cst.Net.t ->
+  ?log:Cst.Exec_log.t ->
   Cst.Topology.t ->
   Cst_comm.Comm_set.t ->
   (Schedule.t, error) result
 (** [run topo set] schedules a right-oriented well-nested [set].
+    The run is emitted into an execution log (the net's own, or [?log]
+    when a fresh net is created — exclusive with [?net]) and the
+    returned schedule is derived from it ({!Schedule.of_log}); build a
+    narration with [Cst.Trace.of_log] if wanted.
     [keep_configs] (default true) stores per-round configuration snapshots
     in the schedule for verification; disable for timing benchmarks.
     [net] runs the schedule on an existing network whose switch
@@ -41,10 +45,10 @@ val run :
     share only.  The net's topology must equal [topo]. *)
 
 val run_exn :
-  ?trace:Cst.Trace.t ->
   ?keep_configs:bool ->
   ?eager_clear:bool ->
   ?net:Cst.Net.t ->
+  ?log:Cst.Exec_log.t ->
   Cst.Topology.t ->
   Cst_comm.Comm_set.t ->
   Schedule.t

@@ -41,8 +41,6 @@ type workspace = {
          match, which bounds a round at O(active paths * depth). *)
   wants : Cst.Switch_config.t array;  (* length leaves - 1 *)
   dirty : Ibuf.t;  (* switches whose want was set this round *)
-  nonempty : Ibuf.t;  (* switches whose live config ever became non-empty *)
-  is_nonempty : bool array;  (* membership mask for [nonempty] *)
   stack_node : int array;  (* DFS frontier stack; length levels + 2 *)
   stack_msg : Downmsg.t array;
   srcs : Ibuf.t;
@@ -60,8 +58,6 @@ let make_workspace topo =
     pending = Array.make (leaves - 1) 0;
     wants = Array.make (leaves - 1) Cst.Switch_config.empty;
     dirty = Ibuf.create 64;
-    nonempty = Ibuf.create 64;
-    is_nonempty = Array.make (leaves - 1) false;
     stack_node = Array.make cap 0;
     stack_msg = Array.make cap Downmsg.null;
     srcs = Ibuf.create 64;
@@ -78,7 +74,7 @@ let make_workspace topo =
    accounted in closed form for the skipped switches — the simulated
    hardware still clocks every level and still exchanges the null
    messages; the simulator just does not spend wall-clock on them. *)
-let run ?(keep_configs = true) topo set =
+let run ?(keep_configs = true) ?log topo set =
   let leaves = Cst.Topology.leaves topo in
   if Cst_comm.Comm_set.n set > leaves then
     Error (Csa.Too_large { n = Cst_comm.Comm_set.n set; leaves })
@@ -86,8 +82,10 @@ let run ?(keep_configs = true) topo set =
     match Cst_comm.Well_nested.check set with
     | Error v -> Error (Csa.Not_well_nested v)
     | Ok _ ->
-        let width = Cst_comm.Width.width ~leaves set in
         let levels = Cst.Topology.levels topo in
+        let net = Cst.Net.create ?log topo in
+        let log = Cst.Net.log net in
+        let from = Cst.Exec_log.length log in
         let ws = make_workspace topo in
         let cycles = ref 0 and messages = ref 0 in
         let max_words = ref 0 in
@@ -134,6 +132,7 @@ let run ?(keep_configs = true) topo set =
             bucket;
           incr cycles
         done;
+        Cst.Exec_log.phase_done log ~levels;
 
         (* Subtree pending-match counters drive the frontier pruning. *)
         for v = leaves - 1 downto 1 do
@@ -144,9 +143,7 @@ let run ?(keep_configs = true) topo set =
           ws.pending.(v - 1) <- ws.states.(v - 1).m + below
         done;
 
-        let net = Cst.Net.create topo in
         let remaining = ref ws.pending.(Cst.Topology.root - 1) in
-        let rounds = ref [] in
         let index = ref 0 in
         (* Per round, the modeled hardware exchanges one down message per
            tree link (2*(leaves-1) messages of [Downmsg.words] words) and
@@ -157,6 +154,7 @@ let run ?(keep_configs = true) topo set =
         try
           while !remaining > 0 do
             incr index;
+            Cst.Exec_log.round_begin log ~index:!index;
             for i = 0 to ws.dirty.len - 1 do
               ws.wants.(Ibuf.get ws.dirty i - 1) <- Cst.Switch_config.empty
             done;
@@ -224,46 +222,21 @@ let run ?(keep_configs = true) topo set =
                charges nothing). *)
             for i = 0 to ws.dirty.len - 1 do
               let node = Ibuf.get ws.dirty i in
-              Cst.Net.reconfigure_lazy net ~node ~want:ws.wants.(node - 1);
-              if keep_configs && not ws.is_nonempty.(node - 1) then begin
-                ws.is_nonempty.(node - 1) <- true;
-                Ibuf.push ws.nonempty node
-              end
+              Cst.Net.reconfigure_lazy net ~node ~want:ws.wants.(node - 1)
             done;
             let sources = Ibuf.to_list ws.srcs in
-            let dests = Ibuf.to_list ws.dsts in
             List.iter (fun pe -> Cst.Net.pe_write net ~pe pe) sources;
             let deliveries = Cst.Data_plane.transfer net ~sources in
+            List.iter
+              (fun (src, dst) -> Cst.Exec_log.deliver log ~src ~dst)
+              deliveries;
             incr cycles;
             (* the data transfer cycle *)
-            remaining := !remaining - !matched;
-            let configs =
-              if keep_configs then begin
-                (* Lazy reconfiguration never empties a switch, so the
-                   non-empty set is exactly the switches ever dirtied. *)
-                let arr =
-                  Array.init ws.nonempty.len (fun i ->
-                      let node = Ibuf.get ws.nonempty i in
-                      (node, Cst.Net.config net node))
-                in
-                Array.sort (fun (a, _) (b, _) -> compare a b) arr;
-                arr
-              end
-              else [||]
-            in
-            rounds :=
-              { Schedule.index = !index; sources; dests; deliveries; configs }
-              :: !rounds
+            remaining := !remaining - !matched
           done;
+          Cst.Exec_log.run_end log ~rounds:!index;
           let sched =
-            {
-              Schedule.leaves;
-              set;
-              width;
-              rounds = Array.of_list (List.rev !rounds);
-              power = Schedule.power_of_meter (Cst.Net.meter net);
-              cycles = !cycles;
-            }
+            Schedule.of_log ~from ~keep_configs ~set ~topo ~cycles:!cycles log
           in
           Ok
             ( sched,
@@ -276,8 +249,8 @@ let run ?(keep_configs = true) topo set =
         with Csa.Stall { round; remaining } ->
           Error (Csa.Stalled { round; remaining })
 
-let run_exn ?keep_configs topo set =
-  match run ?keep_configs topo set with
+let run_exn ?keep_configs ?log topo set =
+  match run ?keep_configs ?log topo set with
   | Ok r -> r
   | Error e -> invalid_arg (Format.asprintf "%a" Csa.pp_error e)
 
@@ -286,7 +259,7 @@ let run_exn ?keep_configs topo set =
    equivalence suite (test/test_engine_equiv.ml) asserts that {!run}
    produces byte-identical schedules and stats, and the benchmark
    baseline times both. *)
-let run_dense ?(keep_configs = true) topo set =
+let run_dense ?(keep_configs = true) ?log topo set =
   let leaves = Cst.Topology.leaves topo in
   if Cst_comm.Comm_set.n set > leaves then
     Error (Csa.Too_large { n = Cst_comm.Comm_set.n set; leaves })
@@ -294,7 +267,6 @@ let run_dense ?(keep_configs = true) topo set =
     match Cst_comm.Well_nested.check set with
     | Error v -> Error (Csa.Not_well_nested v)
     | Ok _ ->
-        let width = Cst_comm.Width.width ~leaves set in
         let cycles = ref 0 and messages = ref 0 in
         let max_words = ref 0 in
         let send words = incr messages; max_words := max !max_words words in
@@ -342,19 +314,22 @@ let run_dense ?(keep_configs = true) topo set =
           incr cycles
         done;
 
-        let net = Cst.Net.create topo in
+        let net = Cst.Net.create ?log topo in
+        let log = Cst.Net.log net in
+        let from = Cst.Exec_log.length log in
+        Cst.Exec_log.phase_done log ~levels;
         let remaining =
           ref
             (Array.fold_left
                (fun acc (s : Csa_state.t) -> acc + s.m)
                0 states)
         in
-        let rounds = ref [] in
         let index = ref 0 in
         let down_box = Array.make (2 * leaves) None in
         try
           while !remaining > 0 do
             incr index;
+            Cst.Exec_log.round_begin log ~index:!index;
             Array.fill down_box 0 (Array.length down_box) None;
             down_box.(Cst.Topology.root) <- Some Downmsg.null;
             let sources = ref [] and dests = ref [] in
@@ -397,37 +372,19 @@ let run_dense ?(keep_configs = true) topo set =
             for node = 1 to leaves - 1 do
               Cst.Net.reconfigure_lazy net ~node ~want:wants.(node)
             done;
-            let sources = List.rev !sources and dests = List.rev !dests in
+            let sources = List.rev !sources in
             List.iter (fun pe -> Cst.Net.pe_write net ~pe pe) sources;
             let deliveries = Cst.Data_plane.transfer net ~sources in
+            List.iter
+              (fun (src, dst) -> Cst.Exec_log.deliver log ~src ~dst)
+              deliveries;
             incr cycles;
             (* the data transfer cycle *)
-            remaining := !remaining - !matched;
-            let configs =
-              if keep_configs then begin
-                let acc = ref [] in
-                for node = leaves - 1 downto 1 do
-                  let cfg = Cst.Net.config net node in
-                  if not (Cst.Switch_config.is_empty cfg) then
-                    acc := (node, cfg) :: !acc
-                done;
-                Array.of_list !acc
-              end
-              else [||]
-            in
-            rounds :=
-              { Schedule.index = !index; sources; dests; deliveries; configs }
-              :: !rounds
+            remaining := !remaining - !matched
           done;
+          Cst.Exec_log.run_end log ~rounds:!index;
           let sched =
-            {
-              Schedule.leaves;
-              set;
-              width;
-              rounds = Array.of_list (List.rev !rounds);
-              power = Schedule.power_of_meter (Cst.Net.meter net);
-              cycles = !cycles;
-            }
+            Schedule.of_log ~from ~keep_configs ~set ~topo ~cycles:!cycles log
           in
           Ok
             ( sched,
@@ -440,7 +397,7 @@ let run_dense ?(keep_configs = true) topo set =
         with Csa.Stall { round; remaining } ->
           Error (Csa.Stalled { round; remaining })
 
-let run_dense_exn ?keep_configs topo set =
-  match run_dense ?keep_configs topo set with
+let run_dense_exn ?keep_configs ?log topo set =
+  match run_dense ?keep_configs ?log topo set with
   | Ok r -> r
   | Error e -> invalid_arg (Format.asprintf "%a" Csa.pp_error e)

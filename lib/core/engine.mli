@@ -30,20 +30,24 @@ type stats = {
 
 val run :
   ?keep_configs:bool ->
+  ?log:Cst.Exec_log.t ->
   Cst.Topology.t ->
   Cst_comm.Comm_set.t ->
   (Schedule.t * stats, Csa.error) result
 (** Sparse-frontier engine.  [Error (Stalled _)] signals a no-progress
-    round — impossible for well-nested input. *)
+    round — impossible for well-nested input.  The run appends to
+    [?log] (or a private log) and the schedule is derived from it. *)
 
 val run_exn :
   ?keep_configs:bool ->
+  ?log:Cst.Exec_log.t ->
   Cst.Topology.t ->
   Cst_comm.Comm_set.t ->
   Schedule.t * stats
 
 val run_dense :
   ?keep_configs:bool ->
+  ?log:Cst.Exec_log.t ->
   Cst.Topology.t ->
   Cst_comm.Comm_set.t ->
   (Schedule.t * stats, Csa.error) result
@@ -53,6 +57,7 @@ val run_dense :
 
 val run_dense_exn :
   ?keep_configs:bool ->
+  ?log:Cst.Exec_log.t ->
   Cst.Topology.t ->
   Cst_comm.Comm_set.t ->
   Schedule.t * stats

@@ -1,0 +1,5 @@
+(* Re-export: the canonical execution log lives in [Cst.Exec_log]
+   (the [Net] appends into it, and [cst] cannot depend on [padr]); this
+   alias exposes it as [Padr.Exec_log] next to the schedulers that
+   produce it. *)
+include Cst.Exec_log

@@ -1,0 +1,9 @@
+(** Alias of {!Cst.Exec_log}, the canonical execution log every
+    scheduler in this library emits.  See that module for the event
+    grammar, cursors and digest semantics. *)
+
+include
+  module type of Cst.Exec_log
+    with type t = Cst.Exec_log.t
+     and type event = Cst.Exec_log.event
+     and type round_view = Cst.Exec_log.round_view

@@ -144,7 +144,7 @@ let sweep topo states =
     matched_count = !matched;
   }
 
-let run ?(keep_configs = true) ?net topo set =
+let run ?keep_configs ?net ?log topo set =
   let leaves = Cst.Topology.leaves topo in
   if Cst_comm.Comm_set.n set > leaves then
     Error (Csa.Too_large { n = Cst_comm.Comm_set.n set; leaves })
@@ -152,26 +152,29 @@ let run ?(keep_configs = true) ?net topo set =
     match validate set with
     | Error e -> Error e
     | Ok () ->
-        let width = Cst_comm.Width.width ~leaves set in
         let states = phase1 topo set in
         let net =
           match net with
           | Some net ->
+              if log <> None then
+                invalid_arg "Left.run: ?log and ?net are exclusive";
               if Cst.Topology.leaves (Cst.Net.topology net) <> leaves then
                 invalid_arg "Left.run: net topology mismatch";
               net
-          | None -> Cst.Net.create topo
+          | None -> Cst.Net.create ?log topo
         in
-        let baseline = Cst.Power_meter.copy (Cst.Net.meter net) in
+        let log = Cst.Net.log net in
+        let from = Cst.Exec_log.length log in
+        Cst.Exec_log.phase_done log ~levels:(Cst.Topology.levels topo);
         let remaining =
           ref
             (Array.fold_left (fun acc (s : Csa_state.t) -> acc + s.m) 0 states)
         in
-        let rounds = ref [] in
         let index = ref 0 in
         try
         while !remaining > 0 do
           incr index;
+          Cst.Exec_log.round_begin log ~index:!index;
           let out = sweep topo states in
           if out.matched_count = 0 then
             raise (Csa.Stall { round = !index; remaining = !remaining });
@@ -180,46 +183,22 @@ let run ?(keep_configs = true) ?net topo set =
           done;
           List.iter (fun pe -> Cst.Net.pe_write net ~pe pe) out.sources;
           let deliveries = Cst.Data_plane.transfer net ~sources:out.sources in
+          List.iter
+            (fun (src, dst) -> Cst.Exec_log.deliver log ~src ~dst)
+            deliveries;
           assert (List.length deliveries = out.matched_count);
-          remaining := !remaining - out.matched_count;
-          let configs =
-            if keep_configs then begin
-              let acc = ref [] in
-              for node = leaves - 1 downto 1 do
-                let cfg = Cst.Net.config net node in
-                if not (Cst.Switch_config.is_empty cfg) then
-                  acc := (node, cfg) :: !acc
-              done;
-              Array.of_list !acc
-            end
-            else [||]
-          in
-          rounds :=
-            {
-              Schedule.index = !index;
-              sources = out.sources;
-              dests = out.dests;
-              deliveries;
-              configs;
-            }
-            :: !rounds
+          remaining := !remaining - out.matched_count
         done;
+        Cst.Exec_log.run_end log ~rounds:!index;
         let levels = Cst.Topology.levels topo in
         Ok
-          {
-            Schedule.leaves;
-            set;
-            width;
-            rounds = Array.of_list (List.rev !rounds);
-            power =
-              Schedule.power_of_meter
-                (Cst.Power_meter.diff_since (Cst.Net.meter net) ~baseline);
-            cycles = levels + (!index * (levels + 1));
-          }
+          (Schedule.of_log ~from ?keep_configs ~set ~topo
+             ~cycles:(levels + (!index * (levels + 1)))
+             log)
         with Csa.Stall { round; remaining } ->
           Error (Csa.Stalled { round; remaining })
 
-let run_exn ?keep_configs ?net topo set =
-  match run ?keep_configs ?net topo set with
+let run_exn ?keep_configs ?net ?log topo set =
+  match run ?keep_configs ?net ?log topo set with
   | Ok s -> s
   | Error e -> invalid_arg (Format.asprintf "%a" Csa.pp_error e)

@@ -17,6 +17,7 @@
 val run :
   ?keep_configs:bool ->
   ?net:Cst.Net.t ->
+  ?log:Cst.Exec_log.t ->
   Cst.Topology.t ->
   Cst_comm.Comm_set.t ->
   (Schedule.t, Csa.error) result
@@ -26,6 +27,7 @@ val run :
 val run_exn :
   ?keep_configs:bool ->
   ?net:Cst.Net.t ->
+  ?log:Cst.Exec_log.t ->
   Cst.Topology.t ->
   Cst_comm.Comm_set.t ->
   Schedule.t

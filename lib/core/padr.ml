@@ -1,3 +1,4 @@
+module Exec_log = Exec_log
 module Schedule = Schedule
 module Verify = Verify
 module Csa = Csa
@@ -23,11 +24,11 @@ let topo_of ?leaves set =
   | Some leaves -> Cst.Topology.create ~leaves
   | None -> topology_for set
 
-let schedule ?leaves ?trace ?keep_configs set =
-  Csa.run ?trace ?keep_configs (topo_of ?leaves set) set
+let schedule ?leaves ?keep_configs ?log set =
+  Csa.run ?keep_configs ?log (topo_of ?leaves set) set
 
-let schedule_exn ?leaves ?trace ?keep_configs set =
-  Csa.run_exn ?trace ?keep_configs (topo_of ?leaves set) set
+let schedule_exn ?leaves ?keep_configs ?log set =
+  Csa.run_exn ?keep_configs ?log (topo_of ?leaves set) set
 
 let verify (sched : Schedule.t) =
   Verify.schedule (Cst.Topology.create ~leaves:sched.leaves) sched.set sched

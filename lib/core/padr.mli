@@ -15,6 +15,7 @@
     decomposed into the right-oriented part and the (mirrored)
     left-oriented part, each scheduled separately (paper §2.1). *)
 
+module Exec_log = Exec_log
 module Schedule = Schedule
 module Verify = Verify
 
@@ -51,17 +52,18 @@ val topology_for : Cst_comm.Comm_set.t -> Cst.Topology.t
 
 val schedule :
   ?leaves:int ->
-  ?trace:Cst.Trace.t ->
   ?keep_configs:bool ->
+  ?log:Cst.Exec_log.t ->
   Cst_comm.Comm_set.t ->
   (Schedule.t, error) result
 (** Schedules a right-oriented well-nested set on a CST with [leaves]
-    leaves (default: smallest adequate). *)
+    leaves (default: smallest adequate).  The run is appended to [?log]
+    (or a private log); derive a narration with [Cst.Trace.of_log]. *)
 
 val schedule_exn :
   ?leaves:int ->
-  ?trace:Cst.Trace.t ->
   ?keep_configs:bool ->
+  ?log:Cst.Exec_log.t ->
   Cst_comm.Comm_set.t ->
   Schedule.t
 

@@ -108,6 +108,37 @@ let mirror_power topo p =
     per_switch_disconnects = remap p.per_switch_disconnects;
   }
 
+(* The schedule as a pure derivation of the execution log.  Sources are
+   the delivery sources in emission order (every producer sweeps PEs in
+   ascending order, so this matches the legacy eager fields); dests are
+   sorted.  Config snapshots come from the log replay: the live (merged)
+   configuration of every non-empty switch at the end of each round,
+   ascending by node — identical to the old per-round net scans. *)
+let of_log ?from ?upto ?(keep_configs = true) ~set ~topo ~cycles log =
+  let leaves = Cst.Topology.leaves topo in
+  let num_nodes = Cst.Topology.num_nodes topo in
+  let rounds =
+    Cst.Exec_log.fold_rounds ?from ?upto ~snapshots:keep_configs log ~init:[]
+      ~f:(fun acc (rv : Cst.Exec_log.round_view) ->
+        {
+          index = rv.index;
+          sources = List.map fst rv.deliveries;
+          dests = List.sort compare (List.map snd rv.deliveries);
+          deliveries = rv.deliveries;
+          configs = (if keep_configs then Array.of_list rv.live else [||]);
+        }
+        :: acc)
+    |> List.rev |> Array.of_list
+  in
+  {
+    leaves;
+    set;
+    width = Cst_comm.Width.width ~leaves set;
+    rounds;
+    power = power_of_meter (Cst.Power_meter.of_log ?from ?upto ~num_nodes log);
+    cycles;
+  }
+
 let pp_round fmt r =
   Format.fprintf fmt "round %d:" r.index;
   List.iter (fun (s, d) -> Format.fprintf fmt " %d->%d" s d) r.deliveries

@@ -39,6 +39,22 @@ type t = {
           per level plus a transfer cycle per round *)
 }
 
+val of_log :
+  ?from:int ->
+  ?upto:int ->
+  ?keep_configs:bool ->
+  set:Cst_comm.Comm_set.t ->
+  topo:Cst.Topology.t ->
+  cycles:int ->
+  Cst.Exec_log.t ->
+  t
+(** Derive a schedule from a log range: rounds, deliveries and config
+    snapshots from {!Cst.Exec_log.fold_rounds}, power from
+    {!Cst.Power_meter.of_log}.  [cycles] stays caller-supplied because
+    the synchronous-cycle formula is a property of the producer (the
+    message-passing engine pays an extra broadcast sweep).  This is the
+    only constructor the producers use. *)
+
 val num_rounds : t -> int
 
 val all_deliveries : t -> (int * int) list

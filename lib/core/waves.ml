@@ -7,8 +7,8 @@ type t = {
   power : Schedule.power;
 }
 
-let run_part topo layers =
-  let net = Cst.Net.create topo in
+let run_part ?log topo layers =
+  let net = Cst.Net.create ?log topo in
   let rec go acc = function
     | [] -> Ok (List.rev acc)
     | layer :: rest -> (
@@ -18,7 +18,7 @@ let run_part topo layers =
   in
   go [] layers
 
-let schedule ?leaves set =
+let schedule ?leaves ?log set =
   let n = Cst_comm.Comm_set.n set in
   let leaves =
     match leaves with
@@ -31,10 +31,10 @@ let schedule ?leaves set =
   let left_layers =
     Cst_comm.Wn_cover.layers (Cst_comm.Mirror.set left_part)
   in
-  match run_part topo right_layers with
+  match run_part ?log topo right_layers with
   | Error e -> Error e
   | Ok right_waves -> (
-      match run_part topo left_layers with
+      match run_part ?log topo left_layers with
       | Error e -> Error e
       | Ok left_waves ->
           let sum f =
@@ -65,8 +65,8 @@ let schedule ?leaves set =
               power;
             })
 
-let schedule_exn ?leaves set =
-  match schedule ?leaves set with
+let schedule_exn ?leaves ?log set =
+  match schedule ?leaves ?log set with
   | Ok t -> t
   | Error e -> invalid_arg (Format.asprintf "Waves: %a" Csa.pp_error e)
 

@@ -23,11 +23,15 @@ type t = {
           switch coordinates *)
 }
 
-val schedule : ?leaves:int -> Cst_comm.Comm_set.t -> (t, Csa.error) result
+val schedule :
+  ?leaves:int ->
+  ?log:Cst.Exec_log.t ->
+  Cst_comm.Comm_set.t ->
+  (t, Csa.error) result
 (** Fails only if a layer is internally invalid — impossible for valid
     sets, so in practice always [Ok]. *)
 
-val schedule_exn : ?leaves:int -> Cst_comm.Comm_set.t -> t
+val schedule_exn : ?leaves:int -> ?log:Cst.Exec_log.t -> Cst_comm.Comm_set.t -> t
 
 val deliveries : t -> (int * int) list
 (** All (src, dst) pairs in original coordinates, sorted; equals the

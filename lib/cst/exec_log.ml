@@ -1,0 +1,384 @@
+(* Canonical execution log: every scheduler run is a flat sequence of
+   typed events, appended by [Net] (config transitions) and by the
+   producers themselves (rounds, deliveries, run boundaries).  One event
+   is one 63-bit word in a growable int arena:
+
+     bits 0-2   tag
+     bits 3-22  field a   (node / src / levels)
+     bits 23-42 field b   (port index / dst / write count)
+     bits 43-62 field c   (port index)
+
+   [Round_begin] and [Run_end] use a 40-bit payload spanning a and b so
+   round counts are not capped at 2^20. *)
+
+type event =
+  | Phase_done of { levels : int }
+  | Round_begin of { index : int }
+  | Connect of { node : int; out_port : Side.t; in_port : Side.t }
+  | Disconnect of { node : int; out_port : Side.t; in_port : Side.t }
+  | Write_config of { node : int; count : int }
+  | Deliver of { src : int; dst : int }
+  | Run_end of { rounds : int }
+
+let tag_phase_done = 0
+let tag_round_begin = 1
+let tag_connect = 2
+let tag_disconnect = 3
+let tag_write_config = 4
+let tag_deliver = 5
+let tag_run_end = 6
+let field_mask = (1 lsl 20) - 1
+let wide_mask = (1 lsl 40) - 1
+
+type t = { mutable buf : int array; mutable len : int }
+
+let create ?(capacity = 256) () =
+  { buf = Array.make (max 1 capacity) 0; len = 0 }
+
+let length t = t.len
+let bytes_used t = 8 * t.len
+let clear t = t.len <- 0
+
+let grow t =
+  let buf = Array.make (2 * Array.length t.buf) 0 in
+  Array.blit t.buf 0 buf 0 t.len;
+  t.buf <- buf
+
+let[@inline] push t w =
+  if t.len = Array.length t.buf then grow t;
+  t.buf.(t.len) <- w;
+  t.len <- t.len + 1
+
+let check_field what v =
+  if v < 0 || v > field_mask then
+    invalid_arg (Printf.sprintf "Exec_log: %s %d out of range" what v)
+
+let check_wide what v =
+  if v < 0 || v > wide_mask then
+    invalid_arg (Printf.sprintf "Exec_log: %s %d out of range" what v)
+
+let[@inline] pack3 tag a b c = tag lor (a lsl 3) lor (b lsl 23) lor (c lsl 43)
+let[@inline] pack_wide tag v = tag lor (v lsl 3)
+
+let phase_done t ~levels =
+  check_field "levels" levels;
+  push t (pack3 tag_phase_done levels 0 0)
+
+let round_begin t ~index =
+  check_wide "round index" index;
+  push t (pack_wide tag_round_begin index)
+
+let connect t ~node ~out_port ~in_port =
+  check_field "node" node;
+  push t (pack3 tag_connect node (Side.index out_port) (Side.index in_port))
+
+let disconnect t ~node ~out_port ~in_port =
+  check_field "node" node;
+  push t (pack3 tag_disconnect node (Side.index out_port) (Side.index in_port))
+
+let write_config t ~node ~count =
+  check_field "node" node;
+  check_field "write count" count;
+  push t (pack3 tag_write_config node count 0)
+
+let deliver t ~src ~dst =
+  check_field "src" src;
+  check_field "dst" dst;
+  push t (pack3 tag_deliver src dst 0)
+
+let run_end t ~rounds =
+  check_wide "rounds" rounds;
+  push t (pack_wide tag_run_end rounds)
+
+let append t = function
+  | Phase_done { levels } -> phase_done t ~levels
+  | Round_begin { index } -> round_begin t ~index
+  | Connect { node; out_port; in_port } -> connect t ~node ~out_port ~in_port
+  | Disconnect { node; out_port; in_port } ->
+      disconnect t ~node ~out_port ~in_port
+  | Write_config { node; count } -> write_config t ~node ~count
+  | Deliver { src; dst } -> deliver t ~src ~dst
+  | Run_end { rounds } -> run_end t ~rounds
+
+let decode w =
+  let a = (w lsr 3) land field_mask in
+  let b = (w lsr 23) land field_mask in
+  let c = (w lsr 43) land field_mask in
+  match w land 7 with
+  | 0 -> Phase_done { levels = a }
+  | 1 -> Round_begin { index = (w lsr 3) land wide_mask }
+  | 2 ->
+      Connect
+        { node = a; out_port = Side.of_index b; in_port = Side.of_index c }
+  | 3 ->
+      Disconnect
+        { node = a; out_port = Side.of_index b; in_port = Side.of_index c }
+  | 4 -> Write_config { node = a; count = b }
+  | 5 -> Deliver { src = a; dst = b }
+  | 6 -> Run_end { rounds = (w lsr 3) land wide_mask }
+  | _ -> invalid_arg "Exec_log.decode: corrupt word"
+
+let clamp ?(from = 0) ?upto t =
+  let upto = match upto with Some u -> min u t.len | None -> t.len in
+  (max 0 from, upto)
+
+let event t i =
+  if i < 0 || i >= t.len then invalid_arg "Exec_log.event: index out of range";
+  decode t.buf.(i)
+
+let iter ?from ?upto t f =
+  let from, upto = clamp ?from ?upto t in
+  for i = from to upto - 1 do
+    f (decode t.buf.(i))
+  done
+
+let fold ?from ?upto t ~init ~f =
+  let from, upto = clamp ?from ?upto t in
+  let acc = ref init in
+  for i = from to upto - 1 do
+    acc := f !acc (decode t.buf.(i))
+  done;
+  !acc
+
+let sub t ~from =
+  let from, upto = clamp ~from t in
+  let len = upto - from in
+  let buf = Array.make (max 1 len) 0 in
+  Array.blit t.buf from buf 0 len;
+  { buf; len }
+
+(* Structural digest: FNV-1a-style multiply-xor over the packed words,
+   truncated to OCaml's 63-bit native int.  Config events (connect /
+   disconnect / write-config) between two non-config events are hashed
+   in sorted order: a round's configuration delta is a *set* of switch
+   transitions, and producers are free to discover switches in any order
+   (the spec scheduler scans nodes in ascending id, the sparse engine in
+   DFS preorder).  Round structure and delivery order hash as emitted. *)
+let fnv_prime = 0x100000001b3
+
+let digest ?from ?upto t =
+  let from, upto = clamp ?from ?upto t in
+  let h = ref 0x3bf29ce484222325 in
+  let mix w = h := ((!h lxor w) * fnv_prime) land max_int in
+  let pending = ref [] in
+  let flush () =
+    match !pending with
+    | [] -> ()
+    | ws ->
+        List.iter mix (List.sort compare ws);
+        pending := []
+  in
+  for i = from to upto - 1 do
+    let w = t.buf.(i) in
+    let tag = w land 7 in
+    if tag = tag_connect || tag = tag_disconnect || tag = tag_write_config then
+      pending := w :: !pending
+    else begin
+      flush ();
+      mix w
+    end
+  done;
+  flush ();
+  Printf.sprintf "%016x" !h
+
+(* Round-structured replay.  Configuration state is replayed from the
+   log's beginning even when [from] is positive, so that runs on a
+   shared long-lived net (whose carried-over connections predate [from])
+   still snapshot the exact live state. *)
+
+type round_view = {
+  index : int;
+  changed : (int * Switch_config.t) list;
+  live : (int * Switch_config.t) list;
+  deliveries : (int * int) list;
+}
+
+(* The replay keeps the whole driver state of a switch in one byte — 2
+   bits per output port holding [0] (undriven) or [1 + Side.index
+   driver] — so the per-event work is a byte load and store with no
+   allocation; [Switch_config.t] values are only materialized at round
+   boundaries, for the switches a view actually lists. *)
+
+let config_of_byte b =
+  if b = 0 then Switch_config.empty
+  else
+    List.fold_left
+      (fun cfg out ->
+        match (b lsr (2 * Side.index out)) land 3 with
+        | 0 -> cfg
+        | d ->
+            Switch_config.with_driver cfg ~output:out
+              ~input:(Some (Side.of_index (d - 1))))
+      Switch_config.empty Side.all
+
+let config_table = Array.init 64 config_of_byte
+
+let fold_rounds ?(from = 0) ?upto ?(snapshots = true) t ~init ~f =
+  let from, upto = clamp ~from ?upto t in
+  (* Per-node replay state, one byte each: bits 0-5 driver state, bit 6
+     "on this round's changed list", bit 7 "on the live list".  There
+     are only 64 possible driver states, so materialized
+     [Switch_config.t] values come from one shared precomputed table —
+     snapshots allocate nothing but their list cells.  [live_list] is
+     compacted lazily at each snapshot, so a round's snapshot costs
+     O(live + died-this-round), not O(every switch ever driven) — the
+     per-round baselines clear the whole tree between rounds, which
+     would otherwise make every replayed round scan the full history. *)
+  let state = ref (Bytes.make 1024 '\000') in
+  let live_list = ref [] in
+  let changed = ref [] in
+  let get node =
+    if node < Bytes.length !state then Char.code (Bytes.get !state node) else 0
+  in
+  let put node b =
+    if node >= Bytes.length !state then begin
+      let grown =
+        Bytes.make (max (2 * Bytes.length !state) (node + 1)) '\000'
+      in
+      Bytes.blit !state 0 grown 0 (Bytes.length !state);
+      state := grown
+    end;
+    Bytes.set !state node (Char.chr b)
+  in
+  let set_driver node out d =
+    let shift = 2 * out in
+    let b = get node in
+    let nb = (b land lnot (3 lsl shift)) lor (d lsl shift) in
+    let nb =
+      if nb land 63 <> 0 && nb land 128 = 0 then begin
+        live_list := node :: !live_list;
+        nb lor 128
+      end
+      else nb
+    in
+    put node nb
+  in
+  let mark_changed node =
+    let b = get node in
+    if b land 64 = 0 then begin
+      changed := node :: !changed;
+      put node (b lor 64)
+    end
+  in
+  let config_at node = config_table.(get node land 63) in
+  for i = 0 to from - 1 do
+    let w = t.buf.(i) in
+    let tag = w land 7 in
+    if tag = tag_connect then
+      set_driver
+        ((w lsr 3) land field_mask)
+        ((w lsr 23) land field_mask)
+        (1 + ((w lsr 43) land field_mask))
+    else if tag = tag_disconnect then
+      set_driver ((w lsr 3) land field_mask) ((w lsr 23) land field_mask) 0
+  done;
+  let acc = ref init in
+  let cur_index = ref (-1) in
+  let dels = ref [] in
+  let flush () =
+    if !cur_index >= 0 then begin
+      let changed_list =
+        List.sort compare !changed
+        |> List.map (fun node ->
+               put node (get node land lnot 64);
+               (node, config_at node))
+      in
+      let snapshot =
+        if not snapshots then []
+        else begin
+          let kept =
+            List.filter
+              (fun node ->
+                if get node land 63 = 0 then begin
+                  put node (get node land lnot 128);
+                  false
+                end
+                else true)
+              !live_list
+          in
+          live_list := kept;
+          List.sort compare kept
+          |> List.map (fun node -> (node, config_at node))
+        end
+      in
+      acc :=
+        f !acc
+          {
+            index = !cur_index;
+            changed = changed_list;
+            live = snapshot;
+            deliveries = List.rev !dels;
+          };
+      changed := [];
+      dels := [];
+      cur_index := -1
+    end
+  in
+  for i = from to upto - 1 do
+    let w = t.buf.(i) in
+    match w land 7 with
+    | 0 (* phase_done *) | 6 (* run_end *) -> flush ()
+    | 1 (* round_begin *) ->
+        flush ();
+        cur_index := (w lsr 3) land wide_mask
+    | 2 (* connect *) ->
+        let node = (w lsr 3) land field_mask in
+        set_driver node
+          ((w lsr 23) land field_mask)
+          (1 + ((w lsr 43) land field_mask));
+        mark_changed node
+    | 3 (* disconnect *) ->
+        let node = (w lsr 3) land field_mask in
+        set_driver node ((w lsr 23) land field_mask) 0;
+        mark_changed node
+    | 4 (* write_config *) -> mark_changed ((w lsr 3) land field_mask)
+    | 5 (* deliver *) ->
+        dels := (((w lsr 3) land field_mask), (w lsr 23) land field_mask)
+                :: !dels
+    | _ -> invalid_arg "Exec_log.fold_rounds: corrupt word"
+  done;
+  flush ();
+  !acc
+
+let driver_alternations ?from ?upto t ~node =
+  let from, upto = clamp ?from ?upto t in
+  (* Lemma 6/7 count: alternations of an output port's *driver
+     sequence* — a [Connect] whose driver differs from the port's last
+     established driver.  The first connect establishes the sequence
+     (no alternation); a [Disconnect] releases the port but does not
+     alternate it, and reconnecting the same driver afterwards is not
+     an alternation either. *)
+  let counts = [| 0; 0; 0 |] in
+  let last = [| -1; -1; -1 |] in
+  for i = from to upto - 1 do
+    let w = t.buf.(i) in
+    if w land 7 = tag_connect && (w lsr 3) land field_mask = node then begin
+      let o = (w lsr 23) land field_mask in
+      let d = (w lsr 43) land field_mask in
+      if last.(o) >= 0 && last.(o) <> d then counts.(o) <- counts.(o) + 1;
+      last.(o) <- d
+    end
+  done;
+  max counts.(0) (max counts.(1) counts.(2))
+
+let pp_event fmt = function
+  | Phase_done { levels } ->
+      Format.fprintf fmt "phase-done levels=%d" levels
+  | Round_begin { index } -> Format.fprintf fmt "round-begin %d" index
+  | Connect { node; out_port; in_port } ->
+      Format.fprintf fmt "connect node=%d %a->%a" node Side.pp in_port Side.pp
+        out_port
+  | Disconnect { node; out_port; in_port } ->
+      Format.fprintf fmt "disconnect node=%d %a-/->%a" node Side.pp in_port
+        Side.pp out_port
+  | Write_config { node; count } ->
+      Format.fprintf fmt "write-config node=%d count=%d" node count
+  | Deliver { src; dst } -> Format.fprintf fmt "deliver %d->%d" src dst
+  | Run_end { rounds } -> Format.fprintf fmt "run-end rounds=%d" rounds
+
+let pp fmt t =
+  Format.pp_open_vbox fmt 0;
+  for i = 0 to t.len - 1 do
+    Format.fprintf fmt "%6d %a@," i pp_event (decode t.buf.(i))
+  done;
+  Format.pp_close_box fmt ()

@@ -1,0 +1,127 @@
+(** Canonical execution log.
+
+    Every scheduler run appends its behaviour — switch transitions,
+    register writes, round boundaries and deliveries — as a flat
+    sequence of typed events.  The log is the single source of truth:
+    {!Schedule.of_log} (rounds, deliveries, config snapshots),
+    {!Power_meter.of_log} (the entire power ledger), {!Trace.of_log}
+    (pretty-printed narration) and the service digest are all pure
+    derivations of it.
+
+    {b Storage.} One event packs into one 63-bit native int in a
+    growable arena: appends are an array store plus a bounds check, and
+    a log of [n] events occupies [8n] bytes.  Positions ([length]) act
+    as cursors: a producer records [length log] before a run and
+    derives its views with [~from], so several runs — or several phases
+    on a shared long-lived net — can share one log.
+
+    {b Event grammar} (per run):
+    [Phase_done? (Round_begin (Connect|Disconnect|Write_config)* Deliver* )* Run_end]
+
+    Config-state replay always starts from the log's beginning, so
+    snapshots taken for a suffix run still see connections carried over
+    from earlier runs on the same net. *)
+
+type event =
+  | Phase_done of { levels : int }
+      (** Phase 1 of the CSA (leader election / matching) completed. *)
+  | Round_begin of { index : int }  (** 1-based round index. *)
+  | Connect of { node : int; out_port : Side.t; in_port : Side.t }
+      (** Output [out_port] of switch [node] acquired driver [in_port].
+          A driver {e change} is a single [Connect] (paper §2.3). *)
+  | Disconnect of { node : int; out_port : Side.t; in_port : Side.t }
+      (** Output [out_port] lost its driver [in_port]. *)
+  | Write_config of { node : int; count : int }
+      (** [count] configuration-register installations at [node] —
+          what eager per-round scheduling pays O(w) for. *)
+  | Deliver of { src : int; dst : int }  (** PE-to-PE data delivery. *)
+  | Run_end of { rounds : int }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Empty log; the arena grows by doubling from [capacity] (default
+    256 events). *)
+
+val length : t -> int
+(** Number of events appended so far — also the cursor for [?from]. *)
+
+val bytes_used : t -> int
+(** [8 * length t]: live arena bytes holding events. *)
+
+val clear : t -> unit
+
+(** {1 Appending} *)
+
+val phase_done : t -> levels:int -> unit
+val round_begin : t -> index:int -> unit
+val connect : t -> node:int -> out_port:Side.t -> in_port:Side.t -> unit
+val disconnect : t -> node:int -> out_port:Side.t -> in_port:Side.t -> unit
+val write_config : t -> node:int -> count:int -> unit
+val deliver : t -> src:int -> dst:int -> unit
+val run_end : t -> rounds:int -> unit
+
+val append : t -> event -> unit
+(** Generic append; the named functions above avoid the allocation. *)
+
+(** {1 Reading} *)
+
+val event : t -> int -> event
+(** Decode the event at a position.  Raises [Invalid_argument] outside
+    [0 .. length - 1]. *)
+
+val iter : ?from:int -> ?upto:int -> t -> (event -> unit) -> unit
+val fold : ?from:int -> ?upto:int -> t -> init:'a -> f:('a -> event -> 'a) -> 'a
+
+val sub : t -> from:int -> t
+(** Fresh log holding the events at positions [from ..]. *)
+
+(** {1 Round-structured replay} *)
+
+type round_view = {
+  index : int;  (** as logged by [Round_begin] *)
+  changed : (int * Switch_config.t) list;
+      (** switches reconfigured this round, ascending node id, with the
+          configuration in force after the round's transitions *)
+  live : (int * Switch_config.t) list;
+      (** all non-empty configurations at the end of the round,
+          ascending node id; [[]] when [snapshots:false] *)
+  deliveries : (int * int) list;  (** in emission order *)
+}
+
+val fold_rounds :
+  ?from:int ->
+  ?upto:int ->
+  ?snapshots:bool ->
+  t ->
+  init:'a ->
+  f:('a -> round_view -> 'a) ->
+  'a
+(** Replays the log and folds one {!round_view} per round.  Config
+    state is replayed from position 0 regardless of [from] (carry-over
+    on shared nets), but only rounds beginning at or after [from] are
+    folded.  [snapshots:false] skips the [live] computation. *)
+
+(** {1 Analyses} *)
+
+val digest : ?from:int -> ?upto:int -> t -> string
+(** Structural digest (16 hex chars, FNV-1a-style).  Canonical across
+    producers: config events between two non-config events are hashed
+    as a sorted set, because a round's configuration delta has no
+    meaningful order — the spec scheduler emits it in ascending node id
+    while the sparse engine emits it in DFS preorder.  Round structure
+    and delivery order are hashed as emitted. *)
+
+val driver_alternations : ?from:int -> ?upto:int -> t -> node:int -> int
+(** Theorem 8 quantity (Lemmas 6/7): how often the busiest output port
+    of switch [node] changes to a {e different} established driver over
+    the range.  The first connect of a port is not an alternation, nor
+    is a disconnect or a reconnect of the same driver — the count is
+    the number of value changes in the port's driver sequence.  Under
+    the CSA this is at most 2 on width-controlled families and a small
+    width-independent constant on arbitrary sets; under eager
+    ID-per-round scheduling it grows linearly with the set width. *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit
+(** One numbered line per event. *)

@@ -1,23 +1,24 @@
 type t = {
   topo : Topology.t;
   configs : Switch_config.t array; (* indexed by internal node id *)
-  meter : Power_meter.t;
+  log : Exec_log.t;
   out_regs : int array; (* PE output registers *)
   in_regs : int option array; (* PE input registers *)
 }
 
-let create topo =
+let create ?log topo =
   let leaves = Topology.leaves topo in
+  let log = match log with Some l -> l | None -> Exec_log.create () in
   {
     topo;
     configs = Array.make leaves Switch_config.empty;
-    meter = Power_meter.create ~num_nodes:(Topology.num_nodes topo);
+    log;
     out_regs = Array.make leaves 0;
     in_regs = Array.make leaves None;
   }
 
 let topology t = t.topo
-let meter t = t.meter
+let log t = t.log
 
 let check_internal t node =
   if not (Topology.is_internal t.topo node) then
@@ -27,13 +28,28 @@ let config t node =
   check_internal t node;
   t.configs.(node)
 
+(* Log one event per output whose driver actually changes.  A driver
+   change from one input to another is a single [Connect] and no
+   [Disconnect] — the same convention as [Switch_config.diff]. *)
+let emit_transitions t ~node ~old_config ~new_config =
+  List.iter
+    (fun o ->
+      match
+        (Switch_config.driver old_config o, Switch_config.driver new_config o)
+      with
+      | None, None -> ()
+      | Some a, Some b when Side.equal a b -> ()
+      | _, Some b -> Exec_log.connect t.log ~node ~out_port:o ~in_port:b
+      | Some a, None -> Exec_log.disconnect t.log ~node ~out_port:o ~in_port:a)
+    Side.all
+
 let reconfigure t ~node cfg =
   check_internal t node;
-  let delta = Switch_config.diff ~old_config:t.configs.(node) ~new_config:cfg in
-  Power_meter.charge t.meter ~node delta;
+  emit_transitions t ~node ~old_config:t.configs.(node) ~new_config:cfg;
   (* A per-round reconfiguration installs every connection it demands:
      the switch has no way to know its register still holds the value. *)
-  Power_meter.charge_writes t.meter ~node (Switch_config.connection_count cfg);
+  let writes = Switch_config.connection_count cfg in
+  if writes > 0 then Exec_log.write_config t.log ~node ~count:writes;
   t.configs.(node) <- cfg
 
 let reconfigure_lazy t ~node ~want =
@@ -42,9 +58,10 @@ let reconfigure_lazy t ~node ~want =
   let delta =
     Switch_config.diff ~old_config:t.configs.(node) ~new_config:next
   in
-  Power_meter.charge t.meter ~node delta;
+  emit_transitions t ~node ~old_config:t.configs.(node) ~new_config:next;
   (* The PADR switch only touches outputs whose driver actually changes. *)
-  Power_meter.charge_writes t.meter ~node delta.connects;
+  if delta.connects > 0 then
+    Exec_log.write_config t.log ~node ~count:delta.connects;
   t.configs.(node) <- next
 
 let clear_all t =
@@ -83,4 +100,5 @@ let pp fmt t =
       Format.fprintf fmt "switch %d: %a@," node Switch_config.pp
         t.configs.(node)
   done;
-  Format.fprintf fmt "%a@]" Power_meter.pp t.meter
+  Format.fprintf fmt "%a@]" Power_meter.pp
+    (Power_meter.of_log ~num_nodes:(Topology.num_nodes t.topo) t.log)

@@ -1,35 +1,46 @@
 (** A live CST instance: topology, per-switch configurations, PE data
-    registers and a power meter.
+    registers and an execution log.
 
     Schedulers drive a [Net] round by round: they compute a desired
-    configuration per switch, install it with {!reconfigure} (which charges
-    the power meter for exactly the transitions made), then move data with
-    {!Data_plane}. *)
+    configuration per switch, install it with {!reconfigure} (which
+    logs exactly the transitions made as {!Exec_log} events), then move
+    data with {!Data_plane}.  The net owns no counters — power is
+    derived from the log with {!Power_meter.of_log}. *)
 
 type t
 
-val create : Topology.t -> t
+val create : ?log:Exec_log.t -> Topology.t -> t
+(** A fresh net with all switches disconnected.  Pass [?log] to make
+    the net append into an existing log (e.g. one log shared by the
+    two nets of a mixed-orientation run); otherwise a private log is
+    created. *)
+
 val topology : t -> Topology.t
-val meter : t -> Power_meter.t
+
+val log : t -> Exec_log.t
+(** The log this net appends to.  [Exec_log.length (log t)] before a
+    run is the cursor to pass as [~from] when deriving that run's
+    power, schedule or digest. *)
 
 val config : t -> int -> Switch_config.t
 (** Current configuration of the switch at an internal node. *)
 
 val reconfigure : t -> node:int -> Switch_config.t -> unit
 (** Per-round reconfiguration: replaces the switch's configuration,
-    charging physical transitions ({!Switch_config.diff}) and one
-    register {e write} per demanded connection — the switch installs its
-    whole round configuration because nothing tells it the old one is
-    still valid. *)
+    logging one event per physical transition ({!Switch_config.diff}
+    semantics) and one [Write_config] covering a register {e write} per
+    demanded connection — the switch installs its whole round
+    configuration because nothing tells it the old one is still
+    valid. *)
 
 val reconfigure_lazy : t -> node:int -> want:Switch_config.t -> unit
 (** PADR-style update: installs
     [Switch_config.merge_lazy ~prev:(config t node) ~want].  Connections
-    not contradicted by [want] persist; only actually-changed outputs are
-    charged (both as transitions and as writes). *)
+    not contradicted by [want] persist; only actually-changed outputs
+    are logged (both as transitions and as writes). *)
 
 val clear_all : t -> unit
-(** Disconnects every switch (charged). *)
+(** Disconnects every switch (logged). *)
 
 val pe_write : t -> pe:int -> int -> unit
 (** Loads a PE's output register. *)

@@ -1,22 +1,32 @@
+(* The ledger is a pure derivation of the execution log: [of_log] is
+   the only place in the codebase where power units are charged. *)
+
 type t = {
   connects : int array;
   disconnects : int array;
   writes : int array;
 }
 
-let create ~num_nodes =
-  {
-    connects = Array.make (num_nodes + 1) 0;
-    disconnects = Array.make (num_nodes + 1) 0;
-    writes = Array.make (num_nodes + 1) 0;
-  }
-
-let charge t ~node (d : Switch_config.delta) =
-  t.connects.(node) <- t.connects.(node) + d.connects;
-  t.disconnects.(node) <- t.disconnects.(node) + d.disconnects
-
-let charge_writes t ~node count =
-  t.writes.(node) <- t.writes.(node) + count
+let of_log ?from ?upto ~num_nodes log =
+  let t =
+    {
+      connects = Array.make (num_nodes + 1) 0;
+      disconnects = Array.make (num_nodes + 1) 0;
+      writes = Array.make (num_nodes + 1) 0;
+    }
+  in
+  Exec_log.iter ?from ?upto log (fun e ->
+      match e with
+      | Exec_log.Connect { node; _ } ->
+          t.connects.(node) <- t.connects.(node) + 1
+      | Exec_log.Disconnect { node; _ } ->
+          t.disconnects.(node) <- t.disconnects.(node) + 1
+      | Exec_log.Write_config { node; count } ->
+          t.writes.(node) <- t.writes.(node) + count
+      | Exec_log.Phase_done _ | Exec_log.Round_begin _ | Exec_log.Deliver _
+      | Exec_log.Run_end _ ->
+          ());
+  t
 
 let connects t ~node = t.connects.(node)
 let disconnects t ~node = t.disconnects.(node)
@@ -39,26 +49,6 @@ let max_events_per_switch t =
 let per_switch_connects t = Array.copy t.connects
 let per_switch_writes t = Array.copy t.writes
 let per_switch_disconnects t = Array.copy t.disconnects
-
-let copy t =
-  {
-    connects = Array.copy t.connects;
-    disconnects = Array.copy t.disconnects;
-    writes = Array.copy t.writes;
-  }
-
-let diff_since t ~baseline =
-  let sub a b = Array.mapi (fun i v -> v - b.(i)) a in
-  {
-    connects = sub t.connects baseline.connects;
-    disconnects = sub t.disconnects baseline.disconnects;
-    writes = sub t.writes baseline.writes;
-  }
-
-let reset t =
-  Array.fill t.connects 0 (Array.length t.connects) 0;
-  Array.fill t.disconnects 0 (Array.length t.disconnects) 0;
-  Array.fill t.writes 0 (Array.length t.writes) 0
 
 let pp fmt t =
   Format.fprintf fmt

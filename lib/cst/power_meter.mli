@@ -1,7 +1,9 @@
-(** Per-switch power accounting (paper §2.3).
+(** Per-switch power accounting (paper §2.3), derived from the
+    execution log.
 
-    The paper charges one power unit every time a switch sets a connection
-    between an input and an output.  Two flavours are tracked:
+    The paper charges one power unit every time a switch sets a
+    connection between an input and an output.  Two flavours are
+    tracked:
 
     {ul
     {- {e connects/disconnects} — physical driver transitions: an output
@@ -16,18 +18,20 @@
        carry-over a local decision).}}
 
     Theorem 8 states that under the CSA both counts stay O(1) per switch
-    regardless of the set's width. *)
+    regardless of the set's width.
+
+    A meter is a {e pure derivation} of an {!Exec_log}: {!of_log} is
+    the only place in the codebase where power units are charged —
+    producers never keep their own counters.  A run on a shared net
+    meters just its own events by passing the log cursor recorded at
+    the start of the run as [~from]. *)
 
 type t
 
-val create : num_nodes:int -> t
-(** Meter for switches at nodes [1 .. num_nodes]. *)
-
-val charge : t -> node:int -> Switch_config.delta -> unit
-(** Record physical transitions. *)
-
-val charge_writes : t -> node:int -> int -> unit
-(** Record configuration-register installations. *)
+val of_log : ?from:int -> ?upto:int -> num_nodes:int -> Exec_log.t -> t
+(** Charge every [Connect] / [Disconnect] / [Write_config] event in the
+    range to its switch.  [num_nodes] sizes the ledger: switches live
+    at nodes [1 .. num_nodes]. *)
 
 val connects : t -> node:int -> int
 val disconnects : t -> node:int -> int
@@ -53,12 +57,4 @@ val per_switch_connects : t -> int array
 
 val per_switch_writes : t -> int array
 val per_switch_disconnects : t -> int array
-val copy : t -> t
-(** Independent snapshot of all counters. *)
-
-val diff_since : t -> baseline:t -> t
-(** Fresh meter holding [t - baseline] per counter; used to report the
-    power of one schedule run on a shared long-lived network. *)
-
-val reset : t -> unit
 val pp : Format.formatter -> t -> unit

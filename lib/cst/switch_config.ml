@@ -32,6 +32,11 @@ let set t ~output ~input =
   drivers.(Side.index output) <- Some input;
   { drivers }
 
+let with_driver t ~output ~input =
+  let drivers = Array.copy t.drivers in
+  drivers.(Side.index output) <- input;
+  { drivers }
+
 let connections t =
   List.filter_map
     (fun o -> match driver t o with Some i -> Some (o, i) | None -> None)

@@ -23,6 +23,12 @@ val set : t -> output:Side.t -> input:Side.t -> t
 val driver : t -> Side.t -> Side.t option
 (** [driver t output] is the input connected to [output], if any. *)
 
+val with_driver : t -> output:Side.t -> input:Side.t option -> t
+(** Unchecked driver update, for replaying logged transitions
+    ({!Exec_log}): overwrites [output]'s driver (or clears it on
+    [None]) without the structural checks of {!set} — the log records
+    transitions that a checked configuration already performed. *)
+
 val output_of : t -> Side.t -> Side.t option
 (** [output_of t input] is the output driven by [input], if any. *)
 

@@ -5,18 +5,78 @@ type event =
   | Delivered of { round : int; src : int; dst : int }
   | Finished of { rounds : int }
 
-type t = { mutable events : event list; mutable length : int }
+type t = { events : event list; length : int }
 
-let create () = { events = []; length = 0 }
+(* The trace is a pure view: replay the log, narrating one
+   [Reconfigured] per switch that physically changed in a round (with
+   the configuration in force afterwards) and one [Delivered] per
+   delivery.  [Write_config] events carry no transition, so they do not
+   produce narration — exactly the behaviour of the old inline
+   tracing, which only spoke up when a diff was non-empty. *)
+let of_log ?(from = 0) ?upto log =
+  let upto =
+    match upto with
+    | Some u -> min u (Exec_log.length log)
+    | None -> Exec_log.length log
+  in
+  let from = max 0 from in
+  let live = Hashtbl.create 32 in
+  let cfg node =
+    Option.value ~default:Switch_config.empty (Hashtbl.find_opt live node)
+  in
+  let set_driver node out inp =
+    let next = Switch_config.with_driver (cfg node) ~output:out ~input:inp in
+    if Switch_config.is_empty next then Hashtbl.remove live node
+    else Hashtbl.replace live node next
+  in
+  (* Config state replays from the log's beginning so carry-over on a
+     shared net is narrated correctly. *)
+  Exec_log.iter ~upto:from log (fun e ->
+      match e with
+      | Exec_log.Connect { node; out_port; in_port } ->
+          set_driver node out_port (Some in_port)
+      | Exec_log.Disconnect { node; out_port; in_port = _ } ->
+          set_driver node out_port None
+      | _ -> ());
+  let acc = ref [] in
+  let count = ref 0 in
+  let emit e =
+    acc := e :: !acc;
+    incr count
+  in
+  let round = ref 0 in
+  let touched = ref [] in
+  let flush_reconfigs () =
+    List.iter
+      (fun node ->
+        emit (Reconfigured { round = !round; node; config = cfg node }))
+      (List.sort_uniq compare !touched);
+    touched := []
+  in
+  Exec_log.iter ~from ~upto log (fun e ->
+      match e with
+      | Exec_log.Phase_done { levels } -> emit (Phase1_done { levels })
+      | Exec_log.Round_begin { index } ->
+          flush_reconfigs ();
+          round := index;
+          emit (Round_start index)
+      | Exec_log.Connect { node; out_port; in_port } ->
+          set_driver node out_port (Some in_port);
+          touched := node :: !touched
+      | Exec_log.Disconnect { node; out_port; in_port = _ } ->
+          set_driver node out_port None;
+          touched := node :: !touched
+      | Exec_log.Write_config _ -> ()
+      | Exec_log.Deliver { src; dst } ->
+          flush_reconfigs ();
+          emit (Delivered { round = !round; src; dst })
+      | Exec_log.Run_end { rounds } ->
+          flush_reconfigs ();
+          emit (Finished { rounds }));
+  flush_reconfigs ();
+  { events = List.rev !acc; length = !count }
 
-let emit t e =
-  match t with
-  | None -> ()
-  | Some t ->
-      t.events <- e :: t.events;
-      t.length <- t.length + 1
-
-let events t = List.rev t.events
+let events t = t.events
 let length t = t.length
 
 let pp_event fmt = function

@@ -1,8 +1,11 @@
-(** Event traces of a schedule run, for examples and debugging.
+(** Human-readable narration of a schedule run, derived from the
+    execution log.
 
-    Collects a linear log of rounds, switch reconfigurations and data
-    deliveries.  Tracing is optional: schedulers accept an optional trace
-    and emit into it when present. *)
+    Formerly schedulers emitted trace events inline; now the trace is a
+    pure view: run any scheduler (they all log), then build the
+    narration with {!of_log}.  A [Reconfigured] line is produced for
+    every switch that physically changed in a round, carrying the
+    configuration in force after the change. *)
 
 type event =
   | Phase1_done of { levels : int }
@@ -13,12 +16,13 @@ type event =
 
 type t
 
-val create : unit -> t
-val emit : t option -> event -> unit
-(** No-op on [None]. *)
+val of_log : ?from:int -> ?upto:int -> Exec_log.t -> t
+(** Narrate the events in the range.  Config state is replayed from the
+    log's beginning regardless of [from], so a trace of a later run on
+    a shared net shows the true configurations. *)
 
 val events : t -> event list
-(** In emission order. *)
+(** In narration order. *)
 
 val length : t -> int
 val pp_event : Format.formatter -> event -> unit

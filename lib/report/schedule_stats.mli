@@ -25,6 +25,11 @@ type occupancy = {
 
 val occupancy : Padr.Schedule.t -> occupancy
 
-val per_round_table : Padr.Schedule.t -> Table.t
-(** Columns: round, communications, switch connects charged in that
-    round (from configuration snapshots when present). *)
+val per_round_table :
+  ?log:Cst.Exec_log.t -> ?from:int -> Padr.Schedule.t -> Table.t
+(** Columns: round, communications, live switch connections at the end
+    of that round.  Read from the schedule's configuration snapshots
+    when present; for schedules built with [keep_configs:false] the
+    snapshots are absent and the counts are replayed from [log]
+    (starting at cursor [from]) instead.  With neither snapshot nor
+    log, the column reads 0. *)

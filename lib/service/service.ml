@@ -54,52 +54,28 @@ type job_result = {
 
 type outcome = { job_id : int; result : (job_result, error) result }
 
-(* --- digests ------------------------------------------------------- *)
-
-(* The digest covers the semantic content of a schedule: the per-round
-   delivery transcript (round index, sources, destinations, realized
-   transfers) plus the tree size and set width.  Switch configurations
-   are a deterministic function of these decisions, so two schedules with
-   equal digests are the same schedule. *)
-
-let add_schedule buf (s : Padr.Schedule.t) =
-  Buffer.add_string buf
-    (Printf.sprintf "leaves=%d;width=%d;" s.leaves s.width);
-  Array.iter
-    (fun (r : Padr.Schedule.round) ->
-      Buffer.add_string buf (Printf.sprintf "r%d:" r.index);
-      List.iter
-        (fun (src, dst) ->
-          Buffer.add_string buf (Printf.sprintf "%d>%d," src dst))
-        r.deliveries;
-      Buffer.add_char buf ';')
-    s.rounds
-
-let digest_of_detail = function
-  | Sched s ->
-      let buf = Buffer.create 256 in
-      add_schedule buf s;
-      Digest.to_hex (Digest.string (Buffer.contents buf))
-  | Waves (w : Padr.Waves.t) ->
-      let buf = Buffer.create 256 in
-      Buffer.add_string buf "waves:right:";
-      List.iter (add_schedule buf) w.right_waves;
-      Buffer.add_string buf "left:";
-      List.iter (add_schedule buf) w.left_waves;
-      Digest.to_hex (Digest.string (Buffer.contents buf))
-
 (* --- per-job execution --------------------------------------------- *)
+
+(* Each job runs against a private execution log and its digest is the
+   log's structural digest ({!Cst.Exec_log.digest}): the canonical
+   record of what the hardware did — rounds, switch transitions,
+   register writes, deliveries.  The digest is a pure function of the
+   job, so outcomes are byte-identical for any domain count, and the
+   spec scheduler and the message-passing engine (which emit the same
+   events, merely discovering switches in different orders) digest
+   equal. *)
 
 let leaves_for job =
   match job.leaves with
   | Some l -> l
   | None -> Cst_util.Bits.ceil_pow2 (max 2 (Cst_comm.Comm_set.n job.set))
 
-let result_of_schedule ~algo ?(control_messages = 0) (s : Padr.Schedule.t) =
+let result_of_schedule ~algo ~digest ?(control_messages = 0)
+    (s : Padr.Schedule.t) =
   let detail = Sched s in
   {
     algo;
-    digest = digest_of_detail detail;
+    digest;
     width = s.width;
     waves = 1;
     rounds = Padr.Schedule.num_rounds s;
@@ -109,11 +85,11 @@ let result_of_schedule ~algo ?(control_messages = 0) (s : Padr.Schedule.t) =
     detail;
   }
 
-let result_of_waves ~algo ~leaves (w : Padr.Waves.t) =
+let result_of_waves ~algo ~leaves ~digest (w : Padr.Waves.t) =
   let detail = Waves w in
   {
     algo;
-    digest = digest_of_detail detail;
+    digest;
     width = Cst_comm.Width.width ~leaves w.set;
     waves = Padr.Waves.num_waves w;
     rounds = w.rounds;
@@ -144,10 +120,20 @@ let dispatch (job : job) =
       if n > leaves then Error (Too_large { n; leaves })
       else
         let topo = Cst.Topology.create ~leaves in
-        let direct () = Ok (result_of_schedule ~algo:a.name (a.run topo job.set)) in
+        let direct () =
+          let log = Cst.Exec_log.create () in
+          let s = a.run ~log topo job.set in
+          Ok
+            (result_of_schedule ~algo:a.name
+               ~digest:(Cst.Exec_log.digest log) s)
+        in
         let waves () =
-          match Padr.Waves.schedule ~leaves job.set with
-          | Ok w -> Ok (result_of_waves ~algo:a.name ~leaves w)
+          let log = Cst.Exec_log.create () in
+          match Padr.Waves.schedule ~leaves ~log job.set with
+          | Ok w ->
+              Ok
+                (result_of_waves ~algo:a.name ~leaves
+                   ~digest:(Cst.Exec_log.digest log) w)
           | Error e -> Error (error_of_csa e)
         in
         match job.engine with
@@ -156,10 +142,12 @@ let dispatch (job : job) =
               Error
                 (Unsupported { algo = a.name; what = "the message-passing engine" })
             else (
-              match Padr.Engine.run topo job.set with
+              let log = Cst.Exec_log.create () in
+              match Padr.Engine.run ~log topo job.set with
               | Ok (s, stats) ->
                   Ok
                     (result_of_schedule ~algo:a.name
+                       ~digest:(Cst.Exec_log.digest log)
                        ~control_messages:stats.control_messages s)
               | Error e -> Error (error_of_csa e))
         | Spec -> (

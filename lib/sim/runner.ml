@@ -35,8 +35,10 @@ let run_padr (trace : Traffic.t) =
     List.map
       (fun (p : Traffic.phase) ->
         let right, left = Cst_comm.Decompose.split p.set in
-        let baseline_r = Cst.Power_meter.copy (Cst.Net.meter net_right) in
-        let baseline_l = Cst.Power_meter.copy (Cst.Net.meter net_left) in
+        (* Log cursors delimit this phase's share of the shared nets'
+           histories. *)
+        let from_r = Cst.Exec_log.length (Cst.Net.log net_right) in
+        let from_l = Cst.Exec_log.length (Cst.Net.log net_left) in
         let run net layers =
           List.fold_left
             (fun (w, r, c) layer ->
@@ -48,11 +50,13 @@ let run_padr (trace : Traffic.t) =
         let w2, r2, c2 =
           run net_left (Cst_comm.Wn_cover.layers (Cst_comm.Mirror.set left))
         in
-        let delta net b =
-          Cst.Power_meter.diff_since (Cst.Net.meter net) ~baseline:b
+        let delta net from =
+          Cst.Power_meter.of_log ~from
+            ~num_nodes:(Cst.Topology.num_nodes topo)
+            (Cst.Net.log net)
         in
-        let dr = delta net_right baseline_r
-        and dl = delta net_left baseline_l in
+        let dr = delta net_right from_r
+        and dl = delta net_left from_l in
         {
           label = p.label;
           comms = Cst_comm.Comm_set.size p.set;
@@ -68,11 +72,15 @@ let run_padr (trace : Traffic.t) =
         })
       trace.phases
   in
+  let whole net =
+    Padr.Schedule.power_of_meter
+      (Cst.Power_meter.of_log
+         ~num_nodes:(Cst.Topology.num_nodes topo)
+         (Cst.Net.log net))
+  in
   let power =
-    Padr.Schedule.combine_power
-      (Padr.Schedule.power_of_meter (Cst.Net.meter net_right))
-      (Padr.Schedule.mirror_power topo
-         (Padr.Schedule.power_of_meter (Cst.Net.meter net_left)))
+    Padr.Schedule.combine_power (whole net_right)
+      (Padr.Schedule.mirror_power topo (whole net_left))
   in
   finish ~scheduler:"padr" ~power phases
 

@@ -83,10 +83,10 @@ let test_eager_same_rounds () =
     (eager_s.power.total_disconnects >= lazy_s.power.total_disconnects)
 
 let test_trace_events () =
-  let trace = Cst.Trace.create () in
+  let log = Cst.Exec_log.create () in
   let st = set ~n:8 [ (0, 7); (1, 2) ] in
-  let _ = Padr.Csa.run_exn ~trace (topo 8) st in
-  let events = Cst.Trace.events trace in
+  let _ = Padr.Csa.run_exn ~log (topo 8) st in
+  let events = Cst.Trace.events (Cst.Trace.of_log log) in
   check_true "phase1 first"
     (match events with Cst.Trace.Phase1_done _ :: _ -> true | _ -> false);
   check_true "finished last"

@@ -3,6 +3,10 @@ open Cst
 
 (* Manually configure the path 0 -> 7 on an 8-leaf CST and check that the
    data plane follows it hop by hop. *)
+let meter net =
+  Power_meter.of_log ~num_nodes:(Topology.num_nodes (Net.topology net))
+    (Net.log net)
+
 let configure_0_to_7 net =
   let cfg ~output ~input = Switch_config.set Switch_config.empty ~output ~input in
   Net.reconfigure net ~node:4 (cfg ~output:Side.P ~input:Side.L);
@@ -69,23 +73,23 @@ let test_transfer_silent_source () =
 let test_power_charged () =
   let net = Net.create (topo 8) in
   configure_0_to_7 net;
-  check_int "five connects" 5 (Power_meter.total_connects (Net.meter net));
-  check_int "five writes" 5 (Power_meter.total_writes (Net.meter net));
+  check_int "five connects" 5 (Power_meter.total_connects (meter net));
+  check_int "five writes" 5 (Power_meter.total_writes (meter net));
   (* identical reconfiguration costs no transition but pays writes *)
   configure_0_to_7 net;
-  check_int "still five connects" 5 (Power_meter.total_connects (Net.meter net));
-  check_int "writes doubled" 10 (Power_meter.total_writes (Net.meter net))
+  check_int "still five connects" 5 (Power_meter.total_connects (meter net));
+  check_int "writes doubled" 10 (Power_meter.total_writes (meter net))
 
 let test_lazy_reconfigure_writes () =
   let net = Net.create (topo 8) in
   let want = Switch_config.set Switch_config.empty ~output:Side.P ~input:Side.L in
   Net.reconfigure_lazy net ~node:4 ~want;
   Net.reconfigure_lazy net ~node:4 ~want;
-  check_int "one write only" 1 (Power_meter.total_writes (Net.meter net));
+  check_int "one write only" 1 (Power_meter.total_writes (meter net));
   Net.reconfigure_lazy net ~node:4 ~want:Switch_config.empty;
   check_true "connection persists"
     (Switch_config.driver (Net.config net 4) Side.P = Some Side.L);
-  check_int "still one write" 1 (Power_meter.total_writes (Net.meter net))
+  check_int "still one write" 1 (Power_meter.total_writes (meter net))
 
 let test_clear_all () =
   let net = Net.create (topo 8) in
@@ -95,7 +99,7 @@ let test_clear_all () =
     check_true "cleared" (Switch_config.is_empty (Net.config net node))
   done;
   check_int "disconnects charged" 5
-    (Power_meter.total_disconnects (Net.meter net))
+    (Power_meter.total_disconnects (meter net))
 
 let test_register_reset () =
   let net = Net.create (topo 8) in

@@ -53,33 +53,42 @@ let test_csa_constant_across_n () =
         (m <= Padr.Verify.default_power_bound))
     maxima
 
-let test_meter_accumulates () =
-  let m = Cst.Power_meter.create ~num_nodes:3 in
-  Cst.Power_meter.charge m ~node:2 { connects = 2; disconnects = 1 };
-  Cst.Power_meter.charge m ~node:2 { connects = 1; disconnects = 0 };
-  Cst.Power_meter.charge_writes m ~node:3 5;
+let test_meter_of_log () =
+  (* The meter is a pure fold of the log's charge events. *)
+  let log = Cst.Exec_log.create () in
+  Cst.Exec_log.connect log ~node:2 ~out_port:Cst.Side.P ~in_port:Cst.Side.L;
+  Cst.Exec_log.disconnect log ~node:2 ~out_port:Cst.Side.P ~in_port:Cst.Side.L;
+  Cst.Exec_log.connect log ~node:2 ~out_port:Cst.Side.P ~in_port:Cst.Side.R;
+  Cst.Exec_log.connect log ~node:2 ~out_port:Cst.Side.R ~in_port:Cst.Side.P;
+  Cst.Exec_log.write_config log ~node:3 ~count:5;
+  let m = Cst.Power_meter.of_log ~num_nodes:4 log in
   check_int "connects" 3 (Cst.Power_meter.connects m ~node:2);
   check_int "disconnects" 1 (Cst.Power_meter.disconnects m ~node:2);
   check_int "writes" 5 (Cst.Power_meter.writes m ~node:3);
   check_int "total" 3 (Cst.Power_meter.total_connects m);
   check_int "max connects" 3 (Cst.Power_meter.max_connects_per_switch m);
   check_int "max writes" 5 (Cst.Power_meter.max_writes_per_switch m);
-  check_int "max events" 4 (Cst.Power_meter.max_events_per_switch m);
-  Cst.Power_meter.reset m;
-  check_int "reset" 0 (Cst.Power_meter.total_connects m)
+  check_int "max events" 4 (Cst.Power_meter.max_events_per_switch m)
 
-let test_meter_copy_diff () =
-  let m = Cst.Power_meter.create ~num_nodes:3 in
-  Cst.Power_meter.charge m ~node:1 { connects = 2; disconnects = 0 };
-  let baseline = Cst.Power_meter.copy m in
-  Cst.Power_meter.charge m ~node:1 { connects = 3; disconnects = 1 };
-  Cst.Power_meter.charge_writes m ~node:2 4;
-  let d = Cst.Power_meter.diff_since m ~baseline in
+let test_meter_cursors () =
+  (* Cursors replace the old copy/diff_since machinery: a run records
+     [length log] before it starts and derives its share with [~from];
+     [~upto] recovers the frozen prefix. *)
+  let log = Cst.Exec_log.create () in
+  Cst.Exec_log.connect log ~node:1 ~out_port:Cst.Side.P ~in_port:Cst.Side.L;
+  Cst.Exec_log.connect log ~node:1 ~out_port:Cst.Side.R ~in_port:Cst.Side.P;
+  let cursor = Cst.Exec_log.length log in
+  Cst.Exec_log.connect log ~node:1 ~out_port:Cst.Side.L ~in_port:Cst.Side.P;
+  Cst.Exec_log.connect log ~node:1 ~out_port:Cst.Side.P ~in_port:Cst.Side.R;
+  Cst.Exec_log.connect log ~node:1 ~out_port:Cst.Side.R ~in_port:Cst.Side.L;
+  Cst.Exec_log.disconnect log ~node:1 ~out_port:Cst.Side.R ~in_port:Cst.Side.L;
+  Cst.Exec_log.write_config log ~node:2 ~count:4;
+  let d = Cst.Power_meter.of_log ~from:cursor ~num_nodes:3 log in
   check_int "delta connects" 3 (Cst.Power_meter.connects d ~node:1);
   check_int "delta disconnects" 1 (Cst.Power_meter.disconnects d ~node:1);
   check_int "delta writes" 4 (Cst.Power_meter.writes d ~node:2);
-  (* the baseline copy is unaffected by later charges *)
-  check_int "baseline frozen" 2 (Cst.Power_meter.connects baseline ~node:1)
+  let baseline = Cst.Power_meter.of_log ~upto:cursor ~num_nodes:3 log in
+  check_int "prefix frozen" 2 (Cst.Power_meter.connects baseline ~node:1)
 
 let test_shared_net_rerun_is_free () =
   (* Running the same width-1 set twice on one warm network: the second
@@ -122,8 +131,8 @@ let suite =
     case "CSA flat in width" test_csa_flat_in_width;
     case "Roy linear in width" test_roy_linear_in_width;
     case "CSA constant across n" test_csa_constant_across_n;
-    case "meter accumulates" test_meter_accumulates;
-    case "meter copy/diff" test_meter_copy_diff;
+    case "meter of_log" test_meter_of_log;
+    case "meter cursors" test_meter_cursors;
     case "shared net rerun is free" test_shared_net_rerun_is_free;
     case "shared net topology mismatch" test_shared_net_topology_mismatch;
     case "disconnect tracking" test_disconnect_tracking;

@@ -85,6 +85,20 @@ let test_per_round_table () =
   let t = Cst_report.Schedule_stats.per_round_table sched in
   check_int "a row per round" 2 (Cst_report.Table.row_count t)
 
+let test_per_round_table_no_snapshots () =
+  (* keep_configs:false leaves no snapshots in the schedule; the
+     live-connections column must be replayed from the execution log
+     and match the snapshot-backed table exactly. *)
+  let st = set ~n:8 [ (0, 7); (1, 2) ] in
+  let log = Cst.Exec_log.create () in
+  let bare = Padr.Csa.run_exn ~keep_configs:false ~log (topo 8) st in
+  check_int "no snapshots" 0 (Array.length bare.rounds.(0).configs);
+  let full = Padr.Csa.run_exn (topo 8) st in
+  let expected = Cst_report.Schedule_stats.per_round_table full in
+  let derived = Cst_report.Schedule_stats.per_round_table ~log bare in
+  check_true "log fills the live-connections column"
+    (Cst_report.Table.render derived = Cst_report.Table.render expected)
+
 let test_max_link_use_equals_width_prop () =
   let rng = Cst_util.Prng.create 404 in
   for _ = 1 to 20 do
@@ -108,5 +122,6 @@ let suite =
     case "occupancy" test_occupancy;
     case "occupancy empty" test_occupancy_empty;
     case "per-round table" test_per_round_table;
+    case "per-round table without snapshots" test_per_round_table_no_snapshots;
     case "max link use = width" test_max_link_use_equals_width_prop;
   ]

@@ -53,32 +53,35 @@ let test_mirror_power_preserves_totals () =
   check_true "involution"
     (mm.per_switch_connects = s.power.per_switch_connects)
 
-let test_trace_collects () =
-  let t = Cst.Trace.create () in
-  Cst.Trace.emit (Some t) (Cst.Trace.Round_start 1);
-  Cst.Trace.emit (Some t) (Cst.Trace.Finished { rounds = 1 });
+let test_trace_of_log () =
+  let log = Cst.Exec_log.create () in
+  Cst.Exec_log.round_begin log ~index:1;
+  Cst.Exec_log.run_end log ~rounds:1;
+  let t = Cst.Trace.of_log log in
   check_int "two events" 2 (Cst.Trace.length t);
   check_true "order preserved"
     (Cst.Trace.events t
     = [ Cst.Trace.Round_start 1; Cst.Trace.Finished { rounds = 1 } ])
 
-let test_trace_none_noop () =
-  Cst.Trace.emit None (Cst.Trace.Round_start 1)
+let test_trace_of_empty_log () =
+  let t = Cst.Trace.of_log (Cst.Exec_log.create ()) in
+  check_int "no events" 0 (Cst.Trace.length t)
 
 let test_trace_pp () =
-  let t = Cst.Trace.create () in
-  Cst.Trace.emit (Some t) (Cst.Trace.Delivered { round = 1; src = 2; dst = 5 });
-  let txt = Format.asprintf "%a" Cst.Trace.pp t in
+  let log = Cst.Exec_log.create () in
+  Cst.Exec_log.round_begin log ~index:1;
+  Cst.Exec_log.deliver log ~src:2 ~dst:5;
+  let txt = Format.asprintf "%a" Cst.Trace.pp (Cst.Trace.of_log log) in
   check_true "mentions PEs" (String.length txt > 10)
 
 let test_trace_full_run_round_count () =
-  let trace = Cst.Trace.create () in
-  let _ = Padr.Csa.run_exn ~trace (topo 8) (set ~n:8 [ (0, 7); (1, 6) ]) in
+  let log = Cst.Exec_log.create () in
+  let _ = Padr.Csa.run_exn ~log (topo 8) (set ~n:8 [ (0, 7); (1, 6) ]) in
   let starts =
     List.length
       (List.filter
          (function Cst.Trace.Round_start _ -> true | _ -> false)
-         (Cst.Trace.events trace))
+         (Cst.Trace.events (Cst.Trace.of_log log)))
   in
   check_int "a start per round" 2 starts
 
@@ -90,8 +93,8 @@ let suite =
     case "round snapshots" test_round_snapshot_nonempty;
     case "combine_power accumulates" test_combine_power_accumulates;
     case "mirror_power preserves totals" test_mirror_power_preserves_totals;
-    case "trace collects" test_trace_collects;
-    case "trace none noop" test_trace_none_noop;
+    case "trace of_log" test_trace_of_log;
+    case "trace of empty log" test_trace_of_empty_log;
     case "trace pp" test_trace_pp;
     case "trace round count" test_trace_full_run_round_count;
   ]
