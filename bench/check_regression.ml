@@ -3,17 +3,27 @@
    Usage:
      check_regression.exe --validate FILE
          Parse a benchmark JSON file and verify it is structurally sound
-         (>= 1 result row, positive finite timings).  Used by the
-         `bench-smoke` runtest rule on the --fast --json output.
+         (>= 1 result row, positive finite timings) and that the plan
+         cache holds its headline claims: replay at least 3x faster than
+         compile, and at least an 80% hit rate on the repetitive
+         translated trace.  Used by the `bench-smoke` runtest rule on
+         the --fast --json output and on the committed baseline.
 
      check_regression.exe BASELINE FRESH [--threshold PCT]
          Compare a fresh run against the committed baseline: any timed
          kernel (matched on kernel/pes/width) slower by more than PCT
          percent (default 25) fails with exit code 1, and any
          service_throughput row (matched on pes/domains) with more than
-         PCT percent fewer jobs/sec does too.  A row present in the
-         baseline but missing from the fresh run also fails — a silently
-         dropped kernel is not a passing one.
+         PCT percent fewer jobs/sec does too.  The log-append rate, the
+         plan-cache compile/replay times and the trace hit rate are
+         gated the same way.  A row present in the baseline but missing
+         from the fresh run also fails — a silently dropped kernel is
+         not a passing one.
+
+   Every violated gate is reported on its own line naming the section
+   and metric ("check_regression: FAIL <section>/<metric>: ..."), and a
+   one-line summary with the violation count closes the report before
+   the non-zero exit.
 
    The parser is deliberately line-based: bench/main.ml emits exactly one
    result object per line, so no JSON dependency is needed. *)
@@ -30,6 +40,13 @@ type log_row = {
   lg_pes : int;
   lg_ns_per_append : float;
   lg_bytes_per_event : float;
+}
+
+type cache_row = {
+  pc_pes : int;
+  pc_compile_ns : float;
+  pc_replay_ns : float;
+  pc_hit_rate : float;
 }
 
 let find_field line key =
@@ -71,14 +88,39 @@ let number_field line key =
       if !stop = start then None
       else float_of_string_opt (String.sub line start (!stop - start))
 
+type parsed = {
+  rows : row list;
+  service : service_row list;
+  log_overhead : log_row option;
+  plan_cache : cache_row option;
+}
+
 let parse_rows file =
   let ic = open_in file in
   let rows = ref [] in
   let service = ref [] in
   let log_overhead = ref None in
+  let plan_cache = ref None in
   (try
      while true do
        let line = input_line ic in
+       match
+         (number_field line "compile_ns", number_field line "replay_ns")
+       with
+       | Some compile_ns, Some replay_ns ->
+           plan_cache :=
+             Some
+               {
+                 pc_pes =
+                   int_of_float
+                     (Option.value ~default:0.0 (number_field line "pes"));
+                 pc_compile_ns = compile_ns;
+                 pc_replay_ns = replay_ns;
+                 pc_hit_rate =
+                   Option.value ~default:(-1.0)
+                     (number_field line "hit_rate");
+               }
+       | _ -> (
        match
          (number_field line "ns_per_append", number_field line "bytes_per_event")
        with
@@ -129,83 +171,141 @@ let parse_rows file =
                    srv_jobs_per_sec = jps;
                  }
                  :: !service
-           | _ -> ()))
+           | _ -> ())))
      done
    with End_of_file -> ());
   close_in ic;
-  (List.rev !rows, List.rev !service, !log_overhead)
+  {
+    rows = List.rev !rows;
+    service = List.rev !service;
+    log_overhead = !log_overhead;
+    plan_cache = !plan_cache;
+  }
 
 let key r = Printf.sprintf "%s/%d/%d" r.kernel r.pes r.width
 let skey s = Printf.sprintf "service/%d/%dd" s.srv_pes s.srv_domains
 
+(* Violations accumulate as (section/metric, detail): every gate is
+   checked, every failure reported, then one summary line and exit 1. *)
+let violations : (string * string) list ref = ref []
+let fail_gate where detail = violations := (where, detail) :: !violations
+
+let finish ~ok_message =
+  match List.rev !violations with
+  | [] ->
+      print_endline ok_message
+  | vs ->
+      List.iter
+        (fun (where, detail) ->
+          Printf.printf "check_regression: FAIL %s: %s\n" where detail)
+        vs;
+      Printf.printf "check_regression: %d gate(s) violated\n" (List.length vs);
+      exit 1
+
 let validate file =
-  let rows, service, log_overhead = parse_rows file in
-  if rows = [] then begin
-    Printf.eprintf "check_regression: %s contains no benchmark rows\n" file;
-    exit 1
-  end;
+  let p = parse_rows file in
+  if p.rows = [] then
+    fail_gate "results" (Printf.sprintf "%s contains no benchmark rows" file);
   List.iter
     (fun r ->
-      if not (Float.is_finite r.ns_per_op) || r.ns_per_op <= 0.0 then begin
-        Printf.eprintf "check_regression: %s: bad timing for %s (%f)\n" file
-          (key r) r.ns_per_op;
-        exit 1
-      end)
-    rows;
-  if service = [] then begin
-    Printf.eprintf
-      "check_regression: %s contains no service_throughput rows\n" file;
-    exit 1
-  end;
+      if not (Float.is_finite r.ns_per_op) || r.ns_per_op <= 0.0 then
+        fail_gate
+          (Printf.sprintf "results/%s/ns_per_op" (key r))
+          (Printf.sprintf "bad timing %f" r.ns_per_op))
+    p.rows;
+  if p.service = [] then
+    fail_gate "service_throughput"
+      (Printf.sprintf "%s contains no service_throughput rows" file);
   List.iter
     (fun s ->
       if not (Float.is_finite s.srv_jobs_per_sec) || s.srv_jobs_per_sec <= 0.0
-      then begin
-        Printf.eprintf "check_regression: %s: bad throughput for %s (%f)\n"
-          file (skey s) s.srv_jobs_per_sec;
-        exit 1
-      end)
-    service;
-  (match log_overhead with
+      then
+        fail_gate
+          (Printf.sprintf "service_throughput/%s/jobs_per_sec" (skey s))
+          (Printf.sprintf "bad throughput %f" s.srv_jobs_per_sec))
+    p.service;
+  (match p.log_overhead with
   | None ->
-      Printf.eprintf "check_regression: %s is missing the log_overhead section\n"
-        file;
-      exit 1
+      fail_gate "log_overhead"
+        (Printf.sprintf "%s is missing the log_overhead section" file)
   | Some lg ->
       if
         (not (Float.is_finite lg.lg_ns_per_append))
         || lg.lg_ns_per_append <= 0.0
         || lg.lg_bytes_per_event <= 0.0
-      then begin
-        Printf.eprintf "check_regression: %s: bad log_overhead (%f ns, %f B)\n"
-          file lg.lg_ns_per_append lg.lg_bytes_per_event;
-        exit 1
+      then
+        fail_gate "log_overhead/ns_per_append"
+          (Printf.sprintf "bad log_overhead (%f ns, %f B)" lg.lg_ns_per_append
+             lg.lg_bytes_per_event));
+  (match p.plan_cache with
+  | None ->
+      fail_gate "plan_cache"
+        (Printf.sprintf "%s is missing the plan_cache section" file)
+  | Some pc ->
+      if
+        (not (Float.is_finite pc.pc_compile_ns))
+        || pc.pc_compile_ns <= 0.0
+        || (not (Float.is_finite pc.pc_replay_ns))
+        || pc.pc_replay_ns <= 0.0
+      then
+        fail_gate "plan_cache/compile_ns"
+          (Printf.sprintf "bad timings (compile %f ns, replay %f ns)"
+             pc.pc_compile_ns pc.pc_replay_ns)
+      else begin
+        let speedup = pc.pc_compile_ns /. pc.pc_replay_ns in
+        if speedup < 3.0 then
+          fail_gate "plan_cache/speedup"
+            (Printf.sprintf
+               "replay must be >= 3x faster than compile, measured %.2fx at \
+                %d PEs"
+               speedup pc.pc_pes);
+        if pc.pc_hit_rate < 0.80 then
+          fail_gate "plan_cache/hit_rate"
+            (Printf.sprintf
+               "repetitive trace must hit >= 80%%, measured %.1f%%"
+               (100.0 *. pc.pc_hit_rate))
       end);
-  Printf.printf "check_regression: %s ok (%d rows, %d service rows)\n" file
-    (List.length rows) (List.length service)
+  finish
+    ~ok_message:
+      (Printf.sprintf "check_regression: %s ok (%d rows, %d service rows)"
+         file (List.length p.rows) (List.length p.service))
 
 let compare_files ~threshold baseline fresh =
-  let base, base_srv, base_lg = parse_rows baseline
-  and cur, cur_srv, cur_lg = parse_rows fresh in
+  let base = parse_rows baseline and cur = parse_rows fresh in
   let lookup rows k = List.find_opt (fun r -> key r = k) rows in
-  let failures = ref 0 in
-  Printf.printf "%-28s %12s %12s %8s\n" "kernel/pes/width" "baseline ns"
-    "fresh ns" "ratio";
+  (* [gate ~slower] prints the comparison row; out-of-threshold ratios
+     are also recorded as violations under section/metric.  [slower]
+     selects the failing direction: true gates times (bigger is worse),
+     false gates rates (smaller is worse). *)
+  let gate ~slower ~section ~metric ~label b f =
+    let ratio = f /. b in
+    let bad =
+      if slower then ratio > 1.0 +. (threshold /. 100.0)
+      else ratio < 1.0 -. (threshold /. 100.0)
+    in
+    if bad then
+      fail_gate
+        (Printf.sprintf "%s/%s" section metric)
+        (Printf.sprintf "%.2f -> %.2f (%.2fx, threshold %.0f%%)" b f ratio
+           threshold);
+    Printf.printf "%-28s %12.2f %12.2f %7.2fx%s\n" label b f ratio
+      (if bad then "  REGRESSION" else "")
+  in
+  let missing ~section ~label b =
+    fail_gate section "present in the baseline, missing from the fresh run";
+    Printf.printf "%-28s %12.2f %12s %8s  MISSING\n" label b "-" "-"
+  in
+  Printf.printf "%-28s %12s %12s %8s\n" "kernel/pes/width" "baseline"
+    "fresh" "ratio";
   List.iter
     (fun b ->
-      match lookup cur (key b) with
-      | None ->
-          incr failures;
-          Printf.printf "%-28s %12.0f %12s %8s  MISSING\n" (key b)
-            b.ns_per_op "-" "-"
+      match lookup cur.rows (key b) with
+      | None -> missing ~section:(Printf.sprintf "results/%s" (key b))
+                  ~label:(key b) b.ns_per_op
       | Some f ->
-          let ratio = f.ns_per_op /. b.ns_per_op in
-          let bad = ratio > 1.0 +. (threshold /. 100.0) in
-          if bad then incr failures;
-          Printf.printf "%-28s %12.0f %12.0f %7.2fx%s\n" (key b) b.ns_per_op
-            f.ns_per_op ratio
-            (if bad then "  REGRESSION" else ""))
-    base;
+          gate ~slower:true ~section:(Printf.sprintf "results/%s" (key b))
+            ~metric:"ns_per_op" ~label:(key b) b.ns_per_op f.ns_per_op)
+    base.rows;
   (* Throughput rows gate in the opposite direction: fewer jobs/sec than
      the baseline by more than the threshold fails. *)
   List.iter
@@ -214,44 +314,50 @@ let compare_files ~threshold baseline fresh =
         List.find_opt
           (fun s ->
             s.srv_domains = b.srv_domains && s.srv_pes = b.srv_pes)
-          cur_srv
+          cur.service
       with
       | None ->
-          incr failures;
-          Printf.printf "%-28s %12.0f %12s %8s  MISSING\n" (skey b)
-            b.srv_jobs_per_sec "-" "-"
+          missing
+            ~section:(Printf.sprintf "service_throughput/%s" (skey b))
+            ~label:(skey b) b.srv_jobs_per_sec
       | Some f ->
-          let ratio = f.srv_jobs_per_sec /. b.srv_jobs_per_sec in
-          let bad = ratio < 1.0 -. (threshold /. 100.0) in
-          if bad then incr failures;
-          Printf.printf "%-28s %12.0f %12.0f %7.2fx%s\n" (skey b)
-            b.srv_jobs_per_sec f.srv_jobs_per_sec ratio
-            (if bad then "  REGRESSION" else ""))
-    base_srv;
+          gate ~slower:false
+            ~section:(Printf.sprintf "service_throughput/%s" (skey b))
+            ~metric:"jobs_per_sec" ~label:(skey b) b.srv_jobs_per_sec
+            f.srv_jobs_per_sec)
+    base.service;
   (* The log append sits on every scheduler's inner loop: gate its rate
      like any timed kernel. *)
-  (match (base_lg, cur_lg) with
+  (match (base.log_overhead, cur.log_overhead) with
   | None, _ -> ()
   | Some b, None ->
-      incr failures;
-      Printf.printf "%-28s %12.2f %12s %8s  MISSING\n"
-        (Printf.sprintf "log-append/%d" b.lg_pes)
-        b.lg_ns_per_append "-" "-"
+      missing ~section:"log_overhead"
+        ~label:(Printf.sprintf "log-append/%d" b.lg_pes)
+        b.lg_ns_per_append
   | Some b, Some f ->
-      let ratio = f.lg_ns_per_append /. b.lg_ns_per_append in
-      let bad = ratio > 1.0 +. (threshold /. 100.0) in
-      if bad then incr failures;
-      Printf.printf "%-28s %12.2f %12.2f %7.2fx%s\n"
-        (Printf.sprintf "log-append/%d" b.lg_pes)
-        b.lg_ns_per_append f.lg_ns_per_append ratio
-        (if bad then "  REGRESSION" else ""));
-  if !failures > 0 then begin
-    Printf.printf "check_regression: %d kernel(s) regressed beyond %.0f%%\n"
-      !failures threshold;
-    exit 1
-  end;
-  Printf.printf "check_regression: no kernel regressed beyond %.0f%%\n"
-    threshold
+      gate ~slower:true ~section:"log_overhead" ~metric:"ns_per_append"
+        ~label:(Printf.sprintf "log-append/%d" b.lg_pes)
+        b.lg_ns_per_append f.lg_ns_per_append);
+  (* Plan cache: compile and replay cost are timed kernels; the trace
+     hit rate gates like a throughput (lower is worse). *)
+  (match (base.plan_cache, cur.plan_cache) with
+  | None, _ -> ()
+  | Some b, None ->
+      missing ~section:"plan_cache"
+        ~label:(Printf.sprintf "plan-cache/%d" b.pc_pes)
+        b.pc_compile_ns
+  | Some b, Some f ->
+      let label metric = Printf.sprintf "plan-%s/%d" metric b.pc_pes in
+      gate ~slower:true ~section:"plan_cache" ~metric:"compile_ns"
+        ~label:(label "compile") b.pc_compile_ns f.pc_compile_ns;
+      gate ~slower:true ~section:"plan_cache" ~metric:"replay_ns"
+        ~label:(label "replay") b.pc_replay_ns f.pc_replay_ns;
+      gate ~slower:false ~section:"plan_cache" ~metric:"hit_rate"
+        ~label:(label "hit-rate") b.pc_hit_rate f.pc_hit_rate);
+  finish
+    ~ok_message:
+      (Printf.sprintf "check_regression: no kernel regressed beyond %.0f%%"
+         threshold)
 
 let () =
   match Array.to_list Sys.argv with

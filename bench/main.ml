@@ -707,6 +707,98 @@ let log_overhead ~fast =
     lg_reps = reps;
   }
 
+(* Plan cache: the compile-once/replay-many contrast.  "Compile" is a
+   full engine run frozen into a plan ({!Padr.Plan.compile}); "replay"
+   rebases the frozen log onto an aligned translate and rebuilds the
+   schedule from it — no scheduling, no simulation.  The trace half
+   measures the cache hit rate the batch service achieves on a
+   90%-repetitive stream: a few base structures recurring under aligned
+   translations, with a fresh unique structure every tenth job. *)
+
+type cache_row = {
+  pc_pes : int;
+  pc_compile_ns : float;
+  pc_replay_ns : float;
+  pc_trace_jobs : int;
+  pc_hits : int;
+  pc_misses : int;
+  pc_reps : int;
+}
+
+let plan_cache_bench ~fast =
+  let n = if fast then 128 else 1024 in
+  let budget_s = if fast then 0.02 else 0.25 in
+  let topo = Cst.Topology.create ~leaves:n in
+  (* The pattern lives on the left half of the tree so the replay
+     placement (the right half) genuinely rebases every event. *)
+  let half = n / 2 in
+  let rng = Cst_util.Prng.create 2718 in
+  let base_set =
+    Cst_comm.Comm_set.create_exn ~n
+      (Array.to_list
+         (Cst_comm.Comm_set.comms
+            (Cst_workloads.Gen_wn.with_width rng ~n:half
+               ~width:(min 64 (half / 2)))))
+  in
+  let compile () =
+    Result.get_ok (Padr.Plan.compile ~producer:Padr.Plan.Engine topo base_set)
+  in
+  let compile_ns, _, reps =
+    measure ~budget_s (fun () -> ignore (compile ()))
+  in
+  let plan = compile () in
+  let shifted = Cst_workloads.Gen_wn.translate ~by:half base_set in
+  let replay_ns, _, _ =
+    measure ~budget_s (fun () ->
+        ignore (Padr.Plan.replay ~keep_configs:false plan topo shifted))
+  in
+  (* The repetitive trace, through the service's own cache. *)
+  let trace_jobs = if fast then 40 else 200 in
+  let block = n / 8 in
+  let base_count = if fast then 2 else 4 in
+  let bases =
+    Array.init base_count (fun i ->
+        Cst_comm.Comm_set.create_exn ~n
+          (Array.to_list
+             (Cst_comm.Comm_set.comms
+                (Cst_workloads.Gen_wn.uniform
+                   (Cst_util.Prng.create (100 + i))
+                   ~n:block ~density:0.7))))
+  in
+  let trng = Cst_util.Prng.create 3141 in
+  let jobs =
+    List.init trace_jobs (fun i ->
+        let set =
+          if i mod 10 = 9 then
+            Cst_workloads.Gen_wn.uniform trng ~n ~density:0.3
+          else
+            Cst_workloads.Gen_wn.translate
+              ~by:(block * Cst_util.Prng.int trng 8)
+              bases.(Cst_util.Prng.int trng base_count)
+        in
+        Cst_service.Service.job ~id:i ~algo:"csa" set)
+  in
+  let pool = Cst_service.Service.create ~domains:1 () in
+  let hits, misses =
+    Fun.protect
+      ~finally:(fun () -> Cst_service.Service.shutdown pool)
+      (fun () ->
+        List.iter (Cst_service.Service.submit pool) jobs;
+        ignore (Cst_service.Service.drain pool);
+        match Cst_service.Service.cache_stats pool with
+        | Some s -> (s.hits, s.misses)
+        | None -> (0, 0))
+  in
+  {
+    pc_pes = n;
+    pc_compile_ns = compile_ns;
+    pc_replay_ns = replay_ns;
+    pc_trace_jobs = trace_jobs;
+    pc_hits = hits;
+    pc_misses = misses;
+    pc_reps = reps;
+  }
+
 let bench_json ~fast file =
   let grid_pes = if fast then [ 64; 256 ] else [ 256; 2048; 16384; 65536 ] in
   let grid_widths = if fast then [ 1; 8 ] else [ 1; 8; 64 ] in
@@ -787,6 +879,17 @@ let bench_json ~fast file =
      %.2f, \"bytes_per_event\": %.1f, \"reps\": %d},\n"
     lg.lg_pes lg.lg_events lg.lg_ns_per_append lg.lg_bytes_per_event
     lg.lg_reps;
+  let pc = plan_cache_bench ~fast in
+  p
+    "  \"plan_cache\": {\"pes\": %d, \"compile_ns\": %.1f, \"replay_ns\": \
+     %.1f, \"speedup\": %.2f, \"trace_jobs\": %d, \"hits\": %d, \"misses\": \
+     %d, \"hit_rate\": %.3f, \"reps\": %d},\n"
+    pc.pc_pes pc.pc_compile_ns pc.pc_replay_ns
+    (pc.pc_compile_ns /. Float.max pc.pc_replay_ns 1e-9)
+    pc.pc_trace_jobs pc.pc_hits pc.pc_misses
+    (float_of_int pc.pc_hits
+    /. float_of_int (max 1 (pc.pc_hits + pc.pc_misses)))
+    pc.pc_reps;
   p "  \"results\": [\n";
   let rows = List.rev !rows in
   List.iteri

@@ -217,7 +217,7 @@ let route_cmd =
 
 (* batch: many jobs through the domain pool *)
 let batch_cmd =
-  let run n jobs algos seed domains queue verbose =
+  let run n jobs algos seed domains queue verbose cache_stats no_cache =
     let algos =
       match algos with
       | [] -> List.map (fun (a : Cst_baselines.Registry.algo) -> a.name)
@@ -248,7 +248,16 @@ let batch_cmd =
     in
     let js = List.init jobs make_job in
     let t0 = Unix.gettimeofday () in
-    let outcomes = Service.run ?domains ~queue_capacity:queue js in
+    let t =
+      Service.create ?domains ~queue_capacity:queue ~cache:(not no_cache) ()
+    in
+    let outcomes =
+      Fun.protect
+        ~finally:(fun () -> Service.shutdown t)
+        (fun () ->
+          List.iter (Service.submit t) js;
+          Service.drain t)
+    in
     let dt = Unix.gettimeofday () -. t0 in
     let failed =
       List.filter (fun (o : Service.outcome) -> Result.is_error o.result)
@@ -259,14 +268,13 @@ let batch_cmd =
         if verbose || Result.is_error o.result then
           Format.printf "%a@." Service.pp_outcome o)
       outcomes;
-    let d =
-      match domains with
-      | Some d -> max 1 d
-      | None -> max 1 (Domain.recommended_domain_count ())
-    in
     Format.printf "%d jobs (%d failed) on %d domain(s) in %.3f s (%.0f jobs/s)@."
-      jobs (List.length failed) d dt
-      (float_of_int jobs /. Float.max dt 1e-9)
+      jobs (List.length failed) (Service.domains t) dt
+      (float_of_int jobs /. Float.max dt 1e-9);
+    if cache_stats then
+      match Service.cache_stats t with
+      | Some s -> Format.printf "%a@." Cst_service.Plan_cache.pp_stats s
+      | None -> Format.printf "plan cache: disabled@."
   in
   let jobs =
     Arg.(value & opt int 64 & info [ "jobs" ] ~docv:"J" ~doc:"Number of jobs to generate.")
@@ -291,15 +299,28 @@ let batch_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every outcome, not only failures.")
   in
+  let cache_stats =
+    Arg.(
+      value & flag
+      & info [ "cache-stats" ]
+          ~doc:"Print plan-cache hit/miss/eviction statistics after the run.")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Disable the plan cache; every job schedules from scratch.")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Run generated scheduling jobs through the multicore service")
     Term.(
-      const run $ n_arg $ jobs $ algos $ seed_arg $ domains $ queue $ verbose)
+      const run $ n_arg $ jobs $ algos $ seed_arg $ domains $ queue $ verbose
+      $ cache_stats $ no_cache)
 
 (* sweep *)
 let sweep_cmd =
-  let run n widths algos seed csv =
+  let run n widths algos seed csv cache_stats =
     let algos =
       match algos with
       | [] ->
@@ -345,7 +366,22 @@ let sweep_cmd =
                algos)
            sets)
     in
-    let outcomes = Array.of_list (Service.run jobs) in
+    (* One pool — and so one plan cache — for the whole sweep: a
+       structure that recurs (a repeated width regenerates the same set)
+       replays its frozen plan instead of re-scheduling. *)
+    let pool = Service.create () in
+    let outcomes =
+      Array.of_list
+        (Fun.protect
+           ~finally:(fun () -> Service.shutdown pool)
+           (fun () ->
+             List.iter (Service.submit pool) jobs;
+             Service.drain pool))
+    in
+    (if cache_stats then
+       match Service.cache_stats pool with
+       | Some s -> Format.printf "%a@." Cst_service.Plan_cache.pp_stats s
+       | None -> Format.printf "plan cache: disabled@.");
     let rows = ref [] in
     List.iteri
       (fun wi (w, _) ->
@@ -399,9 +435,15 @@ let sweep_cmd =
   let n =
     Arg.(value & opt int 256 & info [ "n" ] ~docv:"N" ~doc:"PE count (power of two).")
   in
+  let cache_stats =
+    Arg.(
+      value & flag
+      & info [ "cache-stats" ]
+          ~doc:"Print plan-cache hit/miss/eviction statistics after the sweep.")
+  in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Compare algorithms across widths")
-    Term.(const run $ n $ widths $ algos $ seed_arg $ csv)
+    Term.(const run $ n $ widths $ algos $ seed_arg $ csv $ cache_stats)
 
 (* waves: schedule arbitrary (crossing / mixed-orientation) sets *)
 let waves_cmd =
@@ -527,18 +569,24 @@ let log_cmd =
               if narrate then
                 Format.printf "%a@." Cst.Trace.pp (Cst.Trace.of_log log)
               else Format.printf "%a@." Cst.Exec_log.pp log;
-            let alternations =
-              let worst = ref 0 in
-              for node = 0 to Cst.Topology.leaves topo - 1 do
-                worst :=
-                  max !worst (Cst.Exec_log.driver_alternations log ~node)
-              done;
-              !worst
-            in
+            let worst = ref 0 and total = ref 0 and active = ref 0 in
+            for node = 0 to Cst.Topology.leaves topo - 1 do
+              let a = Cst.Exec_log.driver_alternations log ~node in
+              if a > 0 then begin
+                total := !total + a;
+                incr active
+              end;
+              worst := max !worst a
+            done;
             Format.printf "events: %d (%d bytes)@." (Cst.Exec_log.length log)
               (Cst.Exec_log.bytes_used log);
-            Format.printf "max driver alternations per switch: %d@."
-              alternations;
+            Format.printf
+              "driver alternations per switch: max %d, mean %.2f over %d \
+               active switch(es)@."
+              !worst
+              (if !active = 0 then 0.0
+               else float_of_int !total /. float_of_int !active)
+              !active;
             Format.printf "digest: %s@." (Cst.Exec_log.digest log))
   in
   let algo =

@@ -8,6 +8,7 @@ module Round = Round
 module Downmsg = Downmsg
 module Csa_state = Csa_state
 module Waves = Waves
+module Plan = Plan
 module Left = Left
 module Invariants = Invariants
 

@@ -35,6 +35,11 @@ module Waves : module type of Waves
 (** Arbitrary (crossing, mixed-orientation) sets as sequences of CSA
     waves — the extension the paper's conclusion proposes. *)
 
+module Plan : module type of Plan
+(** Compile-once / replay-many routing plans: a frozen execution log
+    keyed by the set's structural signature ({!Cst.Canon}), replayable
+    onto any congruent placement without re-scheduling. *)
+
 module Left : module type of Left
 (** Native scheduler for left-oriented sets (§2.1's mirror-symmetric
     rules, written out). *)

@@ -1,0 +1,114 @@
+type producer = Spec | Engine
+
+type t = {
+  producer : producer;
+  leaves : int;
+  base : int;
+  canon : Cst.Canon.t;
+  rounds : int;
+  cycles : int;
+  control_messages : int;
+  log : Cst.Exec_log.t;
+}
+
+(* The cycle and control-message formulas are the producers' own
+   synchronous-cost models (Theorem 5): every functional scheduler pays
+   [levels] cycles of Phase 1 plus [levels + 1] per round; the
+   message-passing engine pays one extra cycle per sweep and a leading
+   broadcast, and exchanges one message over every tree link per sweep
+   — [(rounds + 1)] sweeps over [2*(leaves-1)] directed links.  They
+   are only consulted when a plan is replayed onto a different tree
+   size; at the compiled size the frozen values are returned as-is. *)
+
+let model_cycles producer ~levels ~rounds =
+  match producer with
+  | Spec -> levels + (rounds * (levels + 1))
+  | Engine -> 1 + levels + (rounds * (levels + 2))
+
+let model_control_messages producer ~leaves ~rounds =
+  match producer with
+  | Spec -> 0
+  | Engine -> 2 * (leaves - 1) * (rounds + 1)
+
+let of_log ~producer ~topo ~set ~rounds ~cycles ?(control_messages = 0) log =
+  let placed = Cst.Canon.place set in
+  {
+    producer;
+    leaves = Cst.Topology.leaves topo;
+    base = placed.base;
+    canon = placed.canon;
+    rounds;
+    cycles;
+    control_messages;
+    log = Cst.Exec_log.sub log ~from:0;
+  }
+
+let compile ?(producer = Engine) topo set =
+  let log = Cst.Exec_log.create () in
+  match producer with
+  | Engine -> (
+      match Engine.run ~keep_configs:false ~log topo set with
+      | Ok (s, stats) ->
+          Ok
+            (of_log ~producer ~topo ~set ~rounds:(Schedule.num_rounds s)
+               ~cycles:s.cycles ~control_messages:stats.control_messages log)
+      | Error e -> Error e)
+  | Spec -> (
+      match Csa.run ~keep_configs:false ~log topo set with
+      | Ok s ->
+          Ok
+            (of_log ~producer ~topo ~set ~rounds:(Schedule.num_rounds s)
+               ~cycles:s.cycles log)
+      | Error e -> Error e)
+
+type replayed = {
+  schedule : Schedule.t;
+  log : Cst.Exec_log.t;
+  cycles : int;
+  control_messages : int;
+}
+
+let replay ?(keep_configs = true) t topo set =
+  let leaves = Cst.Topology.leaves topo in
+  let placed = Cst.Canon.place set in
+  if not (Cst.Canon.equal placed.canon t.canon) then
+    invalid_arg "Padr.Plan.replay: set does not match the plan's signature";
+  if Cst_comm.Comm_set.n set > leaves then
+    invalid_arg "Padr.Plan.replay: set does not fit the topology";
+  if not (Cst.Canon.compatible t.canon ~leaves ~base:placed.base) then
+    invalid_arg "Padr.Plan.replay: placement incompatible with the topology";
+  let log =
+    if leaves = t.leaves && placed.base = t.base then t.log
+    else
+      Cst.Exec_log.rebase t.log ~src_leaves:t.leaves ~src_base:t.base
+        ~dst_leaves:leaves ~dst_base:placed.base
+        ~align:(Cst.Canon.align t.canon)
+  in
+  let cycles =
+    if leaves = t.leaves then t.cycles
+    else
+      model_cycles t.producer
+        ~levels:(Cst.Topology.levels topo)
+        ~rounds:t.rounds
+  in
+  let control_messages =
+    if leaves = t.leaves then t.control_messages
+    else model_control_messages t.producer ~leaves ~rounds:t.rounds
+  in
+  {
+    schedule = Schedule.of_log ~keep_configs ~set ~topo ~cycles log;
+    log;
+    cycles;
+    control_messages;
+  }
+
+let bytes (t : t) =
+  Cst.Exec_log.bytes_used t.log + (16 * Cst.Canon.size t.canon) + 128
+
+let pp fmt (t : t) =
+  Format.fprintf fmt
+    "plan %s leaves=%d base=%d rounds=%d cycles=%d msgs=%d events=%d (%a)"
+    (match t.producer with Spec -> "spec" | Engine -> "engine")
+    t.leaves t.base t.rounds t.cycles t.control_messages
+    (Cst.Exec_log.length t.log)
+    Cst.Canon.pp t.canon

@@ -1,0 +1,75 @@
+(** Compile-once / replay-many routing plans.
+
+    A plan freezes one scheduler run — its canonical execution log plus
+    the derived round/cycle metadata — into an immutable artifact keyed
+    by the set's structural signature ({!Cst.Canon}).  Replaying a plan
+    reconstructs the full {!Schedule.t} for any set congruent to the
+    compiled one (same signature, any compatible placement and tree
+    size) without re-running the scheduler: the log is relocated with
+    {!Cst.Exec_log.rebase} in O(events) and the schedule derived from
+    it, byte-identical (same {!Cst.Exec_log.digest}) to a fresh run on
+    the target set. *)
+
+type producer = Spec | Engine
+(** Which cycle model the compiled run obeys: the functional scheduler
+    family ([cycles = levels + rounds*(levels+1)], control-message
+    free) or the message-passing engine
+    ([cycles = 1 + levels + rounds*(levels+2)],
+    [2*(leaves-1)*(rounds+1)] control messages). *)
+
+type t = private {
+  producer : producer;
+  leaves : int;  (** tree size the plan was compiled at *)
+  base : int;  (** leaf offset of the compiled set's aligned block *)
+  canon : Cst.Canon.t;  (** structural signature of the compiled set *)
+  rounds : int;
+  cycles : int;  (** at the compiled [leaves] *)
+  control_messages : int;  (** at the compiled [leaves]; 0 under [Spec] *)
+  log : Cst.Exec_log.t;
+      (** private frozen copy of the run's events — never mutated *)
+}
+
+val of_log :
+  producer:producer ->
+  topo:Cst.Topology.t ->
+  set:Cst_comm.Comm_set.t ->
+  rounds:int ->
+  cycles:int ->
+  ?control_messages:int ->
+  Cst.Exec_log.t ->
+  t
+(** Freezes an already-performed run whose events are exactly the
+    contents of the given log (the service's cache-miss path: the run
+    it just executed becomes the plan, with no second scheduling).  The
+    log is copied into a private arena. *)
+
+val compile :
+  ?producer:producer ->
+  Cst.Topology.t ->
+  Cst_comm.Comm_set.t ->
+  (t, Csa.error) result
+(** Schedules the set ([producer] defaults to [Engine], wrapping
+    {!Engine.run}; [Spec] wraps {!Csa.run}) and freezes the run. *)
+
+type replayed = {
+  schedule : Schedule.t;
+  log : Cst.Exec_log.t;
+      (** the relocated event log — digest-identical to a fresh run on
+          the target set; aliases the plan's arena when the placement
+          is unchanged, so treat it as read-only *)
+  cycles : int;
+  control_messages : int;  (** re-modeled for the target tree size *)
+}
+
+val replay :
+  ?keep_configs:bool -> t -> Cst.Topology.t -> Cst_comm.Comm_set.t -> replayed
+(** Reconstructs the schedule of [set] on [topo] from the plan.  [set]
+    must carry the plan's signature (checked; [Invalid_argument]
+    otherwise) and fit the topology.  O(events + size·log leaves) — no
+    scheduling. *)
+
+val bytes : t -> int
+(** Approximate heap footprint (event arena + signature + boxing);
+    the plan cache's budget unit. *)
+
+val pp : Format.formatter -> t -> unit

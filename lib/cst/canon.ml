@@ -1,0 +1,69 @@
+(* The alignment of a set spanning leaves [lo .. hi] is the smallest
+   power of two A with lo/A = hi/A — the side of the smallest aligned
+   block containing every endpoint, which is also the leaf span of the
+   minimal subtree enclosing the set in any tree of >= A leaves.  The
+   block's first leaf (lo/A)*A is the placement base; subtracting it
+   from every endpoint yields a translation-invariant signature. *)
+
+type t = { align : int; offsets : (int * int) array; hash : int }
+type placed = { canon : t; base : int }
+
+let fnv_prime = 0x100000001b3
+
+let hash_of ~align offsets =
+  let h = ref 0x3bf29ce484222325 in
+  let mix v = h := (!h lxor v) * fnv_prime land max_int in
+  mix align;
+  Array.iter
+    (fun (s, d) ->
+      mix s;
+      mix d)
+    offsets;
+  !h
+
+let place set =
+  let comms = Cst_comm.Comm_set.comms set in
+  if Array.length comms = 0 then
+    { canon = { align = 1; offsets = [||]; hash = hash_of ~align:1 [||] };
+      base = 0 }
+  else begin
+    let lo = ref max_int and hi = ref 0 in
+    Array.iter
+      (fun c ->
+        let l = Cst_comm.Comm.lo c and h = Cst_comm.Comm.hi c in
+        if l < !lo then lo := l;
+        if h > !hi then hi := h)
+      comms;
+    let align = ref 1 in
+    while !lo / !align <> !hi / !align do
+      align := 2 * !align
+    done;
+    let base = !lo / !align * !align in
+    (* [comms] is sorted by source; subtracting a constant preserves
+       the order, so the offsets array is canonical as built. *)
+    let offsets =
+      Array.map
+        (fun (c : Cst_comm.Comm.t) -> (c.src - base, c.dst - base))
+        comms
+    in
+    let align = !align in
+    { canon = { align; offsets; hash = hash_of ~align offsets }; base }
+  end
+
+let equal a b =
+  a.hash = b.hash && a.align = b.align && a.offsets = b.offsets
+
+let hash t = t.hash
+let align t = t.align
+let size t = Array.length t.offsets
+
+let compatible t ~leaves ~base =
+  leaves >= t.align
+  && leaves land (leaves - 1) = 0
+  && base >= 0
+  && base mod t.align = 0
+  && base + t.align <= leaves
+
+let pp fmt t =
+  Format.fprintf fmt "align=%d comms=%d hash=%016x" t.align
+    (Array.length t.offsets) t.hash

@@ -1,0 +1,52 @@
+(** Canonical structural signature of a communication set.
+
+    Two sets are {e structurally congruent} when one is the translation
+    of the other by a multiple of their common alignment — they occupy
+    congruent aligned leaf blocks of (possibly different) trees, with
+    identical endpoint offsets inside the block.  Congruent sets
+    schedule identically up to a relabeling of switches and PEs: no
+    event of a run ever leaves the minimal aligned subtree enclosing
+    the set (ancestors of the block root see zero endpoint counts in
+    Phase 1 and are never demanded by any round), and every scheduling
+    decision inside the block depends only on block-relative structure.
+    {!Cst.Exec_log.rebase} exploits this to relocate a compiled log in
+    O(events); the plan cache exploits it to key compiled plans.
+
+    The signature of a set is the pair (alignment, offsets): the side
+    of the minimal aligned block containing every endpoint, and the
+    endpoint pairs relative to that block's first leaf, in canonical
+    (source-sorted) order.  It is independent of the tree size the set
+    is scheduled on. *)
+
+type t
+(** A signature: alignment + block-relative endpoint offsets +
+    precomputed FNV-1a hash. *)
+
+type placed = { canon : t; base : int }
+(** A set's signature together with where the set sits: [base] is the
+    first leaf of its aligned block (a multiple of the alignment). *)
+
+val place : Cst_comm.Comm_set.t -> placed
+(** Computes the signature and placement of a set.  O(size).  The empty
+    set places as alignment 1, base 0, no offsets. *)
+
+val equal : t -> t -> bool
+(** Full structural equality (alignment and the complete offsets array,
+    not just the hash) — collision-proof, as cache keys require. *)
+
+val hash : t -> int
+(** FNV-1a over alignment and offsets, truncated to native int. *)
+
+val align : t -> int
+(** Side of the minimal aligned block: a power of two [>= 1]. *)
+
+val size : t -> int
+(** Number of communications in the signature. *)
+
+val compatible : t -> leaves:int -> base:int -> bool
+(** Whether a plan with this signature can be placed at leaf offset
+    [base] of a [leaves]-leaf tree: [leaves] a power of two no smaller
+    than the alignment, [base] a non-negative multiple of the alignment
+    with [base + align <= leaves]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -340,6 +340,92 @@ let fold_rounds ?(from = 0) ?upto ?(snapshots = true) t ~init ~f =
   flush ();
   !acc
 
+(* Relocating a compiled plan.  For a run whose set lives entirely in
+   the aligned leaf block [base, base + align) of a [leaves]-leaf tree,
+   every Connect / Disconnect / Write_config targets a node of the
+   subtree rooted at the block's node, and every Deliver joins two PEs
+   of the block: Phase 1 reports zero endpoint counts above the block
+   root (so no ancestor is ever matched or configured), and a round's
+   paths stay below the LCA of the round's endpoints, which the block
+   root dominates.  Relocating such a run to a congruent block of a
+   (possibly different) tree is therefore a pure relabeling:
+
+     - the block root moves from r_s = src_leaves/align + src_base/align
+       to r_t = dst_leaves/align + dst_base/align (heap numbering: the
+       node whose leaf interval is the block);
+     - a descendant v at depth j below r_s maps to v + (r_t - r_s)*2^j
+       (its j low-order child-direction bits are preserved);
+     - PEs shift by dst_base - src_base;
+     - [Phase_done] carries the target tree's level count; round
+       boundaries and [Run_end] are position-free.
+
+   The relabeling is performed on the packed words directly — one pass,
+   O(events), no event values materialized. *)
+
+let rebase t ~src_leaves ~src_base ~dst_leaves ~dst_base ~align =
+  let check_pow2 what v =
+    if v < 1 || v land (v - 1) <> 0 then
+      invalid_arg (Printf.sprintf "Exec_log.rebase: %s %d not a power of two" what v)
+  in
+  check_pow2 "align" align;
+  check_pow2 "src_leaves" src_leaves;
+  check_pow2 "dst_leaves" dst_leaves;
+  let check_base what base leaves =
+    if base < 0 || base mod align <> 0 || base + align > leaves then
+      invalid_arg
+        (Printf.sprintf
+           "Exec_log.rebase: %s %d not an aligned block of %d leaves" what
+           base leaves)
+  in
+  check_base "src_base" src_base src_leaves;
+  check_base "dst_base" dst_base dst_leaves;
+  let ilog2 n =
+    let rec go n acc = if n = 1 then acc else go (n lsr 1) (acc + 1) in
+    go n 0
+  in
+  let src_root = (src_leaves / align) + (src_base / align) in
+  let dst_root = (dst_leaves / align) + (dst_base / align) in
+  let src_root_depth = ilog2 src_root in
+  let dst_levels = ilog2 dst_leaves in
+  let map_node node =
+    let j = ilog2 node - src_root_depth in
+    if j < 0 || node lsr j <> src_root then
+      invalid_arg
+        (Printf.sprintf
+           "Exec_log.rebase: node %d outside the block subtree of %d" node
+           src_root);
+    let node' = node + ((dst_root - src_root) lsl j) in
+    check_field "node" node';
+    node'
+  in
+  let pe_delta = dst_base - src_base in
+  let map_pe pe =
+    if pe < src_base || pe >= src_base + align then
+      invalid_arg
+        (Printf.sprintf "Exec_log.rebase: PE %d outside block [%d, %d)" pe
+           src_base (src_base + align));
+    pe + pe_delta
+  in
+  let out = create ~capacity:(max 1 t.len) () in
+  for i = 0 to t.len - 1 do
+    let w = t.buf.(i) in
+    out.buf.(i) <-
+      (match w land 7 with
+      | 0 (* phase_done *) -> pack3 tag_phase_done dst_levels 0 0
+      | 1 (* round_begin *) | 6 (* run_end *) -> w
+      | 2 (* connect *) | 3 (* disconnect *) | 4 (* write_config *) ->
+          let node' = map_node ((w lsr 3) land field_mask) in
+          w land lnot (field_mask lsl 3) lor (node' lsl 3)
+      | 5 (* deliver *) ->
+          pack3 tag_deliver
+            (map_pe ((w lsr 3) land field_mask))
+            (map_pe ((w lsr 23) land field_mask))
+            0
+      | _ -> invalid_arg "Exec_log.rebase: corrupt word")
+  done;
+  out.len <- t.len;
+  out
+
 let driver_alternations ?from ?upto t ~node =
   let from, upto = clamp ?from ?upto t in
   (* Lemma 6/7 count: alternations of an output port's *driver

@@ -76,6 +76,30 @@ val fold : ?from:int -> ?upto:int -> t -> init:'a -> f:('a -> event -> 'a) -> 'a
 val sub : t -> from:int -> t
 (** Fresh log holding the events at positions [from ..]. *)
 
+val rebase :
+  t ->
+  src_leaves:int ->
+  src_base:int ->
+  dst_leaves:int ->
+  dst_base:int ->
+  align:int ->
+  t
+(** Relocates a compiled run in O(events) without re-scheduling.  The
+    log must come from scheduling a set confined to the aligned leaf
+    block [[src_base, src_base + align)] of a [src_leaves]-leaf tree
+    (such a run never touches a switch outside the block's subtree nor
+    a PE outside the block); the result is the event-for-event
+    relabeling of the run onto the congruent block
+    [[dst_base, dst_base + align)] of a [dst_leaves]-leaf tree: switch
+    ids are remapped through the subtree isomorphism
+    [v -> v + (dst_root - src_root) * 2^depth_below_root], PEs shift by
+    [dst_base - src_base], and [Phase_done] is rewritten to the target
+    tree's level count.  Replaying the result is byte-identical (same
+    {!digest}) to scheduling the translated set from scratch.
+    Raises [Invalid_argument] if the geometry is inconsistent (sizes
+    not powers of two, bases not aligned multiples inside their trees)
+    or if any event falls outside the declared block. *)
+
 (** {1 Round-structured replay} *)
 
 type round_view = {

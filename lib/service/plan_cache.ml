@@ -1,0 +1,127 @@
+type key = {
+  algo : string;
+  engine : bool;
+  leaves : int;
+  canon : Cst.Canon.t;
+}
+
+module Key = struct
+  type t = key
+
+  let equal a b =
+    a.engine = b.engine && a.leaves = b.leaves
+    && String.equal a.algo b.algo
+    && Cst.Canon.equal a.canon b.canon
+
+  let hash k = Hashtbl.hash (k.algo, k.engine, k.leaves, Cst.Canon.hash k.canon)
+end
+
+module H = Hashtbl.Make (Key)
+
+type entry = { plan : Padr.Plan.t; size : int; mutable stamp : int }
+
+type t = {
+  m : Mutex.t;
+  table : entry H.t;
+  max_bytes : int;
+  mutable bytes : int;
+  mutable clock : int;
+  hits : int array;
+  misses : int array;
+  evictions : int array;
+}
+
+let create ?(max_bytes = 32 * 1024 * 1024) ~domains () =
+  if domains < 1 then invalid_arg "Plan_cache.create: domains < 1";
+  {
+    m = Mutex.create ();
+    table = H.create 64;
+    max_bytes = max 0 max_bytes;
+    bytes = 0;
+    clock = 0;
+    hits = Array.make domains 0;
+    misses = Array.make domains 0;
+    evictions = Array.make domains 0;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let find t ~worker key =
+  locked t (fun () ->
+      match H.find_opt t.table key with
+      | Some e ->
+          e.stamp <- t.clock;
+          t.clock <- t.clock + 1;
+          t.hits.(worker) <- t.hits.(worker) + 1;
+          Some e.plan
+      | None ->
+          t.misses.(worker) <- t.misses.(worker) + 1;
+          None)
+
+let evict_lru t ~worker =
+  let victim =
+    H.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, best) when best.stamp <= e.stamp -> acc
+        | _ -> Some (k, e))
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some (k, e) ->
+      H.remove t.table k;
+      t.bytes <- t.bytes - e.size;
+      t.evictions.(worker) <- t.evictions.(worker) + 1
+
+let add t ~worker key plan =
+  let size = Padr.Plan.bytes plan in
+  locked t (fun () ->
+      if (not (H.mem t.table key)) && size <= t.max_bytes then begin
+        H.replace t.table key { plan; size; stamp = t.clock };
+        t.clock <- t.clock + 1;
+        t.bytes <- t.bytes + size;
+        (* The fresh entry holds the newest stamp, so it is scanned past
+           until everything older is gone — and the admission guard means
+           the loop always terminates with the entry resident. *)
+        while t.bytes > t.max_bytes do
+          evict_lru t ~worker
+        done
+      end)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  bytes : int;
+  max_bytes : int;
+  per_domain : (int * int * int) array;
+}
+
+let stats t =
+  locked t (fun () ->
+      let sum = Array.fold_left ( + ) 0 in
+      {
+        hits = sum t.hits;
+        misses = sum t.misses;
+        evictions = sum t.evictions;
+        entries = H.length t.table;
+        bytes = t.bytes;
+        max_bytes = t.max_bytes;
+        per_domain =
+          Array.init (Array.length t.hits) (fun i ->
+              (t.hits.(i), t.misses.(i), t.evictions.(i)));
+      })
+
+let pp_stats fmt s =
+  let total = s.hits + s.misses in
+  Format.fprintf fmt
+    "plan cache: %d hit(s) / %d lookup(s) (%.1f%%), %d eviction(s), %d \
+     plan(s) resident (%d / %d bytes)"
+    s.hits total
+    (if total = 0 then 0.0
+     else 100.0 *. float_of_int s.hits /. float_of_int total)
+    s.evictions s.entries s.bytes s.max_bytes

@@ -1,0 +1,54 @@
+(** Byte-bounded LRU cache of compiled routing plans.
+
+    The batch service keys each cacheable run by its structural
+    signature ({!Cst.Canon}), the algorithm name, the execution engine
+    and the tree size; a hit replays the frozen plan
+    ({!Padr.Plan.replay}) instead of re-running the scheduler.  The
+    cache is one shared [Mutex]-guarded structure per service pool —
+    scheduling itself happens outside the lock, which only protects the
+    table, the recency stamps and the byte budget — with per-domain
+    hit/miss/eviction counters so a multi-domain pool's accounting has
+    no contended hot word beyond the table lock itself.
+
+    Eviction is least-recently-used by total frozen-event bytes
+    ({!Padr.Plan.bytes}): inserting beyond the budget evicts the oldest
+    stamps until the total fits.  A plan alone exceeding the whole
+    budget is not admitted.  The victim scan is linear in the number of
+    resident plans, which the byte bound keeps small. *)
+
+type key = {
+  algo : string;  (** registry name *)
+  engine : bool;  (** message-passing engine vs functional scheduler *)
+  leaves : int;  (** tree size jobs of this key run on *)
+  canon : Cst.Canon.t;  (** full structural signature (collision-proof) *)
+}
+
+type t
+
+val create : ?max_bytes:int -> domains:int -> unit -> t
+(** [max_bytes] defaults to 32 MiB of frozen plan arenas.  [domains]
+    sizes the per-domain counter arrays; worker indices passed to
+    {!find}/{!add} must be in [0, domains). *)
+
+val find : t -> worker:int -> key -> Padr.Plan.t option
+(** Looks the key up, refreshing its recency stamp and counting a hit
+    or miss against [worker]'s slot. *)
+
+val add : t -> worker:int -> key -> Padr.Plan.t -> unit
+(** Inserts a freshly compiled plan, evicting LRU entries beyond the
+    byte budget (counted against [worker]).  If the key is already
+    resident — two workers compiled the same structure concurrently —
+    the resident plan is kept and the duplicate dropped. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;  (** resident plans *)
+  bytes : int;  (** resident frozen bytes *)
+  max_bytes : int;
+  per_domain : (int * int * int) array;  (** (hits, misses, evictions) *)
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -39,6 +39,7 @@ let pp_error fmt = function
   | Crashed msg -> Format.fprintf fmt "scheduler crashed: %s" msg
 
 type detail = Sched of Padr.Schedule.t | Waves of Padr.Waves.t
+type cache_status = Hit | Miss | Bypass
 
 type job_result = {
   algo : string;
@@ -49,6 +50,7 @@ type job_result = {
   cycles : int;
   control_messages : int;
   power : Padr.Schedule.power;
+  cache : cache_status;
   detail : detail;
 }
 
@@ -70,7 +72,7 @@ let leaves_for job =
   | Some l -> l
   | None -> Cst_util.Bits.ceil_pow2 (max 2 (Cst_comm.Comm_set.n job.set))
 
-let result_of_schedule ~algo ~digest ?(control_messages = 0)
+let result_of_schedule ~algo ~digest ~cache ?(control_messages = 0)
     (s : Padr.Schedule.t) =
   let detail = Sched s in
   {
@@ -82,6 +84,7 @@ let result_of_schedule ~algo ~digest ?(control_messages = 0)
     cycles = s.cycles;
     control_messages;
     power = s.power;
+    cache;
     detail;
   }
 
@@ -96,6 +99,7 @@ let result_of_waves ~algo ~leaves ~digest (w : Padr.Waves.t) =
     cycles = w.cycles;
     control_messages = 0;
     power = w.power;
+    cache = Bypass;
     detail;
   }
 
@@ -111,7 +115,17 @@ let classify set =
     | Error v -> Right_crossing v
   else Mixed_orientation
 
-let dispatch (job : job) =
+(* Cacheable paths consult the plan cache before scheduling: on a hit
+   the frozen plan is replayed ({!Padr.Plan.replay}) instead of running
+   the scheduler, on a miss the run just performed is frozen into the
+   cache.  Only successful well-nested runs are cached — wave covers
+   (multi-wave logs have no single rebase block) and errors bypass the
+   cache entirely.  Congruence of the cache key guarantees byte-equal
+   outcomes: equal signatures mean the sets are aligned translates, so
+   the replayed digest, power totals and round counts equal a fresh
+   run's (property-tested in test/test_plan.ml and test_service.ml). *)
+
+let dispatch ?cache (job : job) =
   match Cst_baselines.Registry.find job.algo with
   | None -> Error (Unknown_algo job.algo)
   | Some a -> (
@@ -120,12 +134,43 @@ let dispatch (job : job) =
       if n > leaves then Error (Too_large { n; leaves })
       else
         let topo = Cst.Topology.create ~leaves in
-        let direct () =
+        let with_cache ~engine ~producer ~hit ~fresh =
+          match cache with
+          | None -> fresh ~cache_status:Bypass ~freeze:None
+          | Some (pc, worker) -> (
+              let placed = Cst.Canon.place job.set in
+              let key : Plan_cache.key =
+                { algo = a.name; engine; leaves; canon = placed.canon }
+              in
+              match Plan_cache.find pc ~worker key with
+              | Some plan -> hit (Padr.Plan.replay plan topo job.set)
+              | None ->
+                  let freeze ~rounds ~cycles ~control_messages log =
+                    Plan_cache.add pc ~worker key
+                      (Padr.Plan.of_log ~producer ~topo ~set:job.set ~rounds
+                         ~cycles ~control_messages log)
+                  in
+                  fresh ~cache_status:Miss ~freeze:(Some freeze))
+        in
+        let direct ~cache_status ~freeze =
           let log = Cst.Exec_log.create () in
           let s = a.run ~log topo job.set in
+          Option.iter
+            (fun freeze ->
+              freeze
+                ~rounds:(Padr.Schedule.num_rounds s)
+                ~cycles:s.cycles ~control_messages:0 log)
+            freeze;
           Ok
-            (result_of_schedule ~algo:a.name
+            (result_of_schedule ~algo:a.name ~cache:cache_status
                ~digest:(Cst.Exec_log.digest log) s)
+        in
+        let direct_cached () =
+          with_cache ~engine:false ~producer:Padr.Plan.Spec ~fresh:direct
+            ~hit:(fun (r : Padr.Plan.replayed) ->
+              Ok
+                (result_of_schedule ~algo:a.name ~cache:Hit
+                   ~digest:(Cst.Exec_log.digest r.log) r.schedule))
         in
         let waves () =
           let log = Cst.Exec_log.create () in
@@ -141,20 +186,39 @@ let dispatch (job : job) =
             if not a.caps.engine_available then
               Error
                 (Unsupported { algo = a.name; what = "the message-passing engine" })
-            else (
-              let log = Cst.Exec_log.create () in
-              match Padr.Engine.run ~log topo job.set with
-              | Ok (s, stats) ->
-                  Ok
-                    (result_of_schedule ~algo:a.name
-                       ~digest:(Cst.Exec_log.digest log)
-                       ~control_messages:stats.control_messages s)
-              | Error e -> Error (error_of_csa e))
+            else
+              let engine_fresh ~cache_status ~freeze =
+                let log = Cst.Exec_log.create () in
+                match Padr.Engine.run ~log topo job.set with
+                | Ok (s, stats) ->
+                    Option.iter
+                      (fun freeze ->
+                        freeze
+                          ~rounds:(Padr.Schedule.num_rounds s)
+                          ~cycles:s.cycles
+                          ~control_messages:stats.control_messages log)
+                      freeze;
+                    Ok
+                      (result_of_schedule ~algo:a.name ~cache:cache_status
+                         ~digest:(Cst.Exec_log.digest log)
+                         ~control_messages:stats.control_messages s)
+                | Error e -> Error (error_of_csa e)
+              in
+              if classify job.set = Right_well_nested then
+                with_cache ~engine:true ~producer:Padr.Plan.Engine
+                  ~fresh:engine_fresh
+                  ~hit:(fun (r : Padr.Plan.replayed) ->
+                    Ok
+                      (result_of_schedule ~algo:a.name ~cache:Hit
+                         ~digest:(Cst.Exec_log.digest r.log)
+                         ~control_messages:r.control_messages r.schedule))
+              else engine_fresh ~cache_status:Bypass ~freeze:None
         | Spec -> (
             match classify job.set with
-            | Right_well_nested -> direct ()
+            | Right_well_nested -> direct_cached ()
             | Right_crossing v ->
-                if a.caps.supports = `Arbitrary then direct ()
+                if a.caps.supports = `Arbitrary then
+                  direct ~cache_status:Bypass ~freeze:None
                 else if a.caps.via_waves then waves ()
                 else Error (Not_well_nested v)
             | Mixed_orientation ->
@@ -164,10 +228,10 @@ let dispatch (job : job) =
                     (Unsupported
                        { algo = a.name; what = "left-oriented members" })))
 
-let run_job job =
+let run_job ?cache job =
   (* The catch-all is the pool's fault isolation: whatever escapes a
      scheduler becomes a typed outcome on this job's id. *)
-  match dispatch job with
+  match dispatch ?cache job with
   | result -> result
   | exception e -> Error (Crashed (Printexc.to_string e))
 
@@ -254,9 +318,10 @@ type t = {
   stopped : bool ref;
   workers : unit Domain.t array;
   domain_count : int;
+  cache : Plan_cache.t option;
 }
 
-let create ?domains ?(queue_capacity = 64) () =
+let create ?domains ?(queue_capacity = 64) ?(cache = true) ?cache_bytes () =
   let domain_count =
     match domains with
     | Some d -> max 1 d
@@ -267,17 +332,24 @@ let create ?domains ?(queue_capacity = 64) () =
   let completed_one = Condition.create () in
   let results = Hashtbl.create 64 in
   let completed = ref 0 in
-  let rec worker () =
+  let pc =
+    if cache then
+      Some (Plan_cache.create ?max_bytes:cache_bytes ~domains:domain_count ())
+    else None
+  in
+  let rec worker i () =
     match Chan.recv chan with
     | None -> ()
     | Some (idx, job) ->
-        let result = run_job job in
+        let result =
+          run_job ?cache:(Option.map (fun c -> (c, i)) pc) job
+        in
         Mutex.lock m;
         Hashtbl.replace results idx { job_id = job.id; result };
         incr completed;
         Condition.broadcast completed_one;
         Mutex.unlock m;
-        worker ()
+        worker i ()
   in
   {
     chan;
@@ -287,11 +359,13 @@ let create ?domains ?(queue_capacity = 64) () =
     submitted = ref 0;
     completed;
     stopped = ref false;
-    workers = Array.init domain_count (fun _ -> Domain.spawn worker);
+    workers = Array.init domain_count (fun i -> Domain.spawn (worker i));
     domain_count;
+    cache = pc;
   }
 
 let domains t = t.domain_count
+let cache_stats t = Option.map Plan_cache.stats t.cache
 
 let submit t job =
   Mutex.lock t.m;
@@ -335,8 +409,8 @@ let shutdown t =
     Array.iter Domain.join t.workers
   end
 
-let run ?domains ?queue_capacity jobs =
-  let t = create ?domains ?queue_capacity () in
+let run ?domains ?queue_capacity ?cache ?cache_bytes jobs =
+  let t = create ?domains ?queue_capacity ?cache ?cache_bytes () in
   Fun.protect
     ~finally:(fun () -> shutdown t)
     (fun () ->

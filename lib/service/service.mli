@@ -29,6 +29,21 @@
       decomposes by orientation);
     - [Message_passing] requires [engine_available] ({!Padr.Engine}).
 
+    {2 Plan cache}
+
+    Well-nested runs are memoized in a pool-wide byte-bounded LRU
+    ({!Plan_cache}) keyed by the set's structural signature
+    ({!Cst.Canon}), the algorithm and the tree size.  A job congruent to
+    an earlier one — same shape, possibly translated along the leaves —
+    replays the frozen plan ({!Padr.Plan.replay}) instead of
+    re-scheduling; replay is byte-identical to a fresh run (same log
+    digest, same power totals, same rounds), so cached outcomes are
+    indistinguishable from uncached ones under {!outcome_to_string}.
+    The [cache] field of {!job_result} tells which path served the job;
+    it is deliberately excluded from the canonical serialization because
+    hit/miss patterns race across domain counts.  Disable with
+    [~cache:false] on {!create}/{!run}.
+
     {2 Fault isolation}
 
     A failing job — unknown algorithm, capability mismatch, scheduler
@@ -76,25 +91,40 @@ type detail =
   | Sched of Padr.Schedule.t  (** single well-nested schedule *)
   | Waves of Padr.Waves.t  (** wave cover of a crossing or mixed set *)
 
+type cache_status =
+  | Hit  (** served by replaying a cached plan *)
+  | Miss  (** scheduled fresh; the plan was frozen into the cache *)
+  | Bypass
+      (** cache disabled, or the path is not cacheable (waves, crossing
+          sets, errors) *)
+
 type job_result = {
   algo : string;
   digest : string;
-      (** MD5 over the canonical per-round delivery transcript — equal
-          digests mean equal schedules *)
+      (** structural digest of the execution log
+          ({!Cst.Exec_log.digest}) — equal digests mean the hardware did
+          the same thing, event for event *)
   width : int;
   waves : int;  (** 1 for a direct schedule *)
   rounds : int;
   cycles : int;
   control_messages : int;  (** engine jobs only; 0 under [Spec] *)
   power : Padr.Schedule.power;  (** full ledger, per-switch arrays included *)
+  cache : cache_status;
+      (** which path served this job; excluded from
+          {!outcome_to_string} (hit/miss patterns race across domain
+          counts) *)
   detail : detail;
 }
 
 type outcome = { job_id : int; result : (job_result, error) result }
 
-val run_job : job -> (job_result, error) result
-(** The pure per-job function every worker runs; exposed for direct
-    (in-process, single-core) clients and for tests. *)
+val run_job :
+  ?cache:Plan_cache.t * int -> job -> (job_result, error) result
+(** The per-job function every worker runs; exposed for direct
+    (in-process, single-core) clients and for tests.  [cache] is the
+    shared plan cache paired with the calling worker's counter index;
+    omitted, every job bypasses the cache. *)
 
 val outcome_to_string : outcome -> string
 (** Canonical one-line serialization (digest, counts, power totals) used
@@ -104,13 +134,20 @@ val pp_outcome : Format.formatter -> outcome -> unit
 
 (** {2 Batch API} *)
 
-val run : ?domains:int -> ?queue_capacity:int -> job list -> outcome list
+val run :
+  ?domains:int ->
+  ?queue_capacity:int ->
+  ?cache:bool ->
+  ?cache_bytes:int ->
+  job list ->
+  outcome list
 (** Runs the batch on [domains] worker domains (default
     [Domain.recommended_domain_count ()], min 1) and returns one outcome
     per job, sorted by job id (ties by submission order).  Blocks until
     every job completes.  [queue_capacity] bounds the submission channel
     (default 64): submission applies backpressure instead of queueing
-    unboundedly. *)
+    unboundedly.  [cache] (default [true]) enables the pool-wide plan
+    cache, bounded by [cache_bytes] of frozen events (default 32 MiB). *)
 
 (** {2 Streaming API}
 
@@ -122,8 +159,16 @@ val run : ?domains:int -> ?queue_capacity:int -> job list -> outcome list
 
 type t
 
-val create : ?domains:int -> ?queue_capacity:int -> unit -> t
+val create :
+  ?domains:int -> ?queue_capacity:int -> ?cache:bool -> ?cache_bytes:int ->
+  unit -> t
+
 val domains : t -> int
+
+val cache_stats : t -> Plan_cache.stats option
+(** Aggregate and per-domain hit/miss/eviction counters of the pool's
+    plan cache; [None] when the pool was created with [~cache:false].
+    Safe to call while jobs are in flight. *)
 
 val submit : t -> job -> unit
 (** Blocks while the submission channel is full (backpressure).  Raises

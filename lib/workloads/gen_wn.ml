@@ -89,6 +89,35 @@ let with_width rng ~n ~width =
   assert (Cst_comm.Width.width ~leaves:n set = width);
   set
 
+let translate ~by set =
+  let n = Cst_comm.Comm_set.n set in
+  let shifted =
+    Array.fold_right
+      (fun (c : Cst_comm.Comm.t) acc ->
+        let src = c.src + by and dst = c.dst + by in
+        if src < 0 || src >= n || dst < 0 || dst >= n then
+          invalid_arg
+            (Printf.sprintf
+               "Gen_wn.translate: %d->%d shifted by %d leaves [0, %d)" c.src
+               c.dst by n);
+        comm src dst :: acc)
+      (Cst_comm.Comm_set.comms set)
+      []
+  in
+  Cst_comm.Comm_set.create_exn ~n shifted
+
+let tile ~copies set =
+  if copies < 1 then invalid_arg "Gen_wn.tile: copies < 1";
+  let n = Cst_comm.Comm_set.n set in
+  let comms = Array.to_list (Cst_comm.Comm_set.comms set) in
+  Cst_comm.Comm_set.create_exn ~n:(n * copies)
+    (List.concat
+       (List.init copies (fun k ->
+            List.map
+              (fun (c : Cst_comm.Comm.t) ->
+                comm (c.src + (k * n)) (c.dst + (k * n)))
+              comms)))
+
 let nested_blocks rng ~n ~blocks ~depth =
   if blocks < 1 || depth < 1 then invalid_arg "Gen_wn.nested_blocks";
   let block_size = n / blocks in

@@ -26,6 +26,21 @@ val with_width :
     re-checked, with the filler thinned on the rare overshoot).  Requires
     [2*width <= n]. *)
 
+val translate : by:int -> Cst_comm.Comm_set.t -> Cst_comm.Comm_set.t
+(** Shifts every endpoint by [by] (possibly negative) over the same [n]
+    PEs.  Raises [Invalid_argument] if any endpoint leaves [0, n).
+    Always preserves well-nestedness; preserves the width whenever [by]
+    is a multiple of the set's canonical alignment
+    ({!Cst.Canon.align}), i.e. when the translation moves the set to a
+    congruent tree-aligned block — the shifted-repeat traces the plan
+    cache amortizes over. *)
+
+val tile : copies:int -> Cst_comm.Comm_set.t -> Cst_comm.Comm_set.t
+(** Lays [copies] disjoint copies of the set side by side over
+    [copies * n] PEs, copy [k] shifted by [k * n].  Copies occupy
+    disjoint leaf intervals, so no two share a directed tree link:
+    well-nestedness and width are always preserved. *)
+
 val nested_blocks :
   Cst_util.Prng.t -> n:int -> blocks:int -> depth:int -> Cst_comm.Comm_set.t
 (** [blocks] disjoint onions of the given depth spread evenly over the PE

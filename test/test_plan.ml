@@ -1,0 +1,308 @@
+open Helpers
+
+(* Plan compilation and replay (Padr.Plan / Cst.Canon /
+   Exec_log.rebase): a replayed plan must be byte-identical to a fresh
+   run — same structural digest, same power units, same round and cycle
+   counts — at the compiled placement, under aligned translation, and
+   across tree sizes. *)
+
+let events log = Cst.Exec_log.fold log ~init:[] ~f:(fun acc e -> e :: acc)
+
+let power_eq msg (a : Padr.Schedule.power) (b : Padr.Schedule.power) =
+  check_int (msg ^ ": connects") a.total_connects b.total_connects;
+  check_int (msg ^ ": disconnects") a.total_disconnects b.total_disconnects;
+  check_int (msg ^ ": writes") a.total_writes b.total_writes;
+  check_int (msg ^ ": max connects/switch") a.max_connects_per_switch
+    b.max_connects_per_switch;
+  check_int (msg ^ ": max writes/switch") a.max_writes_per_switch
+    b.max_writes_per_switch
+
+(* --- Canon ---------------------------------------------------------- *)
+
+let test_canon_translation_invariant () =
+  let s = set ~n:32 [ (4, 7); (5, 6) ] in
+  let p = Cst.Canon.place s in
+  check_int "align" 4 (Cst.Canon.align p.canon);
+  check_int "base" 4 p.base;
+  (* Aligned translation: same signature, shifted base. *)
+  let t = Cst_workloads.Gen_wn.translate ~by:8 s in
+  let pt = Cst.Canon.place t in
+  check_true "aligned translate keeps the signature"
+    (Cst.Canon.equal p.canon pt.canon);
+  check_int "translated base" 12 pt.base;
+  (* Misaligned translation changes the position inside the block —
+     a different signature (and genuinely different routing). *)
+  let m = Cst_workloads.Gen_wn.translate ~by:2 s in
+  let pm = Cst.Canon.place m in
+  check_true "misaligned translate changes the signature"
+    (not (Cst.Canon.equal p.canon pm.canon))
+
+let test_canon_leaves_independent () =
+  let comms = [ (9, 14); (10, 13) ] in
+  let a = Cst.Canon.place (set ~n:16 comms) in
+  let b = Cst.Canon.place (set ~n:256 comms) in
+  check_true "signature ignores the tree size"
+    (Cst.Canon.equal a.canon b.canon);
+  check_int "same base" a.base b.base
+
+let test_canon_empty () =
+  let p = Cst.Canon.place (Cst_comm.Comm_set.empty ~n:8) in
+  check_int "empty align" 1 (Cst.Canon.align p.canon);
+  check_int "empty base" 0 p.base;
+  check_int "empty size" 0 (Cst.Canon.size p.canon)
+
+let test_canon_compatible () =
+  let p = Cst.Canon.place (set ~n:32 [ (4, 7); (5, 6) ]) in
+  check_true "fits at 4/32" (Cst.Canon.compatible p.canon ~leaves:32 ~base:4);
+  check_true "fits at 0/8" (Cst.Canon.compatible p.canon ~leaves:8 ~base:0);
+  check_true "rejects misaligned base"
+    (not (Cst.Canon.compatible p.canon ~leaves:32 ~base:2));
+  check_true "rejects overflow"
+    (not (Cst.Canon.compatible p.canon ~leaves:4 ~base:4));
+  check_true "rejects non-pow2 leaves"
+    (not (Cst.Canon.compatible p.canon ~leaves:12 ~base:4))
+
+(* --- replay == fresh run at the compiled placement ------------------- *)
+
+let replay_equals_fresh producer params =
+  let s = set_of_params params in
+  let topo = Padr.topology_for s in
+  let fresh_log = Cst.Exec_log.create () in
+  let fresh =
+    match producer with
+    | Padr.Plan.Spec -> Padr.Csa.run_exn ~log:fresh_log topo s
+    | Padr.Plan.Engine -> fst (Padr.Engine.run_exn ~log:fresh_log topo s)
+  in
+  let plan = Result.get_ok (Padr.Plan.compile ~producer topo s) in
+  let r = Padr.Plan.replay plan topo s in
+  check_true "digest" (Cst.Exec_log.digest r.log = Cst.Exec_log.digest fresh_log);
+  power_eq "power" fresh.power r.schedule.power;
+  check_int "rounds" (Padr.Schedule.num_rounds fresh)
+    (Padr.Schedule.num_rounds r.schedule);
+  check_int "cycles" fresh.cycles r.schedule.cycles;
+  check_int "width" fresh.width r.schedule.width;
+  check_true "deliveries"
+    (Padr.Schedule.all_deliveries fresh
+    = Padr.Schedule.all_deliveries r.schedule);
+  true
+
+(* --- replay under aligned translation and across tree sizes ---------- *)
+
+(* A random set confined to the first [m] leaves of an [n]-leaf tree,
+   so there is room to translate it block-by-block. *)
+let embedded_set ~seed ~m ~n =
+  let rng = Cst_util.Prng.create seed in
+  let small = Cst_workloads.Gen_wn.uniform rng ~n:m ~density:1.0 in
+  Cst_comm.Comm_set.create_exn ~n
+    (Array.to_list (Cst_comm.Comm_set.comms small))
+
+let translated_replay_roundtrip producer ~seed ~m ~n =
+  let s = embedded_set ~seed ~m ~n in
+  if Cst_comm.Comm_set.size s = 0 then ()
+  else begin
+    let topo = Cst.Topology.create ~leaves:n in
+    let plan = Result.get_ok (Padr.Plan.compile ~producer topo s) in
+    let placed = Cst.Canon.place s in
+    let align = Cst.Canon.align placed.canon in
+    let max_k = (n - placed.base - align) / align in
+    List.iter
+      (fun k ->
+        if k >= 1 && k <= max_k then begin
+          let t = Cst_workloads.Gen_wn.translate ~by:(k * align) s in
+          let fresh_log = Cst.Exec_log.create () in
+          let fresh =
+            match producer with
+            | Padr.Plan.Spec -> Padr.Csa.run_exn ~log:fresh_log topo t
+            | Padr.Plan.Engine ->
+                fst (Padr.Engine.run_exn ~log:fresh_log topo t)
+          in
+          let r = Padr.Plan.replay plan topo t in
+          check_true
+            (Printf.sprintf "translated digest (seed %d, +%d)" seed
+               (k * align))
+            (Cst.Exec_log.digest r.log = Cst.Exec_log.digest fresh_log);
+          power_eq "translated power" fresh.power r.schedule.power;
+          check_int "translated rounds"
+            (Padr.Schedule.num_rounds fresh)
+            (Padr.Schedule.num_rounds r.schedule);
+          check_int "translated cycles" fresh.cycles r.schedule.cycles;
+          check_true "translated deliveries"
+            (Padr.Schedule.all_deliveries fresh
+            = Padr.Schedule.all_deliveries r.schedule)
+        end)
+      [ 1; 2; max_k ]
+  end
+
+let test_translated_replay_spec () =
+  for seed = 1 to 25 do
+    translated_replay_roundtrip Padr.Plan.Spec ~seed ~m:16 ~n:128;
+    translated_replay_roundtrip Padr.Plan.Spec ~seed:(seed + 100) ~m:32 ~n:128
+  done
+
+let test_translated_replay_engine () =
+  for seed = 1 to 25 do
+    translated_replay_roundtrip Padr.Plan.Engine ~seed ~m:16 ~n:128;
+    translated_replay_roundtrip Padr.Plan.Engine ~seed:(seed + 100) ~m:32
+      ~n:128
+  done
+
+let cross_size_replay producer ~seed =
+  (* Compile on a 64-leaf tree, replay onto 512 leaves (same and shifted
+     placement): cycles and control messages come from the producer's
+     model for the bigger tree, the digest from the rebased log. *)
+  let s64 = embedded_set ~seed ~m:32 ~n:64 in
+  if Cst_comm.Comm_set.size s64 = 0 then ()
+  else begin
+    let topo64 = Cst.Topology.create ~leaves:64 in
+    let topo512 = Cst.Topology.create ~leaves:512 in
+    let plan = Result.get_ok (Padr.Plan.compile ~producer topo64 s64) in
+    let placed = Cst.Canon.place s64 in
+    let align = Cst.Canon.align placed.canon in
+    List.iter
+      (fun k ->
+        let by = k * align in
+        if placed.base + by + align <= 512 then begin
+          let t =
+            Cst_comm.Comm_set.create_exn ~n:512
+              (List.map
+                 (fun (c : Cst_comm.Comm.t) ->
+                   Cst_comm.Comm.make ~src:(c.src + by) ~dst:(c.dst + by))
+                 (Array.to_list (Cst_comm.Comm_set.comms s64)))
+          in
+          let fresh_log = Cst.Exec_log.create () in
+          let fresh, fresh_msgs =
+            match producer with
+            | Padr.Plan.Spec ->
+                (Padr.Csa.run_exn ~log:fresh_log topo512 t, 0)
+            | Padr.Plan.Engine ->
+                let s, stats = Padr.Engine.run_exn ~log:fresh_log topo512 t in
+                (s, stats.control_messages)
+          in
+          let r = Padr.Plan.replay plan topo512 t in
+          check_true
+            (Printf.sprintf "cross-size digest (seed %d, +%d)" seed by)
+            (Cst.Exec_log.digest r.log = Cst.Exec_log.digest fresh_log);
+          check_int "cross-size cycles" fresh.cycles r.schedule.cycles;
+          check_int "cross-size control messages" fresh_msgs
+            r.control_messages;
+          power_eq "cross-size power" fresh.power r.schedule.power
+        end)
+      [ 0; 1; 7 ]
+  end
+
+let test_cross_size_spec () =
+  for seed = 1 to 15 do
+    cross_size_replay Padr.Plan.Spec ~seed
+  done
+
+let test_cross_size_engine () =
+  for seed = 1 to 15 do
+    cross_size_replay Padr.Plan.Engine ~seed
+  done
+
+(* Every registry algorithm is cacheable by the service: its frozen run
+   must replay digest-identically onto an aligned translate. *)
+let test_registry_algos_replay_translated () =
+  List.iter
+    (fun (a : Cst_baselines.Registry.algo) ->
+      for seed = 1 to 8 do
+        let s = embedded_set ~seed ~m:16 ~n:64 in
+        if Cst_comm.Comm_set.size s > 0 then begin
+          let topo = Cst.Topology.create ~leaves:64 in
+          let log = Cst.Exec_log.create () in
+          let sched = a.run ~log topo s in
+          let plan =
+            Padr.Plan.of_log ~producer:Spec ~topo ~set:s
+              ~rounds:(Padr.Schedule.num_rounds sched)
+              ~cycles:sched.cycles log
+          in
+          let placed = Cst.Canon.place s in
+          let align = Cst.Canon.align placed.canon in
+          let max_k = (64 - placed.base - align) / align in
+          if max_k >= 1 then begin
+            let t = Cst_workloads.Gen_wn.translate ~by:(max_k * align) s in
+            let fresh_log = Cst.Exec_log.create () in
+            ignore (a.run ~log:fresh_log topo t);
+            let r = Padr.Plan.replay plan topo t in
+            check_true
+              (Printf.sprintf "%s replay digest (seed %d)" a.name seed)
+              (Cst.Exec_log.digest r.log = Cst.Exec_log.digest fresh_log)
+          end
+        end
+      done)
+    Cst_baselines.Registry.all
+
+(* --- rebase round-trip ----------------------------------------------- *)
+
+let test_rebase_roundtrip () =
+  for seed = 1 to 20 do
+    let s = embedded_set ~seed ~m:16 ~n:64 in
+    if Cst_comm.Comm_set.size s > 0 then begin
+      let topo = Cst.Topology.create ~leaves:64 in
+      let log = Cst.Exec_log.create () in
+      ignore (Padr.Engine.run_exn ~log topo s);
+      let placed = Cst.Canon.place s in
+      let align = Cst.Canon.align placed.canon in
+      let max_k = (64 - placed.base - align) / align in
+      if max_k >= 1 then begin
+        let by = max_k * align in
+        let there =
+          Cst.Exec_log.rebase log ~src_leaves:64 ~src_base:placed.base
+            ~dst_leaves:64 ~dst_base:(placed.base + by) ~align
+        in
+        let back =
+          Cst.Exec_log.rebase there ~src_leaves:64
+            ~src_base:(placed.base + by) ~dst_leaves:64 ~dst_base:placed.base
+            ~align
+        in
+        check_int "round-trip length" (Cst.Exec_log.length log)
+          (Cst.Exec_log.length back);
+        check_true "round-trip events" (events log = events back);
+        check_true "round-trip digest"
+          (Cst.Exec_log.digest log = Cst.Exec_log.digest back)
+      end
+    end
+  done
+
+let test_rebase_rejects_bad_geometry () =
+  let log = Cst.Exec_log.create () in
+  Cst.Exec_log.connect log ~node:3 ~out_port:Cst.Side.P ~in_port:Cst.Side.L;
+  check_raises_invalid "misaligned base" (fun () ->
+      Cst.Exec_log.rebase log ~src_leaves:8 ~src_base:1 ~dst_leaves:8
+        ~dst_base:0 ~align:2);
+  check_raises_invalid "non-pow2 leaves" (fun () ->
+      Cst.Exec_log.rebase log ~src_leaves:6 ~src_base:0 ~dst_leaves:8
+        ~dst_base:0 ~align:2);
+  (* node 3 is outside the subtree of block [4, 6) of an 8-leaf tree
+     (root 4/2 + 8/2 = 6). *)
+  check_raises_invalid "event outside the block" (fun () ->
+      Cst.Exec_log.rebase log ~src_leaves:8 ~src_base:4 ~dst_leaves:8
+        ~dst_base:0 ~align:2)
+
+let test_replay_rejects_mismatch () =
+  let s = set ~n:16 [ (1, 2) ] in
+  let topo = Cst.Topology.create ~leaves:16 in
+  let plan = Result.get_ok (Padr.Plan.compile topo s) in
+  check_raises_invalid "different structure" (fun () ->
+      Padr.Plan.replay plan topo (set ~n:16 [ (1, 4) ]));
+  check_raises_invalid "misaligned translate" (fun () ->
+      Padr.Plan.replay plan topo (set ~n:16 [ (2, 3) ]))
+
+let suite =
+  [
+    case "canon: aligned translation invariant" test_canon_translation_invariant;
+    case "canon: independent of tree size" test_canon_leaves_independent;
+    case "canon: empty set" test_canon_empty;
+    case "canon: compatibility checks" test_canon_compatible;
+    prop "replay == fresh run (spec)" ~count:100 (replay_equals_fresh Spec);
+    prop "replay == fresh run (engine)" ~count:100 (replay_equals_fresh Engine);
+    case "translated replay == fresh (spec)" test_translated_replay_spec;
+    case "translated replay == fresh (engine)" test_translated_replay_engine;
+    case "cross-size replay (spec)" test_cross_size_spec;
+    case "cross-size replay (engine)" test_cross_size_engine;
+    case "registry algorithms replay translated"
+      test_registry_algos_replay_translated;
+    case "rebase round-trip is identity" test_rebase_roundtrip;
+    case "rebase rejects bad geometry" test_rebase_rejects_bad_geometry;
+    case "replay rejects signature mismatch" test_replay_rejects_mismatch;
+  ]

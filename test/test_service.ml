@@ -168,6 +168,194 @@ let test_capability_dispatch () =
   | Error (Service.Unsupported _) -> ()
   | _ -> Alcotest.fail "naive has no message-passing engine"
 
+(* --- the plan cache ------------------------------------------------- *)
+
+module Plan_cache = Cst_service.Plan_cache
+
+(* A 90%-repetitive trace: a few base shapes replayed under aligned
+   translations, with a fresh unique shape every few jobs. *)
+let translated_trace rng ~jobs ~engine =
+  let bases =
+    [|
+      set ~n:8 [ (0, 7); (1, 2); (3, 6) ];
+      set ~n:8 [ (1, 6); (2, 5) ];
+      Cst_workloads.Gen_wn.uniform rng ~n:8 ~density:0.8;
+    |]
+  in
+  List.init jobs (fun i ->
+      let s =
+        if i mod 10 = 9 then
+          (* unique shape: never repeats, so it can only miss *)
+          Cst_workloads.Gen_wn.uniform rng ~n:64 ~density:0.3
+        else
+          (* Aligned translate of a base shape: the structural signature
+             is unchanged (any base spans at most 8 PEs, so its
+             alignment divides 8), only the placement moves. *)
+          let b = bases.(Cst_util.Prng.int rng (Array.length bases)) in
+          let by = 8 * Cst_util.Prng.int rng 8 in
+          Cst_workloads.Gen_wn.translate ~by
+            (Cst_comm.Comm_set.create_exn ~n:64
+               (Array.to_list (Cst_comm.Comm_set.comms b)))
+      in
+      Service.job ~engine ~leaves:64 ~id:i ~algo:"csa" s)
+
+(* Cached and uncached runs must be byte-identical, for any domain
+   count: the cache only changes how an outcome is produced. *)
+let test_cached_equals_uncached =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:25
+       ~name:"cached = uncached, byte for byte, any domain count"
+       QCheck.(triple (int_bound 1_000_000) (int_range 1 4) bool)
+       (fun (seed, domains, engine) ->
+         let rng = Cst_util.Prng.create seed in
+         let engine =
+           if engine then Service.Message_passing else Service.Spec
+         in
+         let jobs = translated_trace rng ~jobs:30 ~engine in
+         let cached =
+           List.map Service.outcome_to_string (Service.run ~domains jobs)
+         and uncached =
+           List.map Service.outcome_to_string
+             (Service.run ~domains:1 ~cache:false jobs)
+         in
+         cached = uncached))
+
+let test_cache_hit_rate () =
+  let rng = Cst_util.Prng.create 11 in
+  let jobs = translated_trace rng ~jobs:100 ~engine:Service.Spec in
+  let t = Service.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Service.shutdown t)
+    (fun () ->
+      List.iter (Service.submit t) jobs;
+      let outcomes = Service.drain t in
+      check_int "all jobs answered" 100 (List.length outcomes);
+      match Service.cache_stats t with
+      | None -> Alcotest.fail "cache enabled by default"
+      | Some s ->
+          check_int "every cacheable job consulted the cache" 100
+            (s.hits + s.misses);
+          check_true
+            (Printf.sprintf "repetitive trace mostly hits (%d/100)" s.hits)
+            (s.hits >= 70);
+          check_int "per-domain counters sum to the totals"
+            (s.hits + s.misses)
+            (Array.fold_left
+               (fun acc (h, m, _) -> acc + h + m)
+               0 s.per_domain);
+          (* Hit or miss, outcomes match the uncached run. *)
+          let uncached = Service.run ~domains:1 ~cache:false jobs in
+          check_true "outcomes equal uncached"
+            (List.map Service.outcome_to_string outcomes
+            = List.map Service.outcome_to_string uncached))
+
+let test_cache_disabled () =
+  let t = Service.create ~domains:1 ~cache:false () in
+  Fun.protect
+    ~finally:(fun () -> Service.shutdown t)
+    (fun () ->
+      Service.submit t (Service.job ~id:0 ~algo:"csa" (set ~n:8 [ (0, 7) ]));
+      ignore (Service.drain t);
+      check_true "no stats without a cache" (Service.cache_stats t = None))
+
+(* Waves and crossing sets never touch the cache. *)
+let test_uncacheable_paths_bypass () =
+  let t = Service.create ~domains:1 () in
+  Fun.protect
+    ~finally:(fun () -> Service.shutdown t)
+    (fun () ->
+      let crossing = set ~n:8 [ (0, 2); (1, 3) ] in
+      Service.submit t (Service.job ~id:0 ~algo:"csa" crossing);
+      Service.submit t (Service.job ~id:1 ~algo:"greedy" crossing);
+      (match Service.drain t with
+      | [ o0; o1 ] ->
+          let status (o : Service.outcome) =
+            match o.result with
+            | Ok r -> r.cache
+            | Error _ -> Alcotest.fail "jobs should succeed"
+          in
+          check_true "wave cover bypasses" (status o0 = Service.Bypass);
+          check_true "crossing direct run bypasses"
+            (status o1 = Service.Bypass)
+      | os ->
+          Alcotest.fail
+            (Printf.sprintf "expected 2 outcomes, got %d" (List.length os)));
+      match Service.cache_stats t with
+      | Some s -> check_int "no lookups recorded" 0 (s.hits + s.misses)
+      | None -> Alcotest.fail "cache is on")
+
+(* Unit tests against the cache itself: LRU eviction honours the byte
+   budget, and a duplicate insert keeps the resident entry. *)
+let plan_for ~id =
+  let s = set ~n:8 [ (id mod 4, 4 + (id mod 4)) ] in
+  let topo = Cst.Topology.create ~leaves:8 in
+  (s, Result.get_ok (Padr.Plan.compile topo s))
+
+let key_of ~id s : Plan_cache.key =
+  {
+    algo = Printf.sprintf "a%d" id;
+    engine = false;
+    leaves = 8;
+    canon = (Cst.Canon.place s).canon;
+  }
+
+let test_plan_cache_lru () =
+  let _, p0 = plan_for ~id:0 in
+  let budget = (3 * Padr.Plan.bytes p0) + (Padr.Plan.bytes p0 / 2) in
+  let pc = Plan_cache.create ~max_bytes:budget ~domains:1 () in
+  let keys =
+    Array.init 5 (fun id ->
+        let s, p = plan_for ~id in
+        let k = key_of ~id s in
+        Plan_cache.add pc ~worker:0 k p;
+        k)
+  in
+  let s = Plan_cache.stats pc in
+  check_true "byte budget held" (s.bytes <= budget);
+  check_int "two oldest evicted" 2 s.evictions;
+  check_int "three resident" 3 s.entries;
+  check_true "oldest entry gone"
+    (Plan_cache.find pc ~worker:0 keys.(0) = None);
+  check_true "newest entry resident"
+    (Plan_cache.find pc ~worker:0 keys.(4) <> None);
+  (* Touch an old survivor, insert one more: the untouched one goes. *)
+  ignore (Plan_cache.find pc ~worker:0 keys.(2));
+  let s5, p5 = plan_for ~id:5 in
+  Plan_cache.add pc ~worker:0 (key_of ~id:5 s5) p5;
+  check_true "recently used survives"
+    (Plan_cache.find pc ~worker:0 keys.(2) <> None);
+  check_true "least recently used evicted"
+    (Plan_cache.find pc ~worker:0 keys.(3) = None)
+
+let test_plan_cache_duplicate_add () =
+  let pc = Plan_cache.create ~domains:2 () in
+  let s, p = plan_for ~id:0 in
+  let k = key_of ~id:0 s in
+  Plan_cache.add pc ~worker:0 k p;
+  let resident =
+    match Plan_cache.find pc ~worker:0 k with
+    | Some r -> r
+    | None -> Alcotest.fail "inserted plan must be found"
+  in
+  (* A second worker racing the same compile drops its duplicate. *)
+  let _, p' = plan_for ~id:0 in
+  Plan_cache.add pc ~worker:1 k p';
+  (match Plan_cache.find pc ~worker:1 k with
+  | Some r -> check_true "first insert kept" (r == resident)
+  | None -> Alcotest.fail "entry vanished");
+  let s = Plan_cache.stats pc in
+  check_int "one entry" 1 s.entries;
+  check_int "no evictions" 0 s.evictions
+
+let test_oversized_plan_not_admitted () =
+  let pc = Plan_cache.create ~max_bytes:8 ~domains:1 () in
+  let s, p = plan_for ~id:0 in
+  let k = key_of ~id:0 s in
+  Plan_cache.add pc ~worker:0 k p;
+  let st = Plan_cache.stats pc in
+  check_int "nothing resident" 0 st.entries;
+  check_int "nothing counted as evicted" 0 st.evictions
+
 let suite =
   [
     test_parallel_equals_sequential;
@@ -178,4 +366,11 @@ let suite =
     case "submit after shutdown" test_submit_after_shutdown;
     test_engine_digest_equals_spec;
     case "capability dispatch" test_capability_dispatch;
+    test_cached_equals_uncached;
+    case "cache hit rate on a repetitive trace" test_cache_hit_rate;
+    case "cache disabled" test_cache_disabled;
+    case "uncacheable paths bypass" test_uncacheable_paths_bypass;
+    case "plan cache LRU eviction" test_plan_cache_lru;
+    case "plan cache duplicate insert" test_plan_cache_duplicate_add;
+    case "oversized plan not admitted" test_oversized_plan_not_admitted;
   ]

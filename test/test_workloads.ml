@@ -127,6 +127,77 @@ let test_all_suite_workloads_schedulable () =
       check_true (g.name ^ " schedules: " ^ String.concat ";" r.issues) r.ok)
     Cst_workloads.Suite.all
 
+(* --- translate / tile combinators ----------------------------------- *)
+
+let embed ~n s =
+  Cst_comm.Comm_set.create_exn ~n
+    (Array.to_list (Cst_comm.Comm_set.comms s))
+
+let test_translate_well_nested =
+  prop "translate preserves well-nestedness" ~count:100 (fun params ->
+      let s = set_of_params params in
+      let n = Cst_comm.Comm_set.n s in
+      let s2 = embed ~n:(2 * n) s in
+      List.for_all
+        (fun by ->
+          let t = Cst_workloads.Gen_wn.translate ~by s2 in
+          wn t && Cst_comm.Comm_set.size t = Cst_comm.Comm_set.size s2)
+        [ 0; 1; n - 1; n ])
+
+let test_translate_aligned_width =
+  prop "aligned translate preserves width" ~count:100 (fun params ->
+      let s = set_of_params params in
+      let n = Cst_comm.Comm_set.n s in
+      let align = Cst.Canon.align (Cst.Canon.place s).canon in
+      let s2 = embed ~n:(4 * n) s in
+      let w = Cst_comm.Width.width ~leaves:(4 * n) s2 in
+      List.for_all
+        (fun k ->
+          let t = Cst_workloads.Gen_wn.translate ~by:(k * align) s2 in
+          wn t && Cst_comm.Width.width ~leaves:(4 * n) t = w)
+        [ 1; 2; 3 ])
+
+(* An unaligned shift may change the width even though well-nestedness
+   survives: {(1,4),(2,3)} has width 1 on 8 leaves (the two paths share
+   no link), but shifted by 1 both pairs cross the root link. *)
+let test_translate_unaligned_width () =
+  let s = set ~n:8 [ (1, 4); (2, 3) ] in
+  check_int "width 1 at the original placement" 1
+    (Cst_comm.Width.width ~leaves:8 s);
+  let t = Cst_workloads.Gen_wn.translate ~by:1 s in
+  check_true "still well-nested" (wn t);
+  check_int "but the width grows" 2 (Cst_comm.Width.width ~leaves:8 t)
+
+let test_translate_invalid () =
+  let s = set ~n:8 [ (1, 6) ] in
+  check_raises_invalid "shift off the right edge" (fun () ->
+      Cst_workloads.Gen_wn.translate ~by:2 s);
+  check_raises_invalid "shift off the left edge" (fun () ->
+      Cst_workloads.Gen_wn.translate ~by:(-2) s)
+
+let test_tile =
+  prop "tile preserves well-nestedness and width" ~count:60 (fun params ->
+      let s = set_of_params params in
+      let n = Cst_comm.Comm_set.n s in
+      let w = Cst_comm.Width.width ~leaves:n s in
+      List.for_all
+        (fun copies ->
+          let t = Cst_workloads.Gen_wn.tile ~copies s in
+          Cst_comm.Comm_set.n t = n * copies
+          && Cst_comm.Comm_set.size t = copies * Cst_comm.Comm_set.size s
+          && wn t
+          && Cst_comm.Width.width ~leaves:(Cst_util.Bits.ceil_pow2 (n * copies)) t
+             = (if Cst_comm.Comm_set.size s = 0 then 0 else w))
+        [ 1; 2; 4 ])
+
+let test_tile_schedulable () =
+  let rng = Cst_util.Prng.create 31 in
+  let s = Cst_workloads.Gen_wn.uniform rng ~n:16 ~density:0.8 in
+  let t = Cst_workloads.Gen_wn.tile ~copies:4 s in
+  check_verified ~msg:"tiled set schedules" (Padr.schedule_exn t);
+  check_raises_invalid "copies must be positive" (fun () ->
+      Cst_workloads.Gen_wn.tile ~copies:0 s)
+
 let suite =
   [
     case "uniform valid" test_uniform_valid;
@@ -144,4 +215,10 @@ let suite =
     case "fig3b semantics" test_fig3b_semantics;
     case "suite registry" test_suite_registry;
     case "all suite workloads schedulable" test_all_suite_workloads_schedulable;
+    test_translate_well_nested;
+    test_translate_aligned_width;
+    case "unaligned translate can widen" test_translate_unaligned_width;
+    case "translate rejects out-of-range shifts" test_translate_invalid;
+    test_tile;
+    case "tiled sets schedule" test_tile_schedulable;
   ]

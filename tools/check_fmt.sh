@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Source-hygiene gate, wired into `dune runtest` (tools/dune).
+#
+# Always enforced: no tab characters and no trailing whitespace in any
+# OCaml source under lib/, bin/, bench/ or test/.  When an ocamlformat
+# binary and a .ocamlformat config are both present, the full
+# `dune build @fmt` check runs too; environments without the formatter
+# (the pinned CI image ships none) still get the lint, so the gate
+# never silently passes for the wrong reason.
+set -u
+
+fail=0
+tab=$(printf '\t')
+
+while IFS= read -r f; do
+  if grep -q "$tab" "$f"; then
+    echo "check_fmt: tab character in $f"
+    fail=1
+  fi
+  if grep -qE "[ $tab]+\$" "$f"; then
+    echo "check_fmt: trailing whitespace in $f"
+    fail=1
+  fi
+done < <(find lib bin bench test \( -name '*.ml' -o -name '*.mli' \) \
+           -not -path '*/_build/*')
+
+if command -v ocamlformat >/dev/null 2>&1 && [ -f .ocamlformat ]; then
+  if ! dune build @fmt; then
+    echo "check_fmt: dune build @fmt reported diffs"
+    fail=1
+  fi
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_fmt: FAILED"
+  exit 1
+fi
+echo "check_fmt: ok"
