@@ -1,29 +1,37 @@
 (* Perf-regression gate over BENCH_engine.json files.
 
    Usage:
-     check_regression.exe --validate FILE
+     check_regression.exe --validate FILE [--out VERDICT.json]
          Parse a benchmark JSON file and verify it is structurally sound
-         (>= 1 result row, positive finite timings) and that the plan
-         cache holds its headline claims: replay at least 3x faster than
-         compile, and at least an 80% hit rate on the repetitive
-         translated trace.  Used by the `bench-smoke` runtest rule on
-         the --fast --json output and on the committed baseline.
+         (>= 1 result row, positive finite timings) and that the
+         headline claims hold: plan-cache replay at least 3x faster than
+         compile with at least an 80% hit rate on the repetitive
+         translated trace, and the segment-parallel engine correct
+         (merged digest identical to the sequential engine's, per-block
+         work summing to the sequential run's) with a domains:1 overhead
+         of at most 10% over the sequential engine.  The overhead gate
+         applies only to full-size runs ("fast": false): on the --fast
+         smoke grid the blocks are so small that the constant
+         per-block cost dominates.  Used by the `bench-smoke` runtest
+         rule on the --fast --json output and on the committed baseline.
 
-     check_regression.exe BASELINE FRESH [--threshold PCT]
+     check_regression.exe BASELINE FRESH [--threshold PCT] [--out VERDICT.json]
          Compare a fresh run against the committed baseline: any timed
          kernel (matched on kernel/pes/width) slower by more than PCT
          percent (default 25) fails with exit code 1, and any
          service_throughput row (matched on pes/domains) with more than
          PCT percent fewer jobs/sec does too.  The log-append rate, the
-         plan-cache compile/replay times and the trace hit rate are
-         gated the same way.  A row present in the baseline but missing
-         from the fresh run also fails — a silently dropped kernel is
-         not a passing one.
+         plan-cache compile/replay times, the trace hit rate and the
+         segment-parallel timings are gated the same way.  A row present
+         in the baseline but missing from the fresh run also fails — a
+         silently dropped kernel is not a passing one.
 
    Every violated gate is reported on its own line naming the section
    and metric ("check_regression: FAIL <section>/<metric>: ..."), and a
    one-line summary with the violation count closes the report before
-   the non-zero exit.
+   the non-zero exit.  With --out, a machine-readable verdict — mode,
+   pass/fail and the full violation list — is also written to the named
+   file (written on success too, so CI can always collect it).
 
    The parser is deliberately line-based: bench/main.ml emits exactly one
    result object per line, so no JSON dependency is needed. *)
@@ -47,6 +55,15 @@ type cache_row = {
   pc_compile_ns : float;
   pc_replay_ns : float;
   pc_hit_rate : float;
+}
+
+type par_row = {
+  pr_pes : int;
+  pr_seq_ns : float;
+  pr_par_d1_ns : float;
+  pr_overhead : float;
+  pr_digest_match : bool;
+  pr_work_conserved : bool;
 }
 
 let find_field line key =
@@ -88,11 +105,23 @@ let number_field line key =
       if !stop = start then None
       else float_of_string_opt (String.sub line start (!stop - start))
 
+let bool_field line key =
+  match find_field line key with
+  | None -> None
+  | Some start ->
+      let has lit =
+        start + String.length lit <= String.length line
+        && String.sub line start (String.length lit) = lit
+      in
+      if has "true" then Some true else if has "false" then Some false else None
+
 type parsed = {
   rows : row list;
   service : service_row list;
   log_overhead : log_row option;
   plan_cache : cache_row option;
+  par_engine : par_row option;
+  fast : bool;
 }
 
 let parse_rows file =
@@ -101,9 +130,38 @@ let parse_rows file =
   let service = ref [] in
   let log_overhead = ref None in
   let plan_cache = ref None in
+  let par_engine = ref None in
+  let fast = ref false in
   (try
      while true do
        let line = input_line ic in
+       (match (find_field line "schema", bool_field line "fast") with
+       | Some _, _ -> ()
+       | None, Some f -> fast := f
+       | None, None -> ());
+       match
+         (number_field line "seq_ns", number_field line "par_d1_ns")
+       with
+       | Some seq_ns, Some par_d1_ns ->
+           par_engine :=
+             Some
+               {
+                 pr_pes =
+                   int_of_float
+                     (Option.value ~default:0.0 (number_field line "pes"));
+                 pr_seq_ns = seq_ns;
+                 pr_par_d1_ns = par_d1_ns;
+                 pr_overhead =
+                   Option.value ~default:(-1.0)
+                     (number_field line "overhead");
+                 pr_digest_match =
+                   Option.value ~default:false
+                     (bool_field line "digest_match");
+                 pr_work_conserved =
+                   Option.value ~default:false
+                     (bool_field line "work_conserved");
+               }
+       | _ -> (
        match
          (number_field line "compile_ns", number_field line "replay_ns")
        with
@@ -171,7 +229,7 @@ let parse_rows file =
                    srv_jobs_per_sec = jps;
                  }
                  :: !service
-           | _ -> ())))
+           | _ -> ()))))
      done
    with End_of_file -> ());
   close_in ic;
@@ -180,6 +238,8 @@ let parse_rows file =
     service = List.rev !service;
     log_overhead = !log_overhead;
     plan_cache = !plan_cache;
+    par_engine = !par_engine;
+    fast = !fast;
   }
 
 let key r = Printf.sprintf "%s/%d/%d" r.kernel r.pes r.width
@@ -190,8 +250,43 @@ let skey s = Printf.sprintf "service/%d/%dd" s.srv_pes s.srv_domains
 let violations : (string * string) list ref = ref []
 let fail_gate where detail = violations := (where, detail) :: !violations
 
-let finish ~ok_message =
-  match List.rev !violations with
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* The machine-readable verdict: written on success AND on failure, so a
+   CI step can always collect one artifact instead of scraping stdout. *)
+let write_verdict ~mode ~extra file vs =
+  let oc = open_out file in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"cst-padr/check-regression/v1\",\n";
+  p "  \"mode\": \"%s\",\n" mode;
+  List.iter (fun (k, v) -> p "  \"%s\": %s,\n" k v) extra;
+  p "  \"pass\": %b,\n" (vs = []);
+  p "  \"gates_violated\": %d,\n" (List.length vs);
+  p "  \"violations\": [\n";
+  List.iteri
+    (fun i (where, detail) ->
+      p "    {\"gate\": \"%s\", \"detail\": \"%s\"}%s\n" (json_escape where)
+        (json_escape detail)
+        (if i = List.length vs - 1 then "" else ","))
+    vs;
+  p "  ]\n}\n";
+  close_out oc
+
+let finish ?out ~mode ~extra ~ok_message () =
+  let vs = List.rev !violations in
+  Option.iter (fun file -> write_verdict ~mode ~extra file vs) out;
+  match vs with
   | [] ->
       print_endline ok_message
   | vs ->
@@ -202,7 +297,7 @@ let finish ~ok_message =
       Printf.printf "check_regression: %d gate(s) violated\n" (List.length vs);
       exit 1
 
-let validate file =
+let validate ?out file =
   let p = parse_rows file in
   if p.rows = [] then
     fail_gate "results" (Printf.sprintf "%s contains no benchmark rows" file);
@@ -265,12 +360,45 @@ let validate file =
                "repetitive trace must hit >= 80%%, measured %.1f%%"
                (100.0 *. pc.pc_hit_rate))
       end);
-  finish
+  (match p.par_engine with
+  | None ->
+      fail_gate "par_engine"
+        (Printf.sprintf "%s is missing the par_engine section" file)
+  | Some pr ->
+      if
+        (not (Float.is_finite pr.pr_seq_ns))
+        || pr.pr_seq_ns <= 0.0
+        || (not (Float.is_finite pr.pr_par_d1_ns))
+        || pr.pr_par_d1_ns <= 0.0
+      then
+        fail_gate "par_engine/seq_ns"
+          (Printf.sprintf "bad timings (seq %f ns, par d1 %f ns)" pr.pr_seq_ns
+             pr.pr_par_d1_ns);
+      if not pr.pr_digest_match then
+        fail_gate "par_engine/digest_match"
+          "merged log must be digest-identical to the sequential engine's";
+      if not pr.pr_work_conserved then
+        fail_gate "par_engine/work_conserved"
+          "per-block event counts must sum to the sequential run's";
+      (* The single-core gate: at domains:1 the decomposition + merge
+         machinery may cost at most 10% over the sequential engine.
+         Full-size runs only — on the --fast smoke grid the blocks are a
+         few dozen PEs and the constant per-block cost dominates. *)
+      if (not p.fast) && pr.pr_overhead > 1.10 then
+        fail_gate "par_engine/overhead"
+          (Printf.sprintf
+             "domains:1 must stay within 10%% of the sequential engine, \
+              measured %.1f%% at %d PEs"
+             (100.0 *. (pr.pr_overhead -. 1.0))
+             pr.pr_pes));
+  finish ?out ~mode:"validate"
+    ~extra:[ ("file", Printf.sprintf "\"%s\"" (json_escape file)) ]
     ~ok_message:
       (Printf.sprintf "check_regression: %s ok (%d rows, %d service rows)"
          file (List.length p.rows) (List.length p.service))
+    ()
 
-let compare_files ~threshold baseline fresh =
+let compare_files ?out ~threshold baseline fresh =
   let base = parse_rows baseline and cur = parse_rows fresh in
   let lookup rows k = List.find_opt (fun r -> key r = k) rows in
   (* [gate ~slower] prints the comparison row; out-of-threshold ratios
@@ -354,19 +482,71 @@ let compare_files ~threshold baseline fresh =
         ~label:(label "replay") b.pc_replay_ns f.pc_replay_ns;
       gate ~slower:false ~section:"plan_cache" ~metric:"hit_rate"
         ~label:(label "hit-rate") b.pc_hit_rate f.pc_hit_rate);
-  finish
+  (* Segment-parallel engine: both timings gate like any kernel, and a
+     fresh run that loses the correctness certificates fails outright. *)
+  (match (base.par_engine, cur.par_engine) with
+  | None, _ -> ()
+  | Some b, None ->
+      missing ~section:"par_engine"
+        ~label:(Printf.sprintf "par-seq/%d" b.pr_pes)
+        b.pr_seq_ns
+  | Some b, Some f ->
+      let label metric = Printf.sprintf "par-%s/%d" metric b.pr_pes in
+      gate ~slower:true ~section:"par_engine" ~metric:"seq_ns"
+        ~label:(label "seq") b.pr_seq_ns f.pr_seq_ns;
+      gate ~slower:true ~section:"par_engine" ~metric:"par_d1_ns"
+        ~label:(label "d1") b.pr_par_d1_ns f.pr_par_d1_ns;
+      if not f.pr_digest_match then
+        fail_gate "par_engine/digest_match"
+          "fresh run lost digest identity with the sequential engine";
+      if not f.pr_work_conserved then
+        fail_gate "par_engine/work_conserved"
+          "fresh run no longer conserves per-block work");
+  finish ?out ~mode:"compare"
+    ~extra:
+      [
+        ("baseline", Printf.sprintf "\"%s\"" (json_escape baseline));
+        ("fresh", Printf.sprintf "\"%s\"" (json_escape fresh));
+        ("threshold_pct", Printf.sprintf "%.1f" threshold);
+      ]
     ~ok_message:
       (Printf.sprintf "check_regression: no kernel regressed beyond %.0f%%"
          threshold)
+    ()
 
 let () =
-  match Array.to_list Sys.argv with
-  | [ _; "--validate"; file ] -> validate file
-  | [ _; baseline; fresh ] -> compare_files ~threshold:25.0 baseline fresh
-  | [ _; baseline; fresh; "--threshold"; pct ] ->
-      compare_files ~threshold:(float_of_string pct) baseline fresh
-  | _ ->
-      prerr_endline
-        "usage: check_regression (--validate FILE | BASELINE FRESH \
-         [--threshold PCT])";
-      exit 2
+  let out = ref None in
+  let threshold = ref 25.0 in
+  let validate_file = ref None in
+  let positional = ref [] in
+  let usage () =
+    prerr_endline
+      "usage: check_regression (--validate FILE | BASELINE FRESH \
+       [--threshold PCT]) [--out VERDICT.json]";
+    exit 2
+  in
+  let rec go = function
+    | [] -> ()
+    | "--out" :: file :: rest ->
+        out := Some file;
+        go rest
+    | "--threshold" :: pct :: rest -> (
+        match float_of_string_opt pct with
+        | Some t ->
+            threshold := t;
+            go rest
+        | None -> usage ())
+    | "--validate" :: file :: rest ->
+        validate_file := Some file;
+        go rest
+    | a :: rest ->
+        if String.length a > 1 && a.[0] = '-' then usage ();
+        positional := a :: !positional;
+        go rest
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  match (!validate_file, List.rev !positional) with
+  | Some file, [] -> validate ?out:!out file
+  | None, [ baseline; fresh ] ->
+      compare_files ?out:!out ~threshold:!threshold baseline fresh
+  | _ -> usage ()

@@ -136,12 +136,14 @@ let info_cmd =
 
 (* route *)
 let route_cmd =
-  let run file workload n seed algo engine verbose no_verify =
+  let run file workload n seed algo engine par verbose no_verify =
     match obtain_set file workload n seed with
     | Error e -> exit_err e
     | Ok set -> (
         let engine =
-          if engine then Service.Message_passing else Service.Spec
+          if par then Service.Segmented
+          else if engine then Service.Message_passing
+          else Service.Spec
         in
         match Service.run_job (Service.job ~engine ~id:0 ~algo set) with
         | Error e -> exit_err (Format.asprintf "%a" Service.pp_error e)
@@ -161,6 +163,8 @@ let route_cmd =
                  r.power.total_writes r.power.max_connects_per_switch);
             if r.control_messages > 0 then
               Format.printf "control messages: %d@." r.control_messages;
+            if r.blocks > 0 then
+              Format.printf "segments: %d independent block(s)@." r.blocks;
             if not no_verify then begin
               let ok =
                 match r.detail with
@@ -203,6 +207,15 @@ let route_cmd =
       & info [ "engine" ]
           ~doc:"Execute through the message-passing engine (CSA only).")
   in
+  let par =
+    Arg.(
+      value & flag
+      & info [ "par" ]
+          ~doc:
+            "Execute through the segment-parallel engine: independent \
+             top-level blocks scheduled separately and merged (CSA only; \
+             implies the message-passing engine).")
+  in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every round.")
   in
@@ -213,11 +226,12 @@ let route_cmd =
     (Cmd.info "route" ~doc:"Schedule a set on the CST")
     Term.(
       const run $ file_arg $ workload_arg $ n_arg $ seed_arg $ algo $ engine
-      $ verbose $ no_verify)
+      $ par $ verbose $ no_verify)
 
 (* batch: many jobs through the domain pool *)
 let batch_cmd =
-  let run n jobs algos seed domains queue verbose cache_stats no_cache =
+  let run n jobs algos seed domains queue verbose cache_stats no_cache
+      segmented =
     let algos =
       match algos with
       | [] -> List.map (fun (a : Cst_baselines.Registry.algo) -> a.name)
@@ -244,7 +258,17 @@ let batch_cmd =
           let g = List.nth gens (i mod List.length gens) in
           g.make rng ~n
       in
-      Service.job ~id:i ~algo set
+      let engine =
+        (* --segmented routes every engine-capable job through the
+           segment-parallel path; algorithms without an engine keep the
+           spec scheduler instead of failing on a capability error. *)
+        if segmented then
+          match Cst_baselines.Registry.find algo with
+          | Some a when a.caps.engine_available -> Service.Segmented
+          | _ -> Service.Spec
+        else Service.Spec
+      in
+      Service.job ~engine ~id:i ~algo set
     in
     let js = List.init jobs make_job in
     let t0 = Unix.gettimeofday () in
@@ -271,10 +295,34 @@ let batch_cmd =
     Format.printf "%d jobs (%d failed) on %d domain(s) in %.3f s (%.0f jobs/s)@."
       jobs (List.length failed) (Service.domains t) dt
       (float_of_int jobs /. Float.max dt 1e-9);
-    if cache_stats then
-      match Service.cache_stats t with
-      | Some s -> Format.printf "%a@." Cst_service.Plan_cache.pp_stats s
-      | None -> Format.printf "plan cache: disabled@."
+    if cache_stats then begin
+      (match Service.cache_stats t with
+      | Some s ->
+          Format.printf "%a@." Cst_service.Plan_cache.pp_stats s;
+          Array.iteri
+            (fun d (h, m, e) ->
+              Format.printf
+                "  domain %d: %d hit(s), %d miss(es), %d eviction(s)@." d h m
+                e)
+            s.per_domain
+      | None -> Format.printf "plan cache: disabled@.");
+      (* Per-block accounting of the segmented jobs: blocks are cached
+         independently, so a job can be partially served by the cache. *)
+      let seg, blocks, hits =
+        List.fold_left
+          (fun (seg, blocks, hits) (o : Service.outcome) ->
+            match o.result with
+            | Ok r when r.blocks > 0 ->
+                (seg + 1, blocks + r.blocks, hits + r.block_hits)
+            | _ -> (seg, blocks, hits))
+          (0, 0, 0) outcomes
+      in
+      if seg > 0 then
+        Format.printf
+          "segmented jobs: %d, scheduling %d block(s), %d served from \
+           cached block plans@."
+          seg blocks hits
+    end
   in
   let jobs =
     Arg.(value & opt int 64 & info [ "jobs" ] ~docv:"J" ~doc:"Number of jobs to generate.")
@@ -311,12 +359,20 @@ let batch_cmd =
       & info [ "no-cache" ]
           ~doc:"Disable the plan cache; every job schedules from scratch.")
   in
+  let segmented =
+    Arg.(
+      value & flag
+      & info [ "segmented" ]
+          ~doc:
+            "Route engine-capable jobs through the segment-parallel engine \
+             (independent blocks cached and scheduled separately).")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Run generated scheduling jobs through the multicore service")
     Term.(
       const run $ n_arg $ jobs $ algos $ seed_arg $ domains $ queue $ verbose
-      $ cache_stats $ no_cache)
+      $ cache_stats $ no_cache $ segmented)
 
 (* sweep *)
 let sweep_cmd =

@@ -3,7 +3,9 @@
    properties with longer runs and cross-implementation comparisons;
    prints the reproducing seed on failure.
 
-   Run with:  dune exec bin/fuzz.exe -- [iterations] [seed] *)
+   Run with:  dune exec bin/fuzz.exe -- [--count N] [--seed N]
+   (positional [iterations] [seed] still accepted).  A short
+   deterministic run is wired into the default test alias. *)
 
 let failures = ref 0
 
@@ -57,6 +59,21 @@ let check_well_nested seed rng =
         || dense.power.total_writes <> eng.power.total_writes
         || dstats.control_messages <> stats.control_messages
       then complain seed "sparse/dense engines diverge");
+  (* the segment-parallel engine against the sequential one, digest for
+     digest *)
+  let seq_log = Cst.Exec_log.create () in
+  ignore (Padr.Engine.run_exn ~log:seq_log topo set);
+  let par_log = Cst.Exec_log.create () in
+  (match Padr.Par_engine.run ~domains:2 ~log:par_log topo set with
+  | Error e ->
+      complain seed "segmented engine failed: %a" Padr.Csa.pp_error e
+  | Ok (psched, pstats) ->
+      if Cst.Exec_log.digest par_log <> Cst.Exec_log.digest seq_log then
+        complain seed "segmented engine digest diverges";
+      if
+        psched.cycles <> eng.cycles
+        || pstats.control_messages <> stats.control_messages
+      then complain seed "segmented engine stats diverge");
   (* every baseline *)
   List.iter
     (fun (a : Cst_baselines.Registry.algo) ->
@@ -118,13 +135,38 @@ let check_algos seed rng =
     if sorted <> expect then complain seed "sort diverges"
   end
 
+let usage () : 'a =
+  prerr_endline
+    "usage: fuzz [--count N] [--seed N]  (or positionally: fuzz [N [seed]])";
+  exit 2
+
 let () =
-  let iterations =
-    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 300
+  let iterations = ref 300 and base_seed = ref 0xC57 in
+  let argc = Array.length Sys.argv in
+  let npos = ref 0 and i = ref 1 in
+  let int_arg () =
+    incr i;
+    if !i >= argc then usage ();
+    match int_of_string_opt Sys.argv.(!i) with
+    | Some v -> v
+    | None -> usage ()
   in
-  let base_seed =
-    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 0xC57
-  in
+  while !i < argc do
+    (match Sys.argv.(!i) with
+    | "--count" -> iterations := int_arg ()
+    | "--seed" -> base_seed := int_arg ()
+    | a -> (
+        match (int_of_string_opt a, !npos) with
+        | Some v, 0 ->
+            iterations := v;
+            incr npos
+        | Some v, 1 ->
+            base_seed := v;
+            incr npos
+        | _ -> usage ()));
+    incr i
+  done;
+  let iterations = !iterations and base_seed = !base_seed in
   for i = 1 to iterations do
     let seed = base_seed + i in
     let rng = Cst_util.Prng.create seed in

@@ -41,6 +41,15 @@ let create_exn ~n comms =
   | Ok t -> t
   | Error e -> invalid_arg (Format.asprintf "Comm_set: %a" pp_error e)
 
+let unsafe_of_sorted ~n comms =
+  let roles = Array.make n Idle in
+  Array.iteri
+    (fun i (c : Comm.t) ->
+      roles.(c.src) <- Source i;
+      roles.(c.dst) <- Dest i)
+    comms;
+  { n; comms; roles }
+
 let empty ~n = create_exn ~n []
 
 let n t = t.n

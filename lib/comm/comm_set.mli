@@ -21,6 +21,14 @@ val create : n:int -> Comm.t list -> (t, error) result
 val create_exn : n:int -> Comm.t list -> t
 (** Like {!create} but raises [Invalid_argument] with a diagnostic. *)
 
+val unsafe_of_sorted : n:int -> Comm.t array -> t
+(** Adopts [comms] without copying, sorting or validating.  The caller
+    must guarantee what {!create} checks: the array is sorted by source
+    and every PE in [[0, n)] is an endpoint of at most one member.
+    Intended for slicing or translating an already validated set
+    (e.g. {!Decompose.blocks}), where re-validation on a hot path would
+    repeat work the invariants already paid for. *)
+
 val empty : n:int -> t
 
 val n : t -> int

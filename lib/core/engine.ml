@@ -74,7 +74,7 @@ let make_workspace topo =
    accounted in closed form for the skipped switches — the simulated
    hardware still clocks every level and still exchanges the null
    messages; the simulator just does not spend wall-clock on them. *)
-let run ?(keep_configs = true) ?log topo set =
+let simulate ?log topo set =
   let leaves = Cst.Topology.leaves topo in
   if Cst_comm.Comm_set.n set > leaves then
     Error (Csa.Too_large { n = Cst_comm.Comm_set.n set; leaves })
@@ -235,11 +235,9 @@ let run ?(keep_configs = true) ?log topo set =
             remaining := !remaining - !matched
           done;
           Cst.Exec_log.run_end log ~rounds:!index;
-          let sched =
-            Schedule.of_log ~from ~keep_configs ~set ~topo ~cycles:!cycles log
-          in
           Ok
-            ( sched,
+            ( log,
+              from,
               {
                 cycles = !cycles;
                 control_messages = !messages;
@@ -248,6 +246,21 @@ let run ?(keep_configs = true) ?log topo set =
               } )
         with Csa.Stall { round; remaining } ->
           Error (Csa.Stalled { round; remaining })
+
+let run ?(keep_configs = true) ?log topo set =
+  match simulate ?log topo set with
+  | Error e -> Error e
+  | Ok (log, from, stats) ->
+      let sched =
+        Schedule.of_log ~from ~keep_configs ~set ~topo ~cycles:stats.cycles
+          log
+      in
+      Ok (sched, stats)
+
+let run_log ~log topo set =
+  match simulate ~log topo set with
+  | Error e -> Error e
+  | Ok (_, _, stats) -> Ok stats
 
 let run_exn ?keep_configs ?log topo set =
   match run ?keep_configs ?log topo set with

@@ -45,6 +45,17 @@ val run_exn :
   Cst_comm.Comm_set.t ->
   Schedule.t * stats
 
+val run_log :
+  log:Cst.Exec_log.t ->
+  Cst.Topology.t ->
+  Cst_comm.Comm_set.t ->
+  (stats, Csa.error) result
+(** [run] without the schedule: simulates into [log] and returns only
+    the hardware statistics.  For callers that consume the log directly
+    — the segment-parallel engine runs one of these per block and
+    derives a single schedule from the merged log, so per-block
+    schedule construction would be pure waste. *)
+
 val run_dense :
   ?keep_configs:bool ->
   ?log:Cst.Exec_log.t ->

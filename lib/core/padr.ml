@@ -3,6 +3,7 @@ module Schedule = Schedule
 module Verify = Verify
 module Csa = Csa
 module Engine = Engine
+module Par_engine = Par_engine
 module Phase1 = Phase1
 module Round = Round
 module Downmsg = Downmsg

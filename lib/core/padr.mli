@@ -26,6 +26,11 @@ module Csa : module type of Csa
 module Engine : module type of Engine
 (** Message-passing execution with cycle and message statistics. *)
 
+module Par_engine : module type of Par_engine
+(** Segment-parallel engine: independent top-level blocks scheduled
+    concurrently, logs rebased and merged — byte-identical to
+    {!Engine.run}. *)
+
 module Phase1 : module type of Phase1
 module Round : module type of Round
 module Downmsg : module type of Downmsg

@@ -1,0 +1,116 @@
+(* Segment-parallel engine: per-block sparse-engine runs, rebased and
+   merged round-by-round.  See the interface for the independence
+   argument; the digest/schedule identity with the sequential engine is
+   property-tested in test/test_par_engine.ml. *)
+
+let decompose topo set =
+  let leaves = Cst.Topology.leaves topo in
+  if Cst_comm.Comm_set.n set > leaves then
+    Error (Csa.Too_large { n = Cst_comm.Comm_set.n set; leaves })
+  else
+    match Cst_comm.Well_nested.check set with
+    | Error v -> Error (Csa.Not_well_nested v)
+    | Ok _ -> Ok (Cst_comm.Decompose.blocks ~check:false set)
+
+let run_block ?small topo (b : Cst_comm.Decompose.block) =
+  let small =
+    match small with
+    | Some t -> t
+    | None -> Cst.Topology.create ~leaves:b.align
+  in
+  let local = Cst_comm.Decompose.localize b in
+  let log = Cst.Exec_log.create () in
+  match Engine.run_log ~log small local with
+  | Error e -> Error e
+  | Ok _stats ->
+      (* The log is private to this call: rebase it in place. *)
+      Ok
+        (Cst.Exec_log.rebase ~in_place:true log ~src_leaves:b.align
+           ~src_base:0 ~dst_leaves:(Cst.Topology.leaves topo)
+           ~dst_base:b.base ~align:b.align)
+
+let merge_blocks ?(keep_configs = true) ?log topo set block_logs =
+  let levels = Cst.Topology.levels topo in
+  let leaves = Cst.Topology.leaves topo in
+  let out = match log with Some l -> l | None -> Cst.Exec_log.create () in
+  let from = Cst.Exec_log.length out in
+  let merged = Cst.Exec_log.merge ~into:out ~levels block_logs in
+  let rounds =
+    match Cst.Exec_log.event merged (Cst.Exec_log.length merged - 1) with
+    | Cst.Exec_log.Run_end { rounds } -> rounds
+    | _ -> assert false
+  in
+  let sched =
+    Schedule.of_log ~from ~keep_configs ~set ~topo
+      ~cycles:(1 + levels + (rounds * (levels + 2)))
+      merged
+  in
+  let stats =
+    {
+      Engine.cycles = 1 + levels + (rounds * (levels + 2));
+      control_messages = 2 * (leaves - 1) * (rounds + 1);
+      max_message_words =
+        (if rounds > 0 then
+           max Phase1.up_words_per_message (Downmsg.words Downmsg.null)
+         else Phase1.up_words_per_message);
+      state_words_per_switch = Csa_state.words (Csa_state.zero ());
+    }
+  in
+  (sched, stats)
+
+let run ?(domains = 1) ?keep_configs ?log topo set =
+  match decompose topo set with
+  | Error e -> Error e
+  | Ok blocks -> (
+      let arr = Array.of_list blocks in
+      let nblocks = Array.length arr in
+      (* Blocks share at most log2(leaves) distinct align sizes; build
+         each small topology once.  Topologies are immutable after
+         [create], so sharing them across domains is safe. *)
+      let small_topos =
+        Array.fold_left
+          (fun acc (b : Cst_comm.Decompose.block) ->
+            if List.mem_assoc b.align acc then acc
+            else (b.align, Cst.Topology.create ~leaves:b.align) :: acc)
+          [] arr
+      in
+      let run_one (b : Cst_comm.Decompose.block) =
+        run_block ~small:(List.assoc b.align small_topos) topo b
+      in
+      let results = Array.make nblocks None in
+      let body () =
+        if domains <= 1 || nblocks <= 1 then
+          Array.iteri (fun i b -> results.(i) <- Some (run_one b)) arr
+        else begin
+          (* Work-stealing over an atomic cursor; [Domain.join] orders
+             the helpers' writes to [results] before the reads below. *)
+          let cursor = Atomic.make 0 in
+          let worker () =
+            let continue = ref true in
+            while !continue do
+              let i = Atomic.fetch_and_add cursor 1 in
+              if i >= nblocks then continue := false
+              else results.(i) <- Some (run_one arr.(i))
+            done
+          in
+          let helpers =
+            Array.init
+              (min domains nblocks - 1)
+              (fun _ -> Domain.spawn worker)
+          in
+          worker ();
+          Array.iter Domain.join helpers
+        end
+      in
+      body ();
+      let rec collect i acc =
+        if i = nblocks then Ok (List.rev acc)
+        else
+          match results.(i) with
+          | Some (Ok l) -> collect (i + 1) (l :: acc)
+          | Some (Error e) -> Error e
+          | None -> assert false
+      in
+      match collect 0 [] with
+      | Error e -> Error e
+      | Ok logs -> Ok (merge_blocks ?keep_configs ?log topo set logs))

@@ -44,6 +44,18 @@ let grow t =
   Array.blit t.buf 0 buf 0 t.len;
   t.buf <- buf
 
+let reserve t extra =
+  let want = t.len + extra in
+  if want > Array.length t.buf then begin
+    let cap = ref (Array.length t.buf) in
+    while !cap < want do
+      cap := 2 * !cap
+    done;
+    let buf = Array.make !cap 0 in
+    Array.blit t.buf 0 buf 0 t.len;
+    t.buf <- buf
+  end
+
 let[@inline] push t w =
   if t.len = Array.length t.buf then grow t;
   t.buf.(t.len) <- w;
@@ -362,7 +374,8 @@ let fold_rounds ?(from = 0) ?upto ?(snapshots = true) t ~init ~f =
    The relabeling is performed on the packed words directly — one pass,
    O(events), no event values materialized. *)
 
-let rebase t ~src_leaves ~src_base ~dst_leaves ~dst_base ~align =
+let rebase ?(in_place = false) t ~src_leaves ~src_base ~dst_leaves ~dst_base
+    ~align =
   let check_pow2 what v =
     if v < 1 || v land (v - 1) <> 0 then
       invalid_arg (Printf.sprintf "Exec_log.rebase: %s %d not a power of two" what v)
@@ -406,7 +419,7 @@ let rebase t ~src_leaves ~src_base ~dst_leaves ~dst_base ~align =
            src_base (src_base + align));
     pe + pe_delta
   in
-  let out = create ~capacity:(max 1 t.len) () in
+  let out = if in_place then t else create ~capacity:(max 1 t.len) () in
   for i = 0 to t.len - 1 do
     let w = t.buf.(i) in
     out.buf.(i) <-
@@ -424,6 +437,103 @@ let rebase t ~src_leaves ~src_base ~dst_leaves ~dst_base ~align =
       | _ -> invalid_arg "Exec_log.rebase: corrupt word")
   done;
   out.len <- t.len;
+  out
+
+(* Merging per-block runs.  Each input is segmented once — for every
+   round, the word ranges holding its config events and its deliveries
+   — then the output is assembled by blitting packed words: one
+   phase-done, and per output round the inputs' config ranges followed
+   by the inputs' delivery ranges, in input order.  No event value is
+   ever materialized. *)
+
+type run_segments = {
+  seg_src : t;
+  seg_rounds : (int * int * int) array;  (* cfg_lo, cfg_hi, del_hi *)
+}
+
+let segment_run ~levels t =
+  let fail msg = invalid_arg ("Exec_log.merge: " ^ msg) in
+  if t.len = 0 then fail "empty log";
+  if t.buf.(0) land 7 <> tag_phase_done then
+    fail "log does not start with phase-done";
+  if (t.buf.(0) lsr 3) land field_mask <> levels then
+    fail
+      (Printf.sprintf "phase-done levels %d, expected %d (rebase first?)"
+         ((t.buf.(0) lsr 3) land field_mask)
+         levels);
+  let i = ref 1 in
+  let segs = ref [] in
+  let count = ref 0 in
+  while !i < t.len && t.buf.(!i) land 7 = tag_round_begin do
+    incr count;
+    if (t.buf.(!i) lsr 3) land wide_mask <> !count then
+      fail "round indices not consecutive from 1";
+    incr i;
+    let cfg_lo = !i in
+    while
+      !i < t.len
+      && (let tag = t.buf.(!i) land 7 in
+          tag = tag_connect || tag = tag_disconnect || tag = tag_write_config)
+    do
+      incr i
+    done;
+    let cfg_hi = !i in
+    while !i < t.len && t.buf.(!i) land 7 = tag_deliver do
+      incr i
+    done;
+    segs := (cfg_lo, cfg_hi, !i) :: !segs
+  done;
+  if !i >= t.len || t.buf.(!i) land 7 <> tag_run_end then
+    fail "not a single-run log (missing run-end)";
+  if (t.buf.(!i) lsr 3) land wide_mask <> !count then
+    fail "run-end round count disagrees with the rounds present";
+  if !i + 1 <> t.len then fail "events after run-end";
+  { seg_src = t; seg_rounds = Array.of_list (List.rev !segs) }
+
+let merge ?into ~levels logs =
+  check_field "levels" levels;
+  let runs = List.map (segment_run ~levels) logs in
+  (* The output length is known up front (every input word lands exactly
+     once, plus the shared phase-done / round / run-end skeleton): size
+     the arena once so the blits below never trigger a growth copy. *)
+  let total = List.fold_left (fun acc r -> acc + r.seg_src.len) 2 runs in
+  let out =
+    match into with
+    | Some t ->
+        reserve t total;
+        t
+    | None -> create ~capacity:total ()
+  in
+  phase_done out ~levels;
+  let max_rounds =
+    List.fold_left (fun acc r -> max acc (Array.length r.seg_rounds)) 0 runs
+  in
+  let blit r lo hi =
+    let k = hi - lo in
+    if k > 0 then begin
+      reserve out k;
+      Array.blit r.seg_src.buf lo out.buf out.len k;
+      out.len <- out.len + k
+    end
+  in
+  for round = 1 to max_rounds do
+    round_begin out ~index:round;
+    List.iter
+      (fun r ->
+        if round <= Array.length r.seg_rounds then begin
+          let cfg_lo, cfg_hi, _ = r.seg_rounds.(round - 1) in
+          blit r cfg_lo cfg_hi
+        end)
+      runs;
+    List.iter
+      (fun r ->
+        if round <= Array.length r.seg_rounds then begin
+          let _, cfg_hi, del_hi = r.seg_rounds.(round - 1) in
+          blit r cfg_hi del_hi
+        end)
+      runs
+  done;
+  run_end out ~rounds:max_rounds;
   out
 
 let driver_alternations ?from ?upto t ~node =

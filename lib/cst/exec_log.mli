@@ -77,6 +77,7 @@ val sub : t -> from:int -> t
 (** Fresh log holding the events at positions [from ..]. *)
 
 val rebase :
+  ?in_place:bool ->
   t ->
   src_leaves:int ->
   src_base:int ->
@@ -98,7 +99,38 @@ val rebase :
     {!digest}) to scheduling the translated set from scratch.
     Raises [Invalid_argument] if the geometry is inconsistent (sizes
     not powers of two, bases not aligned multiples inside their trees)
-    or if any event falls outside the declared block. *)
+    or if any event falls outside the declared block.
+
+    [~in_place:true] rewrites [t]'s own arena and returns [t] instead
+    of allocating a copy — for logs the caller owns exclusively (the
+    segment-parallel engine rebases each private per-block log exactly
+    once).  If the geometry check raises partway through, an in-place
+    log is left partially rewritten. *)
+
+val merge : ?into:t -> levels:int -> t list -> t
+(** Interleaves complete single-run logs round-by-round into one log
+    equivalent to a sequential run of their union.  Each input must
+    follow the single-run grammar
+    [Phase_done (Round_begin Config* Deliver* )* Run_end] with
+    consecutive round indices from 1 and a [Phase_done] level count
+    equal to [levels] — i.e. the inputs have already been {!rebase}d
+    into one common tree.  The result (appended to [into] when given,
+    else fresh) carries one [Phase_done {levels}], then for every round
+    [r] up to the maximum round count one [Round_begin] followed by
+    each input's round-[r] config events and then each input's round-[r]
+    deliveries (input order both times), then one [Run_end].
+
+    When the inputs are the per-block runs of a well-nested set's
+    {e independent} top-level blocks, listed in ascending block order,
+    the merged log is byte-identical (same {!digest}, same
+    {!fold_rounds} views, same {!driver_alternations}) to the log of
+    the sequential sparse engine on the whole set: block subtrees are
+    link-disjoint, Phase 1 reports zero counts above every block root,
+    and the sequential engine emits each round's deliveries in
+    ascending source order — exactly the block concatenation.
+
+    Raises [Invalid_argument] on a log that is not a complete
+    single-run or whose level count differs from [levels]. *)
 
 (** {1 Round-structured replay} *)
 

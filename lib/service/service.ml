@@ -1,4 +1,4 @@
-type engine = Spec | Message_passing
+type engine = Spec | Message_passing | Segmented
 
 type job = {
   id : int;
@@ -51,6 +51,8 @@ type job_result = {
   control_messages : int;
   power : Padr.Schedule.power;
   cache : cache_status;
+  blocks : int;
+  block_hits : int;
   detail : detail;
 }
 
@@ -73,7 +75,7 @@ let leaves_for job =
   | None -> Cst_util.Bits.ceil_pow2 (max 2 (Cst_comm.Comm_set.n job.set))
 
 let result_of_schedule ~algo ~digest ~cache ?(control_messages = 0)
-    (s : Padr.Schedule.t) =
+    ?(blocks = 0) ?(block_hits = 0) (s : Padr.Schedule.t) =
   let detail = Sched s in
   {
     algo;
@@ -85,6 +87,8 @@ let result_of_schedule ~algo ~digest ~cache ?(control_messages = 0)
     control_messages;
     power = s.power;
     cache;
+    blocks;
+    block_hits;
     detail;
   }
 
@@ -100,6 +104,8 @@ let result_of_waves ~algo ~leaves ~digest (w : Padr.Waves.t) =
     control_messages = 0;
     power = w.power;
     cache = Bypass;
+    blocks = 0;
+    block_hits = 0;
     detail;
   }
 
@@ -181,38 +187,130 @@ let dispatch ?cache (job : job) =
                    ~digest:(Cst.Exec_log.digest log) w)
           | Error e -> Error (error_of_csa e)
         in
+        let engine_fresh ~cache_status ~freeze =
+          let log = Cst.Exec_log.create () in
+          match Padr.Engine.run ~log topo job.set with
+          | Ok (s, stats) ->
+              Option.iter
+                (fun freeze ->
+                  freeze
+                    ~rounds:(Padr.Schedule.num_rounds s)
+                    ~cycles:s.cycles
+                    ~control_messages:stats.control_messages log)
+                freeze;
+              Ok
+                (result_of_schedule ~algo:a.name ~cache:cache_status
+                   ~digest:(Cst.Exec_log.digest log)
+                   ~control_messages:stats.control_messages s)
+          | Error e -> Error (error_of_csa e)
+        in
         match job.engine with
         | Message_passing ->
             if not a.caps.engine_available then
               Error
                 (Unsupported { algo = a.name; what = "the message-passing engine" })
-            else
-              let engine_fresh ~cache_status ~freeze =
-                let log = Cst.Exec_log.create () in
-                match Padr.Engine.run ~log topo job.set with
-                | Ok (s, stats) ->
-                    Option.iter
-                      (fun freeze ->
-                        freeze
-                          ~rounds:(Padr.Schedule.num_rounds s)
-                          ~cycles:s.cycles
-                          ~control_messages:stats.control_messages log)
-                      freeze;
-                    Ok
-                      (result_of_schedule ~algo:a.name ~cache:cache_status
-                         ~digest:(Cst.Exec_log.digest log)
-                         ~control_messages:stats.control_messages s)
-                | Error e -> Error (error_of_csa e)
-              in
-              if classify job.set = Right_well_nested then
-                with_cache ~engine:true ~producer:Padr.Plan.Engine
-                  ~fresh:engine_fresh
-                  ~hit:(fun (r : Padr.Plan.replayed) ->
-                    Ok
-                      (result_of_schedule ~algo:a.name ~cache:Hit
-                         ~digest:(Cst.Exec_log.digest r.log)
-                         ~control_messages:r.control_messages r.schedule))
-              else engine_fresh ~cache_status:Bypass ~freeze:None
+            else if classify job.set = Right_well_nested then
+              with_cache ~engine:true ~producer:Padr.Plan.Engine
+                ~fresh:engine_fresh
+                ~hit:(fun (r : Padr.Plan.replayed) ->
+                  Ok
+                    (result_of_schedule ~algo:a.name ~cache:Hit
+                       ~digest:(Cst.Exec_log.digest r.log)
+                       ~control_messages:r.control_messages r.schedule))
+            else engine_fresh ~cache_status:Bypass ~freeze:None
+        | Segmented ->
+            (* Segment-parallel engine path: decompose into independent
+               top-level blocks, serve each block from the plan cache
+               when its signature is resident (a cached block replays
+               while its siblings schedule fresh), merge the per-block
+               logs and derive the whole-set schedule.  The digest and
+               every outcome field are identical to [Message_passing]'s
+               — only [blocks]/[block_hits] reveal the path taken.
+               Per-block plans are keyed exactly like whole-set engine
+               plans (same canon, full-tree [leaves]), so a whole-set
+               plan can serve a single-block job and vice versa. *)
+            if not a.caps.engine_available then
+              Error
+                (Unsupported { algo = a.name; what = "the message-passing engine" })
+            else if classify job.set <> Right_well_nested then
+              (* No block structure to exploit; identical error/bypass
+                 behaviour to the sequential engine path. *)
+              engine_fresh ~cache_status:Bypass ~freeze:None
+            else (
+              match Padr.Par_engine.decompose topo job.set with
+              | Error e -> Error (error_of_csa e)
+              | Ok bs -> (
+                  let hits = ref 0 in
+                  let levels = Cst.Topology.levels topo in
+                  let block_log (b : Cst_comm.Decompose.block) =
+                    match cache with
+                    | None -> Padr.Par_engine.run_block topo b
+                    | Some (pc, worker) -> (
+                        let placed = Cst.Canon.place b.set in
+                        let key : Plan_cache.key =
+                          { algo = a.name; engine = true; leaves;
+                            canon = placed.canon }
+                        in
+                        match Plan_cache.find pc ~worker key with
+                        | Some plan ->
+                            incr hits;
+                            Ok
+                              (Padr.Plan.replay ~keep_configs:false plan topo
+                                 b.set)
+                                .log
+                        | None -> (
+                            match Padr.Par_engine.run_block topo b with
+                            | Error e -> Error e
+                            | Ok blog ->
+                                (* The rebased block log is exactly what a
+                                   standalone engine run of [b.set] on the
+                                   full tree would emit; freeze it with the
+                                   engine's closed-form metadata. *)
+                                let rounds =
+                                  match
+                                    Cst.Exec_log.event blog
+                                      (Cst.Exec_log.length blog - 1)
+                                  with
+                                  | Cst.Exec_log.Run_end { rounds } -> rounds
+                                  | _ -> assert false
+                                in
+                                Plan_cache.add pc ~worker key
+                                  (Padr.Plan.of_log ~producer:Padr.Plan.Engine
+                                     ~topo ~set:b.set ~rounds
+                                     ~cycles:
+                                       (1 + levels + (rounds * (levels + 2)))
+                                     ~control_messages:
+                                       (2 * (leaves - 1) * (rounds + 1))
+                                     blog);
+                                Ok blog))
+                  in
+                  let rec collect acc = function
+                    | [] -> Ok (List.rev acc)
+                    | b :: rest -> (
+                        match block_log b with
+                        | Error e -> Error e
+                        | Ok l -> collect (l :: acc) rest)
+                  in
+                  match collect [] bs with
+                  | Error e -> Error (error_of_csa e)
+                  | Ok logs ->
+                      let log = Cst.Exec_log.create () in
+                      let s, stats =
+                        Padr.Par_engine.merge_blocks ~log topo job.set logs
+                      in
+                      let nblocks = List.length bs in
+                      let cache_status =
+                        match cache with
+                        | None -> Bypass
+                        | Some _ ->
+                            if nblocks > 0 && !hits = nblocks then Hit
+                            else Miss
+                      in
+                      Ok
+                        (result_of_schedule ~algo:a.name ~cache:cache_status
+                           ~digest:(Cst.Exec_log.digest log)
+                           ~control_messages:stats.control_messages
+                           ~blocks:nblocks ~block_hits:!hits s)))
         | Spec -> (
             match classify job.set with
             | Right_well_nested -> direct_cached ()

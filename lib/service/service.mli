@@ -51,10 +51,16 @@
     outcome on its own job id.  Workers never die and the queue is never
     poisoned. *)
 
-type engine = Spec | Message_passing
+type engine = Spec | Message_passing | Segmented
 (** [Spec]: the functional scheduler ([Registry.algo.run]).
     [Message_passing]: the mailbox-level engine ({!Padr.Engine}), which
-    additionally reports control-message statistics. *)
+    additionally reports control-message statistics.
+    [Segmented]: the segment-parallel engine path
+    ({!Padr.Par_engine}) — the set's independent top-level blocks are
+    scheduled separately (each consulting the plan cache under its own
+    signature) and their logs merged; outcomes are byte-identical to
+    [Message_passing]'s, with [blocks]/[block_hits] reporting the
+    decomposition. *)
 
 type job = {
   id : int;  (** caller-chosen; outcomes are ordered by it *)
@@ -113,7 +119,15 @@ type job_result = {
   cache : cache_status;
       (** which path served this job; excluded from
           {!outcome_to_string} (hit/miss patterns race across domain
-          counts) *)
+          counts).  For [Segmented] jobs: [Hit] when every block
+          replayed from the cache, [Miss] otherwise. *)
+  blocks : int;
+      (** [Segmented] jobs: number of independent top-level blocks the
+          set decomposed into; 0 on every other path *)
+  block_hits : int;
+      (** [Segmented] jobs: how many of those blocks were served by
+          replaying a cached plan; excluded from {!outcome_to_string}
+          like [cache] *)
   detail : detail;
 }
 

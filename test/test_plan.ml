@@ -264,6 +264,94 @@ let test_rebase_roundtrip () =
     end
   done
 
+(* Translate [s] into an [n]-leaf tree, shifting every PE by [by]. *)
+let embed ~n ~by s =
+  Cst_comm.Comm_set.create_exn ~n
+    (List.map
+       (fun (c : Cst_comm.Comm.t) ->
+         Cst_comm.Comm.make ~src:(c.src + by) ~dst:(c.dst + by))
+       (Array.to_list (Cst_comm.Comm_set.comms s)))
+
+(* Rebase across tree sizes with non-zero offsets: a run frozen on a
+   16-leaf tree, rebased into a bigger tree at a shifted aligned base,
+   is byte-identical to running the translated set there directly — and
+   the big-tree log rebases back down to the original, event for
+   event. *)
+let test_rebase_cross_size_offsets () =
+  for seed = 1 to 15 do
+    let rng = Cst_util.Prng.create (400 + seed) in
+    let s16 = Cst_workloads.Gen_wn.uniform rng ~n:16 ~density:1.0 in
+    if Cst_comm.Comm_set.size s16 > 0 then begin
+      let topo16 = Cst.Topology.create ~leaves:16 in
+      let log16 = Cst.Exec_log.create () in
+      ignore (Padr.Engine.run_exn ~log:log16 topo16 s16);
+      List.iter
+        (fun (dst_leaves, dst_base) ->
+          let topo = Cst.Topology.create ~leaves:dst_leaves in
+          let t = embed ~n:dst_leaves ~by:dst_base s16 in
+          let fresh_log = Cst.Exec_log.create () in
+          ignore (Padr.Engine.run_exn ~log:fresh_log topo t);
+          let rebased =
+            Cst.Exec_log.rebase log16 ~src_leaves:16 ~src_base:0 ~dst_leaves
+              ~dst_base ~align:16
+          in
+          check_true
+            (Printf.sprintf "digest at %d+%d (seed %d)" dst_leaves dst_base
+               seed)
+            (Cst.Exec_log.digest rebased = Cst.Exec_log.digest fresh_log);
+          let back =
+            Cst.Exec_log.rebase fresh_log ~src_leaves:dst_leaves
+              ~src_base:dst_base ~dst_leaves:16 ~dst_base:0 ~align:16
+          in
+          check_true
+            (Printf.sprintf "round-trip to the small tree (seed %d)" seed)
+            (events back = events log16))
+        [ (64, 16); (64, 48); (256, 240); (1024, 512) ]
+    end
+  done
+
+(* A plan compiled on a small tree replays at a shifted base on a much
+   bigger one: Plan.replay rebases the frozen log across both the size
+   and the offset in one step. *)
+let test_small_plan_replays_on_big_tree () =
+  let s = set ~n:16 [ (0, 15); (1, 2); (4, 11) ] in
+  let topo16 = Cst.Topology.create ~leaves:16 in
+  let plan =
+    Result.get_ok (Padr.Plan.compile ~producer:Engine topo16 s)
+  in
+  let topo256 = Cst.Topology.create ~leaves:256 in
+  List.iter
+    (fun by ->
+      let t = embed ~n:256 ~by s in
+      let fresh_log = Cst.Exec_log.create () in
+      let fresh, stats = Padr.Engine.run_exn ~log:fresh_log topo256 t in
+      let r = Padr.Plan.replay plan topo256 t in
+      check_true
+        (Printf.sprintf "digest at 256+%d" by)
+        (Cst.Exec_log.digest r.log = Cst.Exec_log.digest fresh_log);
+      check_int "cycles from the big-tree model" fresh.cycles
+        r.schedule.cycles;
+      check_int "control messages from the big-tree model"
+        stats.control_messages r.control_messages;
+      power_eq "power" fresh.power r.schedule.power)
+    [ 16; 96; 240 ]
+
+(* The unaligned-offset counterexample: shifting by anything that is
+   not a multiple of the block alignment moves the set relative to the
+   switches above it, so neither rebase nor replay may accept it. *)
+let test_unaligned_offset_counterexample () =
+  let s = set ~n:16 [ (0, 15); (1, 2) ] in
+  let topo16 = Cst.Topology.create ~leaves:16 in
+  let log = Cst.Exec_log.create () in
+  ignore (Padr.Engine.run_exn ~log topo16 s);
+  check_raises_invalid "rebase to an unaligned base" (fun () ->
+      Cst.Exec_log.rebase log ~src_leaves:16 ~src_base:0 ~dst_leaves:256
+        ~dst_base:40 ~align:16);
+  let plan = Result.get_ok (Padr.Plan.compile ~producer:Engine topo16 s) in
+  let topo256 = Cst.Topology.create ~leaves:256 in
+  check_raises_invalid "replay at an unaligned base" (fun () ->
+      Padr.Plan.replay plan topo256 (embed ~n:256 ~by:40 s))
+
 let test_rebase_rejects_bad_geometry () =
   let log = Cst.Exec_log.create () in
   Cst.Exec_log.connect log ~node:3 ~out_port:Cst.Side.P ~in_port:Cst.Side.L;
@@ -303,6 +391,9 @@ let suite =
     case "registry algorithms replay translated"
       test_registry_algos_replay_translated;
     case "rebase round-trip is identity" test_rebase_roundtrip;
+    case "rebase across tree sizes with offsets" test_rebase_cross_size_offsets;
+    case "small plan replays on a big tree" test_small_plan_replays_on_big_tree;
+    case "unaligned offset is rejected" test_unaligned_offset_counterexample;
     case "rebase rejects bad geometry" test_rebase_rejects_bad_geometry;
     case "replay rejects signature mismatch" test_replay_rejects_mismatch;
   ]

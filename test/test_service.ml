@@ -24,8 +24,10 @@ let random_job rng i =
     List.nth algo_names (Cst_util.Prng.int rng (List.length algo_names))
   in
   let engine =
-    if Cst_util.Prng.int rng 4 = 0 then Service.Message_passing
-    else Service.Spec
+    match Cst_util.Prng.int rng 6 with
+    | 0 -> Service.Message_passing
+    | 1 -> Service.Segmented
+    | _ -> Service.Spec
   in
   let leaves =
     (* Roughly one job in eight carries an invalid override: either too
@@ -142,6 +144,28 @@ let test_engine_digest_equals_spec =
       | Ok a, Ok b -> a.digest = b.digest
       | _ -> false)
 
+(* The segment-parallel path is outcome-identical to the sequential
+   engine — digest, rounds, cycles, messages, power — with or without
+   the cache. *)
+let test_segmented_equals_engine =
+  prop "segmented outcome = engine outcome (csa)" ~count:50 (fun params ->
+      let s = set_of_params params in
+      let outcome engine cache =
+        Service.outcome_to_string
+          {
+            job_id = 0;
+            result =
+              (let j = Service.job ~engine ~id:0 ~algo:"csa" s in
+               if cache then
+                 let pc = Cst_service.Plan_cache.create ~domains:1 () in
+                 Service.run_job ~cache:(pc, 0) j
+               else Service.run_job j);
+          }
+      in
+      let eng = outcome Service.Message_passing false in
+      eng = outcome Service.Segmented false
+      && eng = outcome Service.Segmented true)
+
 (* Capability dispatch: a crossing set is wave-covered for the csa,
    scheduled directly by crossing-tolerant baselines and rejected with
    the typed violation otherwise. *)
@@ -205,11 +229,14 @@ let test_cached_equals_uncached =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~count:25
        ~name:"cached = uncached, byte for byte, any domain count"
-       QCheck.(triple (int_bound 1_000_000) (int_range 1 4) bool)
+       QCheck.(triple (int_bound 1_000_000) (int_range 1 4) (int_range 0 2))
        (fun (seed, domains, engine) ->
          let rng = Cst_util.Prng.create seed in
          let engine =
-           if engine then Service.Message_passing else Service.Spec
+           match engine with
+           | 0 -> Service.Spec
+           | 1 -> Service.Message_passing
+           | _ -> Service.Segmented
          in
          let jobs = translated_trace rng ~jobs:30 ~engine in
          let cached =
@@ -283,6 +310,84 @@ let test_uncacheable_paths_bypass () =
       match Service.cache_stats t with
       | Some s -> check_int "no lookups recorded" 0 (s.hits + s.misses)
       | None -> Alcotest.fail "cache is on")
+
+(* Segmented jobs consult the cache once per block: an identical
+   resubmission replays every block (reported [Hit]), a set sharing only
+   some block shapes replays those and schedules the rest ([Miss]). *)
+let test_segmented_block_cache () =
+  let t = Service.create ~domains:1 () in
+  Fun.protect
+    ~finally:(fun () -> Service.shutdown t)
+    (fun () ->
+      let a = set ~n:32 [ (0, 3); (1, 2); (8, 11); (16, 23); (17, 18) ] in
+      (* shares the [(0,3);(1,2)] block shape with [a]; the width-2
+         block is a shape the pool has never seen *)
+      let b = set ~n:32 [ (0, 3); (1, 2); (24, 25) ] in
+      let seg id s = Service.job ~engine:Service.Segmented ~id ~algo:"csa" s in
+      List.iter (Service.submit t) [ seg 0 a; seg 1 a; seg 2 b ];
+      match Service.drain t with
+      | [ o0; o1; o2 ] ->
+          let r i (o : Service.outcome) =
+            match o.result with
+            | Ok r -> r
+            | Error _ -> Alcotest.fail (Printf.sprintf "job %d failed" i)
+          in
+          let r0 = r 0 o0 and r1 = r 1 o1 and r2 = r 2 o2 in
+          check_int "three blocks" 3 r0.blocks;
+          check_int "cold pool: no block hits" 0 r0.block_hits;
+          check_true "cold pool: Miss" (r0.cache = Service.Miss);
+          check_int "resubmission replays every block" r1.blocks r1.block_hits;
+          check_true "all blocks hit: Hit" (r1.cache = Service.Hit);
+          check_true "replayed outcome identical"
+            (Service.outcome_to_string { job_id = 0; result = Ok r0 }
+            = Service.outcome_to_string { job_id = 0; result = Ok r1 });
+          check_int "two blocks" 2 r2.blocks;
+          check_int "shared shape replays, fresh shape schedules" 1
+            r2.block_hits;
+          check_true "partial hits stay Miss" (r2.cache = Service.Miss)
+      | os ->
+          Alcotest.fail
+            (Printf.sprintf "expected 3 outcomes, got %d" (List.length os)))
+
+(* Block plans and whole-set engine plans share one key namespace (both
+   are frozen at the full tree size): a whole-set engine run pre-warms
+   the segmented path, and a single-block segmented run pre-warms the
+   whole-set engine path. *)
+let test_segmented_interop_with_engine_plans () =
+  let t = Service.create ~domains:1 () in
+  Fun.protect
+    ~finally:(fun () -> Service.shutdown t)
+    (fun () ->
+      let s = set ~n:8 [ (0, 7); (1, 2) ] in
+      (* (2,5) straddles the midline, so [u] is one block spanning the
+         whole tree — its block plan IS a whole-set plan *)
+      let u = set ~n:8 [ (2, 5); (3, 4) ] in
+      List.iter (Service.submit t)
+        [
+          Service.job ~engine:Service.Message_passing ~id:0 ~algo:"csa" s;
+          Service.job ~engine:Service.Segmented ~id:1 ~algo:"csa" s;
+          Service.job ~engine:Service.Segmented ~id:2 ~algo:"csa" u;
+          Service.job ~engine:Service.Message_passing ~id:3 ~algo:"csa" u;
+        ];
+      match Service.drain t with
+      | [ o0; o1; o2; o3 ] ->
+          let r i (o : Service.outcome) =
+            match o.result with
+            | Ok r -> r
+            | Error _ -> Alcotest.fail (Printf.sprintf "job %d failed" i)
+          in
+          let r0 = r 0 o0 and r1 = r 1 o1 and r2 = r 2 o2 and r3 = r 3 o3 in
+          check_int "blocks reported only on the segmented path" 0 r0.blocks;
+          check_true "whole-set run schedules fresh" (r0.cache = Service.Miss);
+          check_int "one block" 1 r1.blocks;
+          check_int "served by the whole-set engine plan" 1 r1.block_hits;
+          check_true "digest unchanged" (r0.digest = r1.digest);
+          check_true "block plan pre-warms the whole-set engine path"
+            (r2.cache = Service.Miss && r3.cache = Service.Hit);
+          check_true "digest unchanged (reverse)" (r2.digest = r3.digest)
+      | os ->
+          Alcotest.fail
+            (Printf.sprintf "expected 4 outcomes, got %d" (List.length os)))
 
 (* Unit tests against the cache itself: LRU eviction honours the byte
    budget, and a duplicate insert keeps the resident entry. *)
@@ -365,8 +470,12 @@ let suite =
     case "backpressure with a tiny queue" test_backpressure_small_queue;
     case "submit after shutdown" test_submit_after_shutdown;
     test_engine_digest_equals_spec;
+    test_segmented_equals_engine;
     case "capability dispatch" test_capability_dispatch;
     test_cached_equals_uncached;
+    case "segmented jobs cache per-block plans" test_segmented_block_cache;
+    case "block plans interoperate with whole-set engine plans"
+      test_segmented_interop_with_engine_plans;
     case "cache hit rate on a repetitive trace" test_cache_hit_rate;
     case "cache disabled" test_cache_disabled;
     case "uncacheable paths bypass" test_uncacheable_paths_bypass;

@@ -6,7 +6,10 @@
 # binary and a .ocamlformat config are both present, the full
 # `dune build @fmt` check runs too; environments without the formatter
 # (the pinned CI image ships none) still get the lint, so the gate
-# never silently passes for the wrong reason.
+# never silently passes for the wrong reason.  Likewise, when odoc is
+# installed, `dune build @doc` runs with warnings fatal (the dune-project
+# env stanza) so a broken doc comment or dangling {!reference} in a
+# public .mli fails the gate instead of shipping as a rendering glitch.
 set -u
 
 fail=0
@@ -27,6 +30,13 @@ done < <(find lib bin bench test \( -name '*.ml' -o -name '*.mli' \) \
 if command -v ocamlformat >/dev/null 2>&1 && [ -f .ocamlformat ]; then
   if ! dune build @fmt; then
     echo "check_fmt: dune build @fmt reported diffs"
+    fail=1
+  fi
+fi
+
+if command -v odoc >/dev/null 2>&1; then
+  if ! dune build @doc; then
+    echo "check_fmt: dune build @doc reported odoc errors"
     fail=1
   fi
 fi
