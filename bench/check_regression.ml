@@ -66,6 +66,14 @@ type par_row = {
   pr_work_conserved : bool;
 }
 
+type store_row = {
+  ps_pes : int;
+  ps_recompile_ns : float;
+  ps_warm_ns : float;
+  ps_codec_ns_per_event : float;
+  ps_digest_ok : bool;
+}
+
 let find_field line key =
   let pat = Printf.sprintf "\"%s\": " key in
   let plen = String.length pat in
@@ -121,7 +129,13 @@ type parsed = {
   log_overhead : log_row option;
   plan_cache : cache_row option;
   par_engine : par_row option;
+  plan_store : store_row list;
   fast : bool;
+  nproc : int option;
+      (** core count of the producing host; [None] on files predating
+          the metadata.  Multi-domain gates are skipped at nproc=1: a
+          single-core host cannot scale, so its multi-domain rows
+          measure contention, not capability. *)
 }
 
 let parse_rows file =
@@ -131,7 +145,9 @@ let parse_rows file =
   let log_overhead = ref None in
   let plan_cache = ref None in
   let par_engine = ref None in
+  let plan_store = ref [] in
   let fast = ref false in
+  let nproc = ref None in
   (try
      while true do
        let line = input_line ic in
@@ -139,6 +155,29 @@ let parse_rows file =
        | Some _, _ -> ()
        | None, Some f -> fast := f
        | None, None -> ());
+       (* the top-level metadata line — no benchmark row carries nproc *)
+       (match (number_field line "nproc", find_field line "pes") with
+       | Some n, None -> nproc := Some (int_of_float n)
+       | _ -> ());
+       match
+         (number_field line "recompile_ns", number_field line "warm_ns")
+       with
+       | Some recompile_ns, Some warm_ns ->
+           plan_store :=
+             {
+               ps_pes =
+                 int_of_float
+                   (Option.value ~default:0.0 (number_field line "pes"));
+               ps_recompile_ns = recompile_ns;
+               ps_warm_ns = warm_ns;
+               ps_codec_ns_per_event =
+                 Option.value ~default:(-1.0)
+                   (number_field line "codec_ns_per_event");
+               ps_digest_ok =
+                 Option.value ~default:false (bool_field line "digest_ok");
+             }
+             :: !plan_store
+       | _ -> (
        match
          (number_field line "seq_ns", number_field line "par_d1_ns")
        with
@@ -229,7 +268,7 @@ let parse_rows file =
                    srv_jobs_per_sec = jps;
                  }
                  :: !service
-           | _ -> ()))))
+           | _ -> ())))))
      done
    with End_of_file -> ());
   close_in ic;
@@ -239,7 +278,9 @@ let parse_rows file =
     log_overhead = !log_overhead;
     plan_cache = !plan_cache;
     par_engine = !par_engine;
+    plan_store = List.rev !plan_store;
     fast = !fast;
+    nproc = !nproc;
   }
 
 let key r = Printf.sprintf "%s/%d/%d" r.kernel r.pes r.width
@@ -391,8 +432,100 @@ let validate ?out file =
               measured %.1f%% at %d PEs"
              (100.0 *. (pr.pr_overhead -. 1.0))
              pr.pr_pes));
+  (* Persistent plan store: the digest certificate is a correctness
+     claim and holds at any size, but the >= 3x warm-start gate is a
+     file-system timing and only asked of full-size runs, like the
+     par_engine overhead gate. *)
+  if p.plan_store = [] then
+    fail_gate "plan_store"
+      (Printf.sprintf "%s is missing the plan_store section" file);
+  List.iter
+    (fun (ps : store_row) ->
+      if
+        (not (Float.is_finite ps.ps_recompile_ns))
+        || ps.ps_recompile_ns <= 0.0
+        || (not (Float.is_finite ps.ps_warm_ns))
+        || ps.ps_warm_ns <= 0.0
+        || ps.ps_codec_ns_per_event <= 0.0
+      then
+        fail_gate
+          (Printf.sprintf "plan_store/%d/timings" ps.ps_pes)
+          (Printf.sprintf
+             "bad timings (recompile %f ns, warm %f ns, codec %f ns/event)"
+             ps.ps_recompile_ns ps.ps_warm_ns ps.ps_codec_ns_per_event)
+      else begin
+        if not ps.ps_digest_ok then
+          fail_gate
+            (Printf.sprintf "plan_store/%d/digest_ok" ps.ps_pes)
+            "decoded plan's replay must be digest-identical to a fresh run";
+        let speedup = ps.ps_recompile_ns /. ps.ps_warm_ns in
+        if (not p.fast) && speedup < 3.0 then
+          fail_gate
+            (Printf.sprintf "plan_store/%d/warm_speedup" ps.ps_pes)
+            (Printf.sprintf
+               "warm-store cold start must be >= 3x faster than recompile, \
+                measured %.2fx at %d PEs"
+               speedup ps.ps_pes)
+      end)
+    p.plan_store;
+  (* Multi-domain scaling: running wider must not collapse throughput.
+     Only meaningful when the producing host had the cores — at nproc=1
+     every extra domain is pure contention, so the gate is skipped (with
+     a note, so a silent skip cannot masquerade as a pass). *)
+  (match p.nproc with
+  | Some 1 ->
+      Printf.printf
+        "check_regression: note: skipping multi-domain gates (nproc=1)\n"
+  | _ ->
+      let best_multi pes =
+        List.fold_left
+          (fun acc s ->
+            if s.srv_pes = pes && s.srv_domains > 1 then
+              Float.max acc s.srv_jobs_per_sec
+            else acc)
+          neg_infinity p.service
+      in
+      List.iter
+        (fun s ->
+          if s.srv_domains = 1 then
+            let multi = best_multi s.srv_pes in
+            if Float.is_finite multi && multi < 0.9 *. s.srv_jobs_per_sec
+            then
+              fail_gate
+                (Printf.sprintf "service_throughput/%d/scaling" s.srv_pes)
+                (Printf.sprintf
+                   "best multi-domain throughput %.1f jobs/s is below 90%% \
+                    of the domains:1 rate %.1f"
+                   multi s.srv_jobs_per_sec))
+        p.service);
+  (* The verdict's plan_store section: one object per row with the
+     named gates, so CI can key on "plan_store" without re-deriving the
+     thresholds. *)
+  let plan_store_json =
+    Printf.sprintf "[%s]"
+      (String.concat ", "
+         (List.map
+            (fun (ps : store_row) ->
+              let speedup = ps.ps_recompile_ns /. Float.max ps.ps_warm_ns 1e-9 in
+              Printf.sprintf
+                "{\"pes\": %d, \"warm_speedup\": %.2f, \
+                 \"codec_ns_per_event\": %.2f, \"gates\": \
+                 {\"digest_identical\": \"%s\", \"warm_speedup_3x\": \"%s\"}}"
+                ps.ps_pes speedup ps.ps_codec_ns_per_event
+                (if ps.ps_digest_ok then "pass" else "fail")
+                (if p.fast then "skipped"
+                 else if speedup >= 3.0 then "pass"
+                 else "fail"))
+            p.plan_store))
+  in
   finish ?out ~mode:"validate"
-    ~extra:[ ("file", Printf.sprintf "\"%s\"" (json_escape file)) ]
+    ~extra:
+      [
+        ("file", Printf.sprintf "\"%s\"" (json_escape file));
+        ( "nproc",
+          match p.nproc with Some n -> string_of_int n | None -> "null" );
+        ("plan_store", plan_store_json);
+      ]
     ~ok_message:
       (Printf.sprintf "check_regression: %s ok (%d rows, %d service rows)"
          file (List.length p.rows) (List.length p.service))
@@ -435,9 +568,20 @@ let compare_files ?out ~threshold baseline fresh =
             ~metric:"ns_per_op" ~label:(key b) b.ns_per_op f.ns_per_op)
     base.rows;
   (* Throughput rows gate in the opposite direction: fewer jobs/sec than
-     the baseline by more than the threshold fails. *)
+     the baseline by more than the threshold fails.  Multi-domain rows
+     are only comparable when both hosts could actually scale: with
+     either side at nproc=1 they measure contention and are skipped. *)
+  let single_core =
+    base.nproc = Some 1 || cur.nproc = Some 1
+  in
+  if single_core && List.exists (fun s -> s.srv_domains > 1) base.service
+  then
+    Printf.printf
+      "check_regression: note: skipping multi-domain gates (nproc=1)\n";
   List.iter
     (fun b ->
+      if single_core && b.srv_domains > 1 then ()
+      else
       match
         List.find_opt
           (fun s ->
@@ -502,6 +646,36 @@ let compare_files ?out ~threshold baseline fresh =
       if not f.pr_work_conserved then
         fail_gate "par_engine/work_conserved"
           "fresh run no longer conserves per-block work");
+  (* Persistent plan store: both cold-start timings and the codec rate
+     gate like any kernel; a fresh run that loses the replay digest
+     certificate fails outright. *)
+  List.iter
+    (fun (b : store_row) ->
+      let section = Printf.sprintf "plan_store/%d" b.ps_pes in
+      match
+        List.find_opt (fun (f : store_row) -> f.ps_pes = b.ps_pes)
+          cur.plan_store
+      with
+      | None ->
+          missing ~section
+            ~label:(Printf.sprintf "store-warm/%d" b.ps_pes)
+            b.ps_warm_ns
+      | Some f ->
+          let label metric =
+            Printf.sprintf "store-%s/%d" metric b.ps_pes
+          in
+          gate ~slower:true ~section ~metric:"recompile_ns"
+            ~label:(label "recompile") b.ps_recompile_ns f.ps_recompile_ns;
+          gate ~slower:true ~section ~metric:"warm_ns"
+            ~label:(label "warm") b.ps_warm_ns f.ps_warm_ns;
+          gate ~slower:true ~section ~metric:"codec_ns_per_event"
+            ~label:(label "codec") b.ps_codec_ns_per_event
+            f.ps_codec_ns_per_event;
+          if not f.ps_digest_ok then
+            fail_gate
+              (Printf.sprintf "%s/digest_ok" section)
+              "fresh run lost replay digest identity with a fresh run")
+    base.plan_store;
   finish ?out ~mode:"compare"
     ~extra:
       [

@@ -881,6 +881,99 @@ let par_engine_bench ~fast =
     pe_reps = reps;
   }
 
+(* Plan store: cold-start time-to-first-scheduled-job.  "Recompile" is
+   what a fresh process without a store pays — a full engine compile of
+   the set.  "Warm" is the same first job served from a warm disk store:
+   open the directory, fault the plan in (read + digest-verified
+   decode) and replay it.  The codec round trip (encode + decode of the
+   whole plan) is also timed per event, and the correctness certificate
+   rides along: the decoded plan's replay digest must equal a fresh
+   run's.  The speedup is gated by check_regression on full-size runs
+   (the smoke grid's sets are too small for stable file-system
+   timings). *)
+
+type store_row = {
+  ps_pes : int;
+  ps_events : int;
+  ps_recompile_ns : float;
+  ps_warm_ns : float;
+  ps_codec_ns_per_event : float;
+  ps_digest_ok : bool;
+  ps_reps : int;
+}
+
+let plan_store_bench ~fast =
+  let sizes = if fast then [ 128 ] else [ 1024; 4096; 16384 ] in
+  let budget_s = if fast then 0.02 else 0.25 in
+  List.map
+    (fun n ->
+      let topo = Cst.Topology.create ~leaves:n in
+      let rng = Cst_util.Prng.create 5151 in
+      (* Width 256 on the full-size trees: both paths pay an O(leaves)
+         schedule-rebuild term, so the set must carry enough scheduling
+         work for the compile/replay gap to be the thing measured. *)
+      let set =
+        Cst_workloads.Gen_wn.with_width rng ~n ~width:(min 256 (n / 2))
+      in
+      let compile () =
+        Result.get_ok (Padr.Plan.compile ~producer:Padr.Plan.Engine topo set)
+      in
+      let recompile_ns, _, reps =
+        measure ~budget_s (fun () -> ignore (compile ()))
+      in
+      let plan = compile () in
+      let events = Cst.Exec_log.length plan.log in
+      let dir =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "cst-bench-store-%d-%d" (Unix.getpid ()) n)
+      in
+      let st = Cst_service.Plan_store.open_dir dir in
+      Cst_service.Plan_store.store st ~algo:"csa" ~engine:true plan;
+      let canon = (Cst.Canon.place set).canon in
+      let warm_ns, _, _ =
+        measure ~budget_s (fun () ->
+            (* the whole cold path: index the directory, fault the plan
+               in (read + verify + decode), replay to a schedule *)
+            let st = Cst_service.Plan_store.open_dir dir in
+            match
+              Cst_service.Plan_store.find st ~algo:"csa" ~engine:true
+                ~leaves:n ~canon
+            with
+            | Some p -> ignore (Padr.Plan.replay ~keep_configs:false p topo set)
+            | None -> failwith "plan store bench: warm store missed")
+      in
+      let codec_ns, _, _ =
+        measure ~budget_s (fun () ->
+            match Padr.Plan.Codec.decode (Padr.Plan.Codec.encode plan) with
+            | Ok _ -> ()
+            | Error _ -> failwith "plan store bench: round trip failed")
+      in
+      let fresh_log = Cst.Exec_log.create () in
+      ignore (Padr.Engine.run_exn ~log:fresh_log topo set);
+      let digest_ok =
+        match Padr.Plan.Codec.decode (Padr.Plan.Codec.encode plan) with
+        | Error _ -> false
+        | Ok decoded ->
+            let r = Padr.Plan.replay ~keep_configs:false decoded topo set in
+            Cst.Exec_log.digest r.log = Cst.Exec_log.digest fresh_log
+      in
+      (* leave no bench litter behind *)
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+      {
+        ps_pes = n;
+        ps_events = events;
+        ps_recompile_ns = recompile_ns;
+        ps_warm_ns = warm_ns;
+        ps_codec_ns_per_event = codec_ns /. float_of_int (max 1 events);
+        ps_digest_ok = digest_ok;
+        ps_reps = reps;
+      })
+    sizes
+
 let bench_json ~fast file =
   (* The named sections are measured first, on the young process, in a
      fixed order with a full major collection between them: the engine
@@ -895,6 +988,8 @@ let bench_json ~fast file =
   let pc = plan_cache_bench ~fast in
   section ();
   let pe = par_engine_bench ~fast in
+  section ();
+  let ps = plan_store_bench ~fast in
   section ();
   let srv = service_throughput ~fast in
   let grid_pes = if fast then [ 64; 256 ] else [ 256; 2048; 16384; 65536 ] in
@@ -950,8 +1045,18 @@ let bench_json ~fast file =
   let oc = open_out file in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
+  (* Host metadata: the regression gates that compare multi-domain
+     scaling are only meaningful when the producing machine had the
+     cores to scale on, and cross-host comparisons of absolute ns are
+     noise.  [nproc] is what the service's default domain count sees;
+     [host] tags each section so a partially regenerated file is
+     detectable. *)
+  let nproc = Domain.recommended_domain_count () in
+  let host = try Unix.gethostname () with Unix.Unix_error _ -> "unknown" in
   p "  \"schema\": \"cst-padr/bench-engine/v1\",\n";
   p "  \"fast\": %b,\n" fast;
+  p "  \"nproc\": %d,\n" nproc;
+  p "  \"host\": %S,\n" host;
   p "  \"pes_grid\": [%s],\n"
     (String.concat ", " (List.map string_of_int grid_pes));
   p "  \"width_grid\": [%s],\n"
@@ -970,25 +1075,26 @@ let bench_json ~fast file =
     srv;
   p "  ],\n";
   p
-    "  \"log_overhead\": {\"pes\": %d, \"events\": %d, \"ns_per_append\": \
-     %.2f, \"bytes_per_event\": %.1f, \"reps\": %d},\n"
-    lg.lg_pes lg.lg_events lg.lg_ns_per_append lg.lg_bytes_per_event
+    "  \"log_overhead\": {\"host\": %S, \"pes\": %d, \"events\": %d, \
+     \"ns_per_append\": %.2f, \"bytes_per_event\": %.1f, \"reps\": %d},\n"
+    host lg.lg_pes lg.lg_events lg.lg_ns_per_append lg.lg_bytes_per_event
     lg.lg_reps;
   p
-    "  \"plan_cache\": {\"pes\": %d, \"compile_ns\": %.1f, \"replay_ns\": \
-     %.1f, \"speedup\": %.2f, \"trace_jobs\": %d, \"hits\": %d, \"misses\": \
-     %d, \"hit_rate\": %.3f, \"reps\": %d},\n"
-    pc.pc_pes pc.pc_compile_ns pc.pc_replay_ns
+    "  \"plan_cache\": {\"host\": %S, \"pes\": %d, \"compile_ns\": %.1f, \
+     \"replay_ns\": %.1f, \"speedup\": %.2f, \"trace_jobs\": %d, \"hits\": \
+     %d, \"misses\": %d, \"hit_rate\": %.3f, \"reps\": %d},\n"
+    host pc.pc_pes pc.pc_compile_ns pc.pc_replay_ns
     (pc.pc_compile_ns /. Float.max pc.pc_replay_ns 1e-9)
     pc.pc_trace_jobs pc.pc_hits pc.pc_misses
     (float_of_int pc.pc_hits
     /. float_of_int (max 1 (pc.pc_hits + pc.pc_misses)))
     pc.pc_reps;
   p
-    "  \"par_engine\": {\"pes\": %d, \"blocks\": %d, \"seq_ns\": %.1f, \
-     \"par_d1_ns\": %.1f, \"overhead\": %.3f, \"digest_match\": %b, \
-     \"work_conserved\": %b, \"reps\": %d, \"grid\": [%s]},\n"
-    pe.pe_pes pe.pe_blocks pe.pe_seq_ns pe.pe_par_d1_ns
+    "  \"par_engine\": {\"host\": %S, \"pes\": %d, \"blocks\": %d, \
+     \"seq_ns\": %.1f, \"par_d1_ns\": %.1f, \"overhead\": %.3f, \
+     \"digest_match\": %b, \"work_conserved\": %b, \"reps\": %d, \"grid\": \
+     [%s]},\n"
+    host pe.pe_pes pe.pe_blocks pe.pe_seq_ns pe.pe_par_d1_ns
     (pe.pe_par_d1_ns /. Float.max pe.pe_seq_ns 1e-9)
     pe.pe_digest_match pe.pe_work_conserved pe.pe_reps
     (String.concat ", "
@@ -996,6 +1102,19 @@ let bench_json ~fast file =
           (fun (d, ns) ->
             Printf.sprintf "{\"domains\": %d, \"ns\": %.1f}" d ns)
           pe.pe_grid));
+  p "  \"plan_store\": [\n";
+  List.iteri
+    (fun i r ->
+      p
+        "    {\"host\": %S, \"pes\": %d, \"events\": %d, \"recompile_ns\": \
+         %.1f, \"warm_ns\": %.1f, \"speedup\": %.2f, \
+         \"codec_ns_per_event\": %.2f, \"digest_ok\": %b, \"reps\": %d}%s\n"
+        host r.ps_pes r.ps_events r.ps_recompile_ns r.ps_warm_ns
+        (r.ps_recompile_ns /. Float.max r.ps_warm_ns 1e-9)
+        r.ps_codec_ns_per_event r.ps_digest_ok r.ps_reps
+        (if i = List.length ps - 1 then "" else ","))
+    ps;
+  p "  ],\n";
   p "  \"results\": [\n";
   let rows = List.rev !rows in
   List.iteri

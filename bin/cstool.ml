@@ -7,6 +7,7 @@
      batch  run many generated jobs through the multicore batch service
      log    run a scheduler and dump its canonical execution log
      sweep  width sweep comparing algorithms (the E3 experiment, ad hoc)
+     plan   compile, import and list persistent plan files (plan store)
 
    Scheduling goes through Cst_service.Service — cstool is a thin client:
    it builds jobs, lets the service dispatch on registry capabilities and
@@ -231,7 +232,7 @@ let route_cmd =
 (* batch: many jobs through the domain pool *)
 let batch_cmd =
   let run n jobs algos seed domains queue verbose cache_stats no_cache
-      segmented =
+      segmented store_dir =
     let algos =
       match algos with
       | [] -> List.map (fun (a : Cst_baselines.Registry.algo) -> a.name)
@@ -271,9 +272,11 @@ let batch_cmd =
       Service.job ~engine ~id:i ~algo set
     in
     let js = List.init jobs make_job in
+    let store = Option.map Cst_service.Plan_store.open_dir store_dir in
     let t0 = Unix.gettimeofday () in
     let t =
-      Service.create ?domains ~queue_capacity:queue ~cache:(not no_cache) ()
+      Service.create ?domains ~queue_capacity:queue ~cache:(not no_cache)
+        ?store ()
     in
     let outcomes =
       Fun.protect
@@ -296,6 +299,11 @@ let batch_cmd =
       jobs (List.length failed) (Service.domains t) dt
       (float_of_int jobs /. Float.max dt 1e-9);
     if cache_stats then begin
+      (* One consolidated stats block: the memory tier, the disk tier
+         (when --store attached one; Plan_cache.pp_stats prints both),
+         per-domain counters, and the segmented jobs' per-block
+         accounting — blocks are cached independently, so a job can be
+         partially served by the cache. *)
       (match Service.cache_stats t with
       | Some s ->
           Format.printf "%a@." Cst_service.Plan_cache.pp_stats s;
@@ -306,8 +314,6 @@ let batch_cmd =
                 e)
             s.per_domain
       | None -> Format.printf "plan cache: disabled@.");
-      (* Per-block accounting of the segmented jobs: blocks are cached
-         independently, so a job can be partially served by the cache. *)
       let seg, blocks, hits =
         List.fold_left
           (fun (seg, blocks, hits) (o : Service.outcome) ->
@@ -367,12 +373,23 @@ let batch_cmd =
             "Route engine-capable jobs through the segment-parallel engine \
              (independent blocks cached and scheduled separately).")
   in
+  let store =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Attach a persistent plan store rooted at $(docv): cache misses \
+             fault plans in from disk, evictions spill to it, and the \
+             resident working set is flushed on shutdown, so a later batch \
+             against the same directory warm-starts.")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Run generated scheduling jobs through the multicore service")
     Term.(
       const run $ n_arg $ jobs $ algos $ seed_arg $ domains $ queue $ verbose
-      $ cache_stats $ no_cache $ segmented)
+      $ cache_stats $ no_cache $ segmented $ store)
 
 (* sweep *)
 let sweep_cmd =
@@ -704,6 +721,123 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Analyse a CSA schedule (occupancy, links, audit)")
     Term.(const run $ file_arg $ workload_arg $ n_arg $ seed_arg)
 
+(* plan: persistent compiled-plan files and the on-disk store *)
+let plan_export_cmd =
+  let run file workload n seed engine out =
+    match obtain_set file workload n seed with
+    | Error e -> exit_err e
+    | Ok set -> (
+        let leaves =
+          Cst_util.Bits.ceil_pow2 (max 2 (Cst_comm.Comm_set.n set))
+        in
+        let topo = Cst.Topology.create ~leaves in
+        let producer = if engine then Padr.Plan.Engine else Padr.Plan.Spec in
+        match Padr.Plan.compile ~producer topo set with
+        | Error e -> exit_err (Format.asprintf "%a" Padr.pp_error e)
+        | Ok plan ->
+            (try Padr.Plan.Codec.write_file ~path:out plan
+             with Sys_error m -> exit_err m);
+            Format.printf "wrote %s (%d bytes): %a@." out
+              (Padr.Plan.Codec.encoded_bytes plan)
+              Padr.Plan.pp plan)
+  in
+  let engine =
+    Arg.(
+      value & flag
+      & info [ "engine" ]
+          ~doc:
+            "Compile through the message-passing engine (its cycle and \
+             control-message model) instead of the functional scheduler.")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Plan file to write.")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Compile a set and write the plan as a portable binary file")
+    Term.(
+      const run $ file_arg $ workload_arg $ n_arg $ seed_arg $ engine $ out)
+
+let store_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR" ~doc:"Plan store directory.")
+
+let plan_import_cmd =
+  let run files store algo =
+    if files = [] then exit_err "no plan files given";
+    let st = Cst_service.Plan_store.open_dir store in
+    List.iter
+      (fun path ->
+        match Padr.Plan.Codec.read_file ~path with
+        | exception Sys_error m -> exit_err m
+        | Error e ->
+            exit_err
+              (Format.asprintf "%s: %a" path Padr.Plan.Codec.pp_error e)
+        | Ok plan ->
+            let engine = plan.producer = Padr.Plan.Engine in
+            Cst_service.Plan_store.store st ~algo ~engine plan;
+            Format.printf "imported %s: %a@." path Padr.Plan.pp plan)
+      files;
+    Format.printf "%a@." Cst_service.Plan_store.pp_stats
+      (Cst_service.Plan_store.stats st)
+  in
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"Plan files.")
+  in
+  let algo =
+    Arg.(
+      value & opt string "csa"
+      & info [ "a"; "algo" ] ~docv:"ALGO"
+          ~doc:
+            "Registry algorithm the imported plans are keyed under — the \
+             plan file stores the producer model, not the algorithm name.")
+  in
+  Cmd.v
+    (Cmd.info "import"
+       ~doc:"Verify plan files and add them to a plan store")
+    Term.(const run $ files $ store_arg $ algo)
+
+let plan_ls_cmd =
+  let run store =
+    let names =
+      match Sys.readdir store with
+      | names -> names
+      | exception Sys_error m -> exit_err m
+    in
+    Array.sort compare names;
+    let count = ref 0 and total = ref 0 in
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".plan" then begin
+          let path = Filename.concat store f in
+          match Padr.Plan.Codec.read_file ~path with
+          | exception Sys_error m -> Format.printf "%s  UNREADABLE (%s)@." f m
+          | Error e ->
+              Format.printf "%s  CORRUPT (%a)@." f Padr.Plan.Codec.pp_error e
+          | Ok plan ->
+              let bytes = Padr.Plan.Codec.encoded_bytes plan in
+              incr count;
+              total := !total + bytes;
+              Format.printf "%s  %d bytes  %a@." f bytes Padr.Plan.pp plan
+        end)
+      names;
+    Format.printf "%d plan(s), %d bytes@." !count !total
+  in
+  Cmd.v
+    (Cmd.info "ls" ~doc:"List and verify the plans in a store directory")
+    Term.(const run $ store_arg)
+
+let plan_cmd =
+  Cmd.group
+    (Cmd.info "plan"
+       ~doc:"Compile, import and list persistent plan files")
+    [ plan_export_cmd; plan_import_cmd; plan_ls_cmd ]
+
 let () =
   let doc = "power-aware routing on the circuit switched tree" in
   exit
@@ -712,5 +846,5 @@ let () =
           (Cmd.info "cstool" ~version:"1.0.0" ~doc)
           [
             gen_cmd; info_cmd; route_cmd; batch_cmd; sweep_cmd; waves_cmd;
-            dot_cmd; log_cmd; stats_cmd;
+            dot_cmd; log_cmd; stats_cmd; plan_cmd;
           ]))

@@ -122,6 +122,68 @@ let check_arbitrary seed rng =
   if Padr.Waves.num_waves w < bound then
     complain seed "wave cover beat its clique lower bound"
 
+(* Codec differential: anything the binary codec round-trips must be
+   indistinguishable from the original — the decoded log digest equals
+   the source log's, and replaying a decoded plan is digest-identical
+   to scheduling the set from scratch.  Corruption must be detected:
+   flipping any arena byte or truncating the buffer yields a typed
+   error, never a wrong plan or an escaping exception. *)
+let check_codec seed rng =
+  let n = 1 lsl (2 + Cst_util.Prng.int rng 7) in
+  let density = 0.05 +. Cst_util.Prng.float rng 0.95 in
+  let set = Cst_workloads.Gen_wn.uniform rng ~n ~density in
+  let topo = Cst.Topology.create ~leaves:n in
+  (* raw event-log round trip *)
+  let log = Cst.Exec_log.create () in
+  ignore (Padr.Engine.run_exn ~log topo set);
+  (match Cst.Exec_log.Codec.decode (Cst.Exec_log.Codec.encode log) with
+  | Error e ->
+      complain seed "log codec rejected its own encoding: %a"
+        Cst.Exec_log.Codec.pp_error e
+  | Ok (decoded, _) ->
+      if Cst.Exec_log.digest decoded <> Cst.Exec_log.digest log then
+        complain seed "log codec round trip changed the digest";
+      if Cst.Exec_log.length decoded <> Cst.Exec_log.length log then
+        complain seed "log codec round trip changed the length");
+  (* plan round trip, replayed against a fresh schedule *)
+  (match Padr.Plan.compile ~producer:Padr.Plan.Engine topo set with
+  | Error e -> complain seed "plan compile failed: %a" Padr.Csa.pp_error e
+  | Ok plan -> (
+      let b = Padr.Plan.Codec.encode plan in
+      match Padr.Plan.Codec.decode b with
+      | Error e ->
+          complain seed "plan codec rejected its own encoding: %a"
+            Padr.Plan.Codec.pp_error e
+      | Ok decoded ->
+          if
+            decoded.rounds <> plan.rounds
+            || decoded.cycles <> plan.cycles
+            || decoded.producer <> plan.producer
+            || decoded.leaves <> plan.leaves
+          then complain seed "plan codec round trip changed header fields";
+          let r = Padr.Plan.replay ~keep_configs:false decoded topo set in
+          if Cst.Exec_log.digest r.log <> Cst.Exec_log.digest log then
+            complain seed "decoded plan's replay diverges from a fresh run";
+          (* corruption: flip one arena byte (the digest-covered tail) *)
+          let events = Cst.Exec_log.length plan.log in
+          if events > 0 then begin
+            let c = Bytes.copy b in
+            let pos =
+              Bytes.length c - 1 - Cst_util.Prng.int rng (8 * events)
+            in
+            Bytes.set c pos
+              (Char.chr (Char.code (Bytes.get c pos) lxor (1 lsl Cst_util.Prng.int rng 8)));
+            match Padr.Plan.Codec.decode c with
+            | Ok _ ->
+                complain seed "flipped arena byte at %d went undetected" pos
+            | Error _ -> ()
+          end;
+          (* corruption: truncation anywhere must be typed, not fatal *)
+          let cut = Cst_util.Prng.int rng (Bytes.length b) in
+          (match Padr.Plan.Codec.decode (Bytes.sub b 0 cut) with
+          | Ok _ -> complain seed "truncation to %d bytes went undetected" cut
+          | Error _ -> ())))
+
 let check_algos seed rng =
   let n = 1 lsl (1 + Cst_util.Prng.int rng 6) in
   let a = Array.init n (fun _ -> Cst_util.Prng.int_in rng (-1000) 1000) in
@@ -170,9 +232,10 @@ let () =
   for i = 1 to iterations do
     let seed = base_seed + i in
     let rng = Cst_util.Prng.create seed in
-    (match i mod 3 with
+    (match i mod 4 with
     | 0 -> check_well_nested seed rng
     | 1 -> check_arbitrary seed rng
+    | 2 -> check_codec seed rng
     | _ -> check_algos seed rng);
     if i mod 100 = 0 then
       Format.printf "... %d/%d iterations, %d failure(s)@." i iterations

@@ -112,3 +112,212 @@ let pp fmt (t : t) =
     t.leaves t.base t.rounds t.cycles t.control_messages
     (Cst.Exec_log.length t.log)
     Cst.Canon.pp t.canon
+
+(* Binary codec: 80-byte plan header + canon offsets + the embedded
+   event-log section.  The meta digest covers the header (minus its own
+   slot) and the offsets; the log section carries its own arena digest
+   and, in its canon-hash slot, the hash of this plan's canon — decode
+   rebuilds the canon from the offsets and requires the two hashes to
+   agree, so metadata and events cannot be spliced from different
+   plans.  Multi-byte fields are read with a wrap-mod-2^63 [get64], so
+   crafted top bytes surface as negative values; every count is
+   range-checked after the digests pass. *)
+module Codec = struct
+  type error =
+    | Truncated of { expected : int; got : int }
+    | Bad_magic
+    | Unsupported_version of { found : int; expected : int }
+    | Digest_mismatch
+    | Canon_mismatch
+    | Bad_field of string
+    | Log of Cst.Exec_log.Codec.error
+
+  let pp_error fmt = function
+    | Truncated { expected; got } ->
+        Format.fprintf fmt "truncated: need %d bytes, have %d" expected got
+    | Bad_magic -> Format.fprintf fmt "bad magic (not a CST plan)"
+    | Unsupported_version { found; expected } ->
+        Format.fprintf fmt "unsupported version %d (expected %d)" found
+          expected
+    | Digest_mismatch -> Format.fprintf fmt "plan metadata digest mismatch"
+    | Canon_mismatch ->
+        Format.fprintf fmt "canon hash disagrees with the stored offsets"
+    | Bad_field f -> Format.fprintf fmt "invalid field: %s" f
+    | Log e ->
+        Format.fprintf fmt "log section: %a" Cst.Exec_log.Codec.pp_error e
+
+  let version = 1
+  let magic = "CSTPLAN1"
+  let header_bytes = 80
+  let fnv_prime = 0x100000001b3
+
+  let put32 b pos v =
+    for i = 0 to 3 do
+      Bytes.set b (pos + i) (Char.chr ((v lsr (8 * i)) land 0xff))
+    done
+
+  let get32 b pos =
+    Char.code (Bytes.get b pos)
+    lor (Char.code (Bytes.get b (pos + 1)) lsl 8)
+    lor (Char.code (Bytes.get b (pos + 2)) lsl 16)
+    lor (Char.code (Bytes.get b (pos + 3)) lsl 24)
+
+  let put64 b pos v =
+    for i = 0 to 7 do
+      Bytes.set b (pos + i) (Char.chr ((v lsr (8 * i)) land 0xff))
+    done
+
+  let get64 b pos =
+    let v = ref 0 in
+    for i = 7 downto 0 do
+      v := (!v lsl 8) lor Char.code (Bytes.get b (pos + i))
+    done;
+    !v
+
+  let meta_digest b ~offsets_len =
+    let h = ref 0x3bf29ce484222325 in
+    let mix c = h := ((!h lxor c) * fnv_prime) land max_int in
+    for i = 0 to 71 do
+      mix (Char.code (Bytes.get b i))
+    done;
+    for i = header_bytes to header_bytes + offsets_len - 1 do
+      mix (Char.code (Bytes.get b i))
+    done;
+    !h
+
+  let encoded_bytes (t : t) =
+    header_bytes
+    + (8 * Cst.Canon.size t.canon)
+    + Cst.Exec_log.Codec.encoded_bytes t.log
+
+  let encode (t : t) =
+    let n = Cst.Canon.size t.canon in
+    let b = Bytes.create (encoded_bytes t) in
+    Bytes.blit_string magic 0 b 0 8;
+    put32 b 8 version;
+    Bytes.set b 12
+      (Char.chr (match t.producer with Spec -> 0 | Engine -> 1));
+    Bytes.set b 13 '\000';
+    Bytes.set b 14 '\000';
+    Bytes.set b 15 '\000';
+    put64 b 16 t.leaves;
+    put64 b 24 t.base;
+    put64 b 32 t.rounds;
+    put64 b 40 t.cycles;
+    put64 b 48 t.control_messages;
+    put64 b 56 (Cst.Canon.align t.canon);
+    put64 b 64 n;
+    Array.iteri
+      (fun i (s, d) ->
+        put32 b (header_bytes + (8 * i)) s;
+        put32 b (header_bytes + (8 * i) + 4) d)
+      (Cst.Canon.offsets t.canon);
+    put64 b 72 (meta_digest b ~offsets_len:(8 * n));
+    ignore
+      (Cst.Exec_log.Codec.encode_into
+         ~canon_hash:(Cst.Canon.hash t.canon) t.log b
+         ~pos:(header_bytes + (8 * n)));
+    b
+
+  let decode b =
+    let len = Bytes.length b in
+    if len < header_bytes then
+      Error (Truncated { expected = header_bytes; got = len })
+    else if not (String.equal (Bytes.sub_string b 0 8) magic) then
+      Error Bad_magic
+    else
+      let v = get32 b 8 in
+      if v <> version then
+        Error (Unsupported_version { found = v; expected = version })
+      else
+        let n = get64 b 64 in
+        if n < 0 || n > (len - header_bytes) / 8 then
+          Error
+            (Truncated
+               {
+                 expected =
+                   (if n < 0 || n > (max_int - header_bytes) / 8 then max_int
+                    else header_bytes + (8 * n));
+                 got = len;
+               })
+        else if get64 b 72 <> meta_digest b ~offsets_len:(8 * n) then
+          Error Digest_mismatch
+        else begin
+          let producer =
+            match Char.code (Bytes.get b 12) with
+            | 0 -> Ok Spec
+            | 1 -> Ok Engine
+            | _ -> Error (Bad_field "producer")
+          in
+          match producer with
+          | Error e -> Error e
+          | Ok producer -> (
+              let leaves = get64 b 16
+              and base = get64 b 24
+              and rounds = get64 b 32
+              and cycles = get64 b 40
+              and control_messages = get64 b 48
+              and align = get64 b 56 in
+              let offs =
+                Array.init n (fun i ->
+                    ( get32 b (header_bytes + (8 * i)),
+                      get32 b (header_bytes + (8 * i) + 4) ))
+              in
+              match Cst.Canon.of_offsets ~align offs with
+              | exception Invalid_argument _ ->
+                  Error (Bad_field "canon offsets")
+              | canon -> (
+                  let log_pos = header_bytes + (8 * n) in
+                  match Cst.Exec_log.Codec.decode ~pos:log_pos b with
+                  | Error e -> Error (Log e)
+                  | Ok (log, next) ->
+                      if next <> len then Error (Bad_field "trailing bytes")
+                      else if
+                        Cst.Exec_log.Codec.canon_hash ~pos:log_pos b
+                        <> Ok (Cst.Canon.hash canon)
+                      then Error Canon_mismatch
+                      else if rounds < 0 || cycles < 0 || control_messages < 0
+                      then Error (Bad_field "negative count")
+                      else if leaves < 1 || leaves land (leaves - 1) <> 0 then
+                        Error (Bad_field "leaves not a power of two")
+                      else if not (Cst.Canon.compatible canon ~leaves ~base)
+                      then Error (Bad_field "placement")
+                      else
+                        Ok
+                          {
+                            producer;
+                            leaves;
+                            base;
+                            canon;
+                            rounds;
+                            cycles;
+                            control_messages;
+                            log;
+                          }))
+        end
+
+  let write_file ~path t =
+    let b = encode t in
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    (try
+       output_bytes oc b;
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e);
+    Sys.rename tmp path
+
+  let read_file ~path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        let b = Bytes.create len in
+        match really_input ic b 0 len with
+        | () -> decode b
+        | exception End_of_file ->
+            Error (Truncated { expected = len; got = 0 }))
+end

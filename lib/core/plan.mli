@@ -73,3 +73,73 @@ val bytes : t -> int
     the plan cache's budget unit. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Binary codec}
+
+    Self-contained little-endian serialization of a plan — the record
+    the persistent plan store writes to disk.  Layout: an 80-byte plan
+    header, the canon offsets, then the embedded event-log section
+    ({!Cst.Exec_log.Codec}) whose header carries the canon hash:
+
+    {v
+    offset  size  field
+         0     8  magic "CSTPLAN1"
+         8     4  format version (u32 LE)
+        12     1  producer (0 = Spec, 1 = Engine)
+        13     3  reserved, zero
+        16     8  leaves            (u64 LE)
+        24     8  base              (u64 LE)
+        32     8  rounds            (u64 LE)
+        40     8  cycles            (u64 LE)
+        48     8  control messages  (u64 LE)
+        56     8  canon align       (u64 LE)
+        64     8  canon offset count n (u64 LE)
+        72     8  meta digest       (u64 LE, FNV-1a over bytes 0-71
+                                     and the offsets section)
+        80    8n  offsets: n × (u32 LE src, u32 LE dst)
+     80+8n     -  Exec_log.Codec section (canon hash in its header)
+    v}
+
+    Decode re-derives everything it can and believes nothing it
+    cannot: the meta digest guards the header and offsets, the
+    embedded log section's own digest guards the arena, the canon is
+    rebuilt through {!Cst.Canon.of_offsets} (which re-validates
+    canonicality and recomputes the hash), and the rebuilt hash must
+    equal the one stored in the log header — so a plan whose offsets
+    and log were spliced from different plans is rejected as
+    {!Codec.error.Canon_mismatch}, not returned as a plausible
+    frankenplan. *)
+module Codec : sig
+  type error =
+    | Truncated of { expected : int; got : int }
+    | Bad_magic
+    | Unsupported_version of { found : int; expected : int }
+    | Digest_mismatch  (** plan header/offsets fail the meta digest *)
+    | Canon_mismatch
+        (** the log section's stored canon hash differs from the hash
+            of the canon rebuilt from the offsets *)
+    | Bad_field of string
+        (** a digest-valid field is semantically impossible (producer
+            byte, non-canonical offsets, leaves not a power of two,
+            incompatible placement, negative count) *)
+    | Log of Cst.Exec_log.Codec.error  (** embedded log section failed *)
+
+  val pp_error : Format.formatter -> error -> unit
+
+  val version : int
+  val encoded_bytes : t -> int
+  val encode : t -> bytes
+
+  val decode : bytes -> (t, error) result
+  (** Rejects trailing garbage after the log section as
+      [Bad_field "trailing bytes"]. *)
+
+  val write_file : path:string -> t -> unit
+  (** Atomic publish: writes [path ^ ".tmp"] then renames over [path],
+      so a concurrent reader sees either the old file or the new one,
+      never a torn write.  Raises [Sys_error] on I/O failure. *)
+
+  val read_file : path:string -> (t, error) result
+  (** Raises [Sys_error] if the file cannot be opened or read; content
+      problems come back as typed errors. *)
+end

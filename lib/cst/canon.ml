@@ -56,6 +56,38 @@ let equal a b =
 let hash t = t.hash
 let align t = t.align
 let size t = Array.length t.offsets
+let offsets t = Array.copy t.offsets
+
+let of_offsets ~align offsets =
+  if align < 1 || align land (align - 1) <> 0 then
+    invalid_arg "Canon.of_offsets: align not a power of two";
+  let sorted = ref true in
+  Array.iteri
+    (fun i (s, d) ->
+      if s < 0 || s >= align || d < 0 || d >= align || s = d then
+        invalid_arg "Canon.of_offsets: offset outside [0, align) or src = dst";
+      if i > 0 && fst offsets.(i - 1) > s then sorted := false)
+    offsets;
+  if not !sorted then
+    invalid_arg "Canon.of_offsets: offsets not sorted by source";
+  (* Only place-image values are canonical: the empty set pins align to
+     1, and a non-empty set must straddle the block midpoint (otherwise
+     a half-size block would contain it and [align] is not minimal). *)
+  if Array.length offsets = 0 then begin
+    if align <> 1 then invalid_arg "Canon.of_offsets: empty set needs align 1"
+  end
+  else begin
+    let lo = ref max_int and hi = ref 0 in
+    Array.iter
+      (fun (s, d) ->
+        lo := min !lo (min s d);
+        hi := max !hi (max s d))
+      offsets;
+    if not (!lo < align / 2 && !hi >= align / 2) then
+      invalid_arg "Canon.of_offsets: align not minimal for these offsets"
+  end;
+  let offsets = Array.copy offsets in
+  { align; offsets; hash = hash_of ~align offsets }
 
 let compatible t ~leaves ~base =
   leaves >= t.align

@@ -43,6 +43,21 @@ val align : t -> int
 val size : t -> int
 (** Number of communications in the signature. *)
 
+val offsets : t -> (int * int) array
+(** Fresh copy of the block-relative [(src, dst)] offset pairs, in
+    canonical source-sorted order — the serializable half of the
+    signature (the other half is {!align}). *)
+
+val of_offsets : align:int -> (int * int) array -> t
+(** Rebuilds a signature from serialized parts, recomputing the hash.
+    Accepts exactly the image of {!place}: [align] a power of two,
+    offsets sorted by source with every endpoint in [[0, align)] and
+    [src <> dst], the empty array only with alignment 1, and a
+    non-empty set straddling the block midpoint (else a half-size
+    block would contain it and [align] would not be minimal).  Raises
+    [Invalid_argument] otherwise — a decoded plan whose canon section
+    fails this check is corrupt, not merely foreign. *)
+
 val compatible : t -> leaves:int -> base:int -> bool
 (** Whether a plan with this signature can be placed at leaf offset
     [base] of a [leaves]-leaf tree: [leaves] a power of two no smaller

@@ -578,3 +578,144 @@ let pp fmt t =
     Format.fprintf fmt "%6d %a@," i pp_event (decode t.buf.(i))
   done;
   Format.pp_close_box fmt ()
+
+(* Binary codec: 40-byte little-endian header + the raw word arena.
+   The arena digest is FNV-1a over the packed words as stored (not the
+   structural [digest] above, which canonicalizes config order) — it is
+   an integrity check on the bytes, so encode computes it during the
+   same pass that writes the words and decode during the same pass that
+   reads them.  Words are 63-bit non-negative ints, so byte 7 of an
+   honest word never has its top bit set; [get64] silently drops that
+   bit (OCaml ints wrap mod 2^63), which is why the word scan checks
+   the stored top byte explicitly rather than the reassembled value. *)
+module Codec = struct
+  type error =
+    | Truncated of { expected : int; got : int }
+    | Bad_magic
+    | Unsupported_version of { found : int; expected : int }
+    | Digest_mismatch
+    | Bad_word of { index : int }
+
+  let pp_error fmt = function
+    | Truncated { expected; got } ->
+        Format.fprintf fmt "truncated: need %d bytes, have %d" expected got
+    | Bad_magic -> Format.fprintf fmt "bad magic (not a CST log)"
+    | Unsupported_version { found; expected } ->
+        Format.fprintf fmt "unsupported version %d (expected %d)" found
+          expected
+    | Digest_mismatch -> Format.fprintf fmt "arena digest mismatch"
+    | Bad_word { index } ->
+        Format.fprintf fmt "invalid event word at index %d" index
+
+  let version = 1
+  let header_bytes = 40
+  let magic = "CSTELOG1"
+  let encoded_bytes t = header_bytes + (8 * t.len)
+
+  let put32 b pos v =
+    for i = 0 to 3 do
+      Bytes.set b (pos + i) (Char.chr ((v lsr (8 * i)) land 0xff))
+    done
+
+  let get32 b pos =
+    Char.code (Bytes.get b pos)
+    lor (Char.code (Bytes.get b (pos + 1)) lsl 8)
+    lor (Char.code (Bytes.get b (pos + 2)) lsl 16)
+    lor (Char.code (Bytes.get b (pos + 3)) lsl 24)
+
+  let[@inline] put64 b pos v =
+    for i = 0 to 7 do
+      Bytes.unsafe_set b (pos + i)
+        (Char.unsafe_chr ((v lsr (8 * i)) land 0xff))
+    done
+
+  let[@inline] get64 b pos =
+    let v = ref 0 in
+    for i = 7 downto 0 do
+      v := (!v lsl 8) lor Char.code (Bytes.unsafe_get b (pos + i))
+    done;
+    !v
+
+  let encode_into ?(canon_hash = 0) t b ~pos =
+    let need = encoded_bytes t in
+    if pos < 0 || pos + need > Bytes.length b then
+      invalid_arg "Exec_log.Codec.encode_into: buffer too small";
+    Bytes.blit_string magic 0 b pos 8;
+    put32 b (pos + 8) version;
+    put32 b (pos + 12) 0;
+    put64 b (pos + 16) canon_hash;
+    put64 b (pos + 24) t.len;
+    let base = pos + header_bytes in
+    let h = ref 0x3bf29ce484222325 in
+    for i = 0 to t.len - 1 do
+      let w = t.buf.(i) in
+      h := ((!h lxor w) * fnv_prime) land max_int;
+      put64 b (base + (8 * i)) w
+    done;
+    put64 b (pos + 32) !h;
+    pos + need
+
+  let encode ?canon_hash t =
+    let b = Bytes.create (encoded_bytes t) in
+    ignore (encode_into ?canon_hash t b ~pos:0);
+    b
+
+  let check_header b pos =
+    if pos < 0 || Bytes.length b - pos < header_bytes then
+      Error
+        (Truncated
+           { expected = header_bytes; got = max 0 (Bytes.length b - pos) })
+    else if not (String.equal (Bytes.sub_string b pos 8) magic) then
+      Error Bad_magic
+    else
+      let v = get32 b (pos + 8) in
+      if v <> version then
+        Error (Unsupported_version { found = v; expected = version })
+      else Ok ()
+
+  let decode ?(pos = 0) b =
+    match check_header b pos with
+    | Error e -> Error e
+    | Ok () ->
+        let count = get64 b (pos + 24) in
+        let avail = Bytes.length b - pos - header_bytes in
+        if count < 0 || count > avail / 8 then
+          Error
+            (Truncated
+               {
+                 expected =
+                   (if count < 0 || count > (max_int - header_bytes) / 8 then
+                      max_int
+                    else header_bytes + (8 * count));
+                 got = header_bytes + avail;
+               })
+        else begin
+          let stored = get64 b (pos + 32) in
+          let t = create ~capacity:(max 1 count) () in
+          let base = pos + header_bytes in
+          let h = ref 0x3bf29ce484222325 in
+          let bad = ref (-1) in
+          for i = 0 to count - 1 do
+            let off = base + (8 * i) in
+            let w = get64 b off in
+            h := ((!h lxor w) * fnv_prime) land max_int;
+            if
+              !bad < 0
+              && (w land 7 > 6
+                 || Char.code (Bytes.unsafe_get b (off + 7)) land 0x80 <> 0)
+            then bad := i;
+            t.buf.(i) <- w
+          done;
+          if !h <> stored then Error Digest_mismatch
+          else if !bad >= 0 then Error (Bad_word { index = !bad })
+          else begin
+            t.len <- count;
+            Ok (t, base + (8 * count))
+          end
+        end
+
+  let canon_hash ?(pos = 0) b =
+    match check_header b pos with
+    | Error e -> Error e
+    | Ok () -> Ok (get64 b (pos + 16))
+end

@@ -181,3 +181,69 @@ val driver_alternations : ?from:int -> ?upto:int -> t -> node:int -> int
 val pp_event : Format.formatter -> event -> unit
 val pp : Format.formatter -> t -> unit
 (** One numbered line per event. *)
+
+(** {1 Binary codec}
+
+    Versioned little-endian serialization of a log, the unit of the
+    persistent plan store.  The layout is a fixed 40-byte header
+    followed by the raw event arena, one 8-byte word per event:
+
+    {v
+    offset  size  field
+         0     8  magic "CSTELOG1"
+         8     4  format version (u32 LE)
+        12     4  reserved, zero
+        16     8  canon hash     (u64 LE, caller-supplied tag; 0 if unused)
+        24     8  event count    (u64 LE)
+        32     8  arena digest   (u64 LE, FNV-1a over the packed words)
+        40  8<i>n</i>  the packed words, little-endian
+    v}
+
+    Encode and decode are O(events) straight word blits with no
+    per-event allocation.  Decode trusts nothing: it verifies the
+    magic, the version, the declared length against the available
+    bytes, the stored FNV-1a digest against the words actually read,
+    and finally each word's tag — any failure is a typed
+    {!Codec.error}, never an exception or a corrupt in-memory log. *)
+module Codec : sig
+  type error =
+    | Truncated of { expected : int; got : int }
+        (** fewer bytes than the header (or its declared count) demands *)
+    | Bad_magic
+    | Unsupported_version of { found : int; expected : int }
+    | Digest_mismatch
+        (** the arena does not hash to the header's stored digest — a
+            flipped or lost byte in the event words *)
+    | Bad_word of { index : int }
+        (** a word with an invalid tag or sign bit that nevertheless
+            digests correctly — a crafted, not corrupted, payload *)
+
+  val pp_error : Format.formatter -> error -> unit
+
+  val version : int
+  (** Current format version, written by {!encode}. *)
+
+  val header_bytes : int
+  (** Fixed header size: 40. *)
+
+  val encoded_bytes : t -> int
+  (** [header_bytes + 8 * length t]. *)
+
+  val encode : ?canon_hash:int -> t -> bytes
+  (** Fresh buffer holding header + arena.  [canon_hash] (default 0)
+      is stored verbatim in the header — the plan codec uses it to bind
+      a log to its structural signature. *)
+
+  val encode_into : ?canon_hash:int -> t -> bytes -> pos:int -> int
+  (** Writes the encoding at [pos] and returns the position one past
+      it.  Raises [Invalid_argument] if the buffer is too small. *)
+
+  val decode : ?pos:int -> bytes -> (t * int, error) result
+  (** Decodes an encoding starting at [pos] (default 0); returns the
+      fresh log and the position one past the bytes consumed.
+      Trailing bytes after the declared arena are left unread. *)
+
+  val canon_hash : ?pos:int -> bytes -> (int, error) result
+  (** Reads the header's canon-hash field without decoding the arena
+      (magic, version and header length still checked). *)
+end

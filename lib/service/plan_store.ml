@@ -1,0 +1,214 @@
+(* On-disk LRU tier: a directory of Plan.Codec files named by cache
+   key.  Recency lives in an in-memory stamp table seeded from mtimes
+   at open and mirrored back to mtimes (best effort) on hits, so LRU
+   order survives a reopen.  Every decode failure quarantines the file
+   and reports a miss — corruption degrades to recompilation. *)
+
+type entry = { mutable stamp : int; size : int }
+
+type t = {
+  dir : string;
+  m : Mutex.t;
+  table : (string, entry) Hashtbl.t; (* filename -> entry *)
+  max_bytes : int;
+  mutable bytes : int;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable stores : int;
+  mutable evictions : int;
+  mutable corrupt : int;
+}
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+(* Registry algorithm names are short identifiers, but the filename
+   grammar should not depend on that. *)
+let sanitize s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+      | _ -> '_')
+    s
+
+let filename ~algo ~engine ~leaves ~hash =
+  Printf.sprintf "h%016x-%s-%c-l%d.plan" hash (sanitize algo)
+    (if engine then 'e' else 's')
+    leaves
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let evict_locked t =
+  let victim =
+    Hashtbl.fold
+      (fun f e acc ->
+        match acc with
+        | Some (_, best) when best.stamp <= e.stamp -> acc
+        | _ -> Some (f, e))
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some (f, e) ->
+      Hashtbl.remove t.table f;
+      t.bytes <- t.bytes - e.size;
+      t.evictions <- t.evictions + 1;
+      (try Sys.remove (Filename.concat t.dir f) with Sys_error _ -> ())
+
+let open_dir ?(max_bytes = 256 * 1024 * 1024) dir =
+  mkdir_p dir;
+  let t =
+    {
+      dir;
+      m = Mutex.create ();
+      table = Hashtbl.create 64;
+      max_bytes = max 0 max_bytes;
+      bytes = 0;
+      clock = 0;
+      hits = 0;
+      misses = 0;
+      stores = 0;
+      evictions = 0;
+      corrupt = 0;
+    }
+  in
+  let names = Sys.readdir dir in
+  Array.sort compare names;
+  Array.to_list names
+  |> List.filter_map (fun f ->
+         if not (Filename.check_suffix f ".plan") then None
+         else
+           match Unix.stat (Filename.concat dir f) with
+           | { Unix.st_kind = Unix.S_REG; st_size; st_mtime; _ } ->
+               Some (f, st_size, st_mtime)
+           | _ | (exception Unix.Unix_error _) -> None)
+  |> List.sort (fun (f1, _, m1) (f2, _, m2) ->
+         match compare (m1 : float) m2 with
+         | 0 -> compare f1 f2
+         | c -> c)
+  |> List.iter (fun (f, size, _) ->
+         Hashtbl.replace t.table f { stamp = t.clock; size };
+         t.clock <- t.clock + 1;
+         t.bytes <- t.bytes + size);
+  while t.bytes > t.max_bytes && Hashtbl.length t.table > 0 do
+    evict_locked t
+  done;
+  t
+
+let dir t = t.dir
+
+let quarantine_locked t f e =
+  Hashtbl.remove t.table f;
+  t.bytes <- t.bytes - e.size;
+  t.corrupt <- t.corrupt + 1;
+  let path = Filename.concat t.dir f in
+  try Sys.rename path (path ^ ".corrupt")
+  with Sys_error _ -> ( try Sys.remove path with Sys_error _ -> ())
+
+let find t ~algo ~engine ~leaves ~canon =
+  let f = filename ~algo ~engine ~leaves ~hash:(Cst.Canon.hash canon) in
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table f with
+      | None ->
+          t.misses <- t.misses + 1;
+          None
+      | Some e -> (
+          let path = Filename.concat t.dir f in
+          match Padr.Plan.Codec.read_file ~path with
+          | exception Sys_error _ ->
+              (* vanished underneath us: drop the index entry *)
+              Hashtbl.remove t.table f;
+              t.bytes <- t.bytes - e.size;
+              t.misses <- t.misses + 1;
+              None
+          | Error _ ->
+              quarantine_locked t f e;
+              t.misses <- t.misses + 1;
+              None
+          | Ok plan ->
+              if
+                Cst.Canon.equal plan.canon canon
+                && plan.leaves = leaves
+                && (plan.producer = Padr.Plan.Engine) = engine
+              then begin
+                e.stamp <- t.clock;
+                t.clock <- t.clock + 1;
+                (* mirror recency to the filesystem; 0.0 = "now" *)
+                (try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ());
+                t.hits <- t.hits + 1;
+                Some plan
+              end
+              else begin
+                (* hash collision (or a foreign file under our name):
+                   a plain miss, never a wrong plan *)
+                t.misses <- t.misses + 1;
+                None
+              end))
+
+let store t ~algo ~engine (plan : Padr.Plan.t) =
+  let size = Padr.Plan.Codec.encoded_bytes plan in
+  if size <= t.max_bytes then
+    let f =
+      filename ~algo ~engine ~leaves:plan.leaves
+        ~hash:(Cst.Canon.hash plan.canon)
+    in
+    locked t (fun () ->
+        let path = Filename.concat t.dir f in
+        match Padr.Plan.Codec.write_file ~path plan with
+        | exception Sys_error _ -> () (* best effort: disk tier only *)
+        | () ->
+            (match Hashtbl.find_opt t.table f with
+            | Some old -> t.bytes <- t.bytes - old.size
+            | None -> ());
+            Hashtbl.replace t.table f { stamp = t.clock; size };
+            t.clock <- t.clock + 1;
+            t.bytes <- t.bytes + size;
+            t.stores <- t.stores + 1;
+            (* the fresh entry holds the newest stamp, so the loop
+               terminates with it resident *)
+            while t.bytes > t.max_bytes do
+              evict_locked t
+            done)
+
+type stats = {
+  hits : int;
+  misses : int;
+  stores : int;
+  evictions : int;
+  corrupt : int;
+  entries : int;
+  bytes : int;
+  max_bytes : int;
+}
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        stores = t.stores;
+        evictions = t.evictions;
+        corrupt = t.corrupt;
+        entries = Hashtbl.length t.table;
+        bytes = t.bytes;
+        max_bytes = t.max_bytes;
+      })
+
+let pp_stats fmt s =
+  let total = s.hits + s.misses in
+  Format.fprintf fmt
+    "plan store: %d hit(s) / %d lookup(s) (%.1f%%), %d store(s), %d \
+     eviction(s), %d corrupt, %d file(s) resident (%d / %d bytes)"
+    s.hits total
+    (if total = 0 then 0.0
+     else 100.0 *. float_of_int s.hits /. float_of_int total)
+    s.stores s.evictions s.corrupt s.entries s.bytes s.max_bytes

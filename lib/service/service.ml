@@ -419,7 +419,8 @@ type t = {
   cache : Plan_cache.t option;
 }
 
-let create ?domains ?(queue_capacity = 64) ?(cache = true) ?cache_bytes () =
+let create ?domains ?(queue_capacity = 64) ?(cache = true) ?cache_bytes ?store
+    () =
   let domain_count =
     match domains with
     | Some d -> max 1 d
@@ -432,7 +433,9 @@ let create ?domains ?(queue_capacity = 64) ?(cache = true) ?cache_bytes () =
   let completed = ref 0 in
   let pc =
     if cache then
-      Some (Plan_cache.create ?max_bytes:cache_bytes ~domains:domain_count ())
+      Some
+        (Plan_cache.create ?max_bytes:cache_bytes ?store ~domains:domain_count
+           ())
     else None
   in
   let rec worker i () =
@@ -504,11 +507,14 @@ let shutdown t =
   Mutex.unlock t.m;
   if not already then begin
     Chan.close t.chan;
-    Array.iter Domain.join t.workers
+    Array.iter Domain.join t.workers;
+    (* workers are gone: persist the still-dirty working set so a
+       restart against the same store directory warm-starts *)
+    Option.iter Plan_cache.flush t.cache
   end
 
-let run ?domains ?queue_capacity ?cache ?cache_bytes jobs =
-  let t = create ?domains ?queue_capacity ?cache ?cache_bytes () in
+let run ?domains ?queue_capacity ?cache ?cache_bytes ?store jobs =
+  let t = create ?domains ?queue_capacity ?cache ?cache_bytes ?store () in
   Fun.protect
     ~finally:(fun () -> shutdown t)
     (fun () ->

@@ -44,6 +44,15 @@
     hit/miss patterns race across domain counts.  Disable with
     [~cache:false] on {!create}/{!run}.
 
+    Passing [~store] (a {!Plan_store} directory handle) attaches a
+    persistent disk tier below the memory cache: evictions spill to
+    disk, misses fault from it, and {!shutdown} flushes the resident
+    working set — a pool reopened against the same directory replays
+    where a fresh one recompiles (the cold-start experiment in
+    EXPERIMENTS.md).  Correctness is unchanged: every fault-in is
+    digest-verified by the codec, and a corrupt or missing file is just
+    a miss.
+
     {2 Fault isolation}
 
     A failing job — unknown algorithm, capability mismatch, scheduler
@@ -153,6 +162,7 @@ val run :
   ?queue_capacity:int ->
   ?cache:bool ->
   ?cache_bytes:int ->
+  ?store:Plan_store.t ->
   job list ->
   outcome list
 (** Runs the batch on [domains] worker domains (default
@@ -161,7 +171,9 @@ val run :
     every job completes.  [queue_capacity] bounds the submission channel
     (default 64): submission applies backpressure instead of queueing
     unboundedly.  [cache] (default [true]) enables the pool-wide plan
-    cache, bounded by [cache_bytes] of frozen events (default 32 MiB). *)
+    cache, bounded by [cache_bytes] of frozen events (default 32 MiB);
+    [store] attaches its persistent disk tier (flushed before
+    returning) and is ignored with [~cache:false]. *)
 
 (** {2 Streaming API}
 
@@ -175,13 +187,14 @@ type t
 
 val create :
   ?domains:int -> ?queue_capacity:int -> ?cache:bool -> ?cache_bytes:int ->
-  unit -> t
+  ?store:Plan_store.t -> unit -> t
 
 val domains : t -> int
 
 val cache_stats : t -> Plan_cache.stats option
 (** Aggregate and per-domain hit/miss/eviction counters of the pool's
-    plan cache; [None] when the pool was created with [~cache:false].
+    plan cache, including the disk tier's counters when a store is
+    attached; [None] when the pool was created with [~cache:false].
     Safe to call while jobs are in flight. *)
 
 val submit : t -> job -> unit
