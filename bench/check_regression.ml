@@ -12,8 +12,13 @@
          of at most 10% over the sequential engine.  The overhead gate
          applies only to full-size runs ("fast": false): on the --fast
          smoke grid the blocks are so small that the constant
-         per-block cost dominates.  Used by the `bench-smoke` runtest
-         rule on the --fast --json output and on the committed baseline.
+         per-block cost dominates.  Streaming rows are validated too:
+         sane sojourn percentiles and throughput, epochs within [1,
+         jobs] (exactly jobs under the immediate policy), and the
+         delta-aware admission policy beating immediate on total power
+         on the bursty trace at domains:1.  Used by the `bench-smoke`
+         runtest rule on the --fast --json output and on the committed
+         baseline.
 
      check_regression.exe BASELINE FRESH [--threshold PCT] [--out VERDICT.json]
          Compare a fresh run against the committed baseline: any timed
@@ -74,6 +79,23 @@ type store_row = {
   ps_digest_ok : bool;
 }
 
+(* One streaming-scheduler replay: (process, policy, domains, pes) is the
+   row key.  "policy" is the family name (immediate | quantum | delta) —
+   the only row kind in the file carrying that field, which is how the
+   parser recognizes these. *)
+type stream_row = {
+  sr_process : string;
+  sr_policy : string;
+  sr_domains : int;
+  sr_pes : int;
+  sr_jobs : int;
+  sr_p50_ms : float;
+  sr_p99_ms : float;
+  sr_jobs_per_sec : float;
+  sr_epochs : int;
+  sr_total_power : float;
+}
+
 let find_field line key =
   let pat = Printf.sprintf "\"%s\": " key in
   let plen = String.length pat in
@@ -126,6 +148,7 @@ let bool_field line key =
 type parsed = {
   rows : row list;
   service : service_row list;
+  streaming : stream_row list;
   log_overhead : log_row option;
   plan_cache : cache_row option;
   par_engine : par_row option;
@@ -142,6 +165,7 @@ let parse_rows file =
   let ic = open_in file in
   let rows = ref [] in
   let service = ref [] in
+  let streaming = ref [] in
   let log_overhead = ref None in
   let plan_cache = ref None in
   let par_engine = ref None in
@@ -159,6 +183,29 @@ let parse_rows file =
        (match (number_field line "nproc", find_field line "pes") with
        | Some n, None -> nproc := Some (int_of_float n)
        | _ -> ());
+       match
+         (string_field line "policy", number_field line "p99_ms")
+       with
+       | Some policy, Some p99_ms ->
+           let num ~default key =
+             Option.value ~default (number_field line key)
+           in
+           streaming :=
+             {
+               sr_process =
+                 Option.value ~default:"?" (string_field line "process");
+               sr_policy = policy;
+               sr_domains = int_of_float (num ~default:0.0 "domains");
+               sr_pes = int_of_float (num ~default:0.0 "pes");
+               sr_jobs = int_of_float (num ~default:0.0 "jobs");
+               sr_p50_ms = num ~default:(-1.0) "p50_ms";
+               sr_p99_ms = p99_ms;
+               sr_jobs_per_sec = num ~default:(-1.0) "jobs_per_sec";
+               sr_epochs = int_of_float (num ~default:(-1.0) "epochs");
+               sr_total_power = num ~default:(-1.0) "total_power";
+             }
+             :: !streaming
+       | _ -> (
        match
          (number_field line "recompile_ns", number_field line "warm_ns")
        with
@@ -268,13 +315,14 @@ let parse_rows file =
                    srv_jobs_per_sec = jps;
                  }
                  :: !service
-           | _ -> ())))))
+           | _ -> ()))))))
      done
    with End_of_file -> ());
   close_in ic;
   {
     rows = List.rev !rows;
     service = List.rev !service;
+    streaming = List.rev !streaming;
     log_overhead = !log_overhead;
     plan_cache = !plan_cache;
     par_engine = !par_engine;
@@ -285,6 +333,10 @@ let parse_rows file =
 
 let key r = Printf.sprintf "%s/%d/%d" r.kernel r.pes r.width
 let skey s = Printf.sprintf "service/%d/%dd" s.srv_pes s.srv_domains
+
+let stkey (r : stream_row) =
+  Printf.sprintf "streaming/%s/%s/%d/%dd" r.sr_process r.sr_policy r.sr_pes
+    r.sr_domains
 
 (* Violations accumulate as (section/metric, detail): every gate is
    checked, every failure reported, then one summary line and exit 1. *)
@@ -360,6 +412,83 @@ let validate ?out file =
           (Printf.sprintf "service_throughput/%s/jobs_per_sec" (skey s))
           (Printf.sprintf "bad throughput %f" s.srv_jobs_per_sec))
     p.service;
+  (* Streaming scheduler rows: structural sanity per row, the immediate
+     policy's defining property (one epoch per job), and the headline
+     claim — on the bursty trace at domains:1 the delta-aware policy
+     must beat immediate on total power (same per-job power, fewer
+     reconfigurations). *)
+  if p.streaming = [] then
+    fail_gate "streaming"
+      (Printf.sprintf "%s contains no streaming rows" file);
+  List.iter
+    (fun (r : stream_row) ->
+      if
+        (not (Float.is_finite r.sr_p50_ms))
+        || r.sr_p50_ms <= 0.0
+        || (not (Float.is_finite r.sr_p99_ms))
+        || r.sr_p99_ms < r.sr_p50_ms
+      then
+        fail_gate
+          (Printf.sprintf "%s/sojourn" (stkey r))
+          (Printf.sprintf "bad percentiles (p50 %f ms, p99 %f ms)"
+             r.sr_p50_ms r.sr_p99_ms);
+      if
+        (not (Float.is_finite r.sr_jobs_per_sec)) || r.sr_jobs_per_sec <= 0.0
+      then
+        fail_gate
+          (Printf.sprintf "%s/jobs_per_sec" (stkey r))
+          (Printf.sprintf "bad throughput %f" r.sr_jobs_per_sec);
+      if r.sr_epochs < 1 || r.sr_epochs > r.sr_jobs then
+        fail_gate
+          (Printf.sprintf "%s/epochs" (stkey r))
+          (Printf.sprintf "epochs %d outside [1, %d jobs]" r.sr_epochs
+             r.sr_jobs);
+      if r.sr_policy = "immediate" && r.sr_epochs <> r.sr_jobs then
+        fail_gate
+          (Printf.sprintf "%s/epochs" (stkey r))
+          (Printf.sprintf
+             "immediate must pay one reconfiguration per job: %d epochs, \
+              %d jobs"
+             r.sr_epochs r.sr_jobs);
+      if (not (Float.is_finite r.sr_total_power)) || r.sr_total_power <= 0.0
+      then
+        fail_gate
+          (Printf.sprintf "%s/total_power" (stkey r))
+          (Printf.sprintf "bad total power %f" r.sr_total_power))
+    p.streaming;
+  let stream_find process policy pes =
+    List.find_opt
+      (fun (r : stream_row) ->
+        r.sr_process = process && r.sr_policy = policy && r.sr_domains = 1
+        && r.sr_pes = pes)
+      p.streaming
+  in
+  let stream_pes =
+    List.sort_uniq compare
+      (List.map (fun (r : stream_row) -> r.sr_pes) p.streaming)
+  in
+  let delta_gates =
+    List.filter_map
+      (fun pes ->
+        match
+          (stream_find "bursty" "delta" pes, stream_find "bursty" "immediate" pes)
+        with
+        | Some d, Some i ->
+            if d.sr_total_power >= i.sr_total_power then
+              fail_gate
+                (Printf.sprintf "streaming/bursty/%d/delta_total_power" pes)
+                (Printf.sprintf
+                   "delta policy must beat immediate on total power on the \
+                    bursty trace: %.1f vs %.1f (epochs %d vs %d)"
+                   d.sr_total_power i.sr_total_power d.sr_epochs i.sr_epochs);
+            Some (pes, d.sr_total_power < i.sr_total_power)
+        | _ ->
+            fail_gate
+              (Printf.sprintf "streaming/bursty/%d" pes)
+              "missing the bursty delta/immediate row pair at domains:1";
+            None)
+      stream_pes
+  in
   (match p.log_overhead with
   | None ->
       fail_gate "log_overhead"
@@ -518,6 +647,17 @@ let validate ?out file =
                  else "fail"))
             p.plan_store))
   in
+  let streaming_json =
+    Printf.sprintf "{\"rows\": %d, \"delta_vs_immediate\": [%s]}"
+      (List.length p.streaming)
+      (String.concat ", "
+         (List.map
+            (fun (pes, ok) ->
+              Printf.sprintf
+                "{\"pes\": %d, \"delta_beats_immediate\": \"%s\"}" pes
+                (if ok then "pass" else "fail"))
+            delta_gates))
+  in
   finish ?out ~mode:"validate"
     ~extra:
       [
@@ -525,10 +665,14 @@ let validate ?out file =
         ( "nproc",
           match p.nproc with Some n -> string_of_int n | None -> "null" );
         ("plan_store", plan_store_json);
+        ("streaming", streaming_json);
       ]
     ~ok_message:
-      (Printf.sprintf "check_regression: %s ok (%d rows, %d service rows)"
-         file (List.length p.rows) (List.length p.service))
+      (Printf.sprintf
+         "check_regression: %s ok (%d rows, %d service rows, %d streaming \
+          rows)"
+         file (List.length p.rows) (List.length p.service)
+         (List.length p.streaming))
     ()
 
 let compare_files ?out ~threshold baseline fresh =
@@ -574,7 +718,11 @@ let compare_files ?out ~threshold baseline fresh =
   let single_core =
     base.nproc = Some 1 || cur.nproc = Some 1
   in
-  if single_core && List.exists (fun s -> s.srv_domains > 1) base.service
+  if
+    single_core
+    && (List.exists (fun s -> s.srv_domains > 1) base.service
+       || List.exists (fun (r : stream_row) -> r.sr_domains > 1)
+            base.streaming)
   then
     Printf.printf
       "check_regression: note: skipping multi-domain gates (nproc=1)\n";
@@ -598,6 +746,28 @@ let compare_files ?out ~threshold baseline fresh =
             ~metric:"jobs_per_sec" ~label:(skey b) b.srv_jobs_per_sec
             f.srv_jobs_per_sec)
     base.service;
+  (* Streaming rows: p99 sojourn gates like a time (bigger is worse),
+     delivered throughput like a rate.  Multi-domain rows are skipped on
+     single-core hosts for the same reason as service_throughput. *)
+  List.iter
+    (fun (b : stream_row) ->
+      if single_core && b.sr_domains > 1 then ()
+      else
+        match
+          List.find_opt
+            (fun (f : stream_row) ->
+              f.sr_process = b.sr_process && f.sr_policy = b.sr_policy
+              && f.sr_domains = b.sr_domains
+              && f.sr_pes = b.sr_pes)
+            cur.streaming
+        with
+        | None -> missing ~section:(stkey b) ~label:(stkey b) b.sr_p99_ms
+        | Some f ->
+            gate ~slower:true ~section:(stkey b) ~metric:"p99_ms"
+              ~label:(stkey b) b.sr_p99_ms f.sr_p99_ms;
+            gate ~slower:false ~section:(stkey b) ~metric:"jobs_per_sec"
+              ~label:(stkey b ^ " jps") b.sr_jobs_per_sec f.sr_jobs_per_sec)
+    base.streaming;
   (* The log append sits on every scheduler's inner loop: gate its rate
      like any timed kernel. *)
   (match (base.log_overhead, cur.log_overhead) with

@@ -661,6 +661,133 @@ let service_throughput ~fast =
       })
     domain_grid
 
+(* Streaming scheduler: open-loop arrival replay.  Each row replays one
+   arrival trace (Poisson or bursty ON/OFF) against one admission policy
+   in wall time — the driver sleeps until the next arrival, ticking the
+   stream so time-based policies can commit between submissions — and
+   records sojourn percentiles, delivered throughput and the power
+   split: per-job connects+writes (identical under every policy — the
+   jobs are never rewritten) versus the reconfiguration charge
+   recon_delta x epochs, which is what a coalescing policy saves.  The
+   validate gate in check_regression.ml asserts the delta policy beats
+   immediate on total power on the bursty trace at domains:1: immediate
+   pays one reconfiguration per job, delta one per burst. *)
+
+type stream_row = {
+  st_process : string;
+  st_policy : string;  (* policy family: immediate | quantum | delta *)
+  st_policy_spec : string;  (* full Admission.to_string form *)
+  st_domains : int;
+  st_pes : int;
+  st_jobs : int;
+  st_p50_ms : float;
+  st_p99_ms : float;
+  st_jobs_per_sec : float;
+  st_epochs : int;
+  st_job_power : int;
+  st_recon_power : float;
+  st_total_power : float;
+}
+
+let streaming_bench ~fast =
+  let pes_grid = if fast then [ 128 ] else [ 1024; 4096 ] in
+  let domain_grid = if fast then [ 1 ] else [ 1; 2 ] in
+  let job_count = if fast then 12 else 48 in
+  (* mean inter-arrival gap in seconds; a trace spans ~ job_count x g *)
+  let g = if fast then 0.012 else 0.02 in
+  let gens = Cst_workloads.Suite.all in
+  let make_jobs n =
+    let rng = Cst_util.Prng.create 9100 in
+    List.init job_count (fun i ->
+        let set =
+          if i mod 4 = 3 then
+            Cst_workloads.Gen_arbitrary.random_pairs rng ~n
+              ~pairs:(max 1 (n / 8))
+          else (List.nth gens (i mod List.length gens)).make rng ~n
+        in
+        Cst_service.Service.job ~id:i ~algo:"csa" set)
+  in
+  let processes =
+    [
+      ( "poisson",
+        fun () ->
+          Cst_workloads.Arrivals.poisson
+            (Cst_util.Prng.create 4711)
+            ~rate:(1.0 /. g) ~jobs:job_count );
+      (* within=0: burst members arrive back-to-back, the case epoch
+         coalescing exists for *)
+      ( "bursty",
+        fun () ->
+          Cst_workloads.Arrivals.bursty
+            (Cst_util.Prng.create 4711)
+            ~burst:6 ~gap:(6.0 *. g) ~jobs:job_count () );
+    ]
+  in
+  let policies =
+    [
+      Cst_service.Admission.Immediate;
+      Cst_service.Admission.Quantum (3.0 *. g);
+      (* delta = 2g: a burst's accumulated wait crosses it within a few
+         ms of the OFF gap opening, well before the next burst *)
+      Cst_service.Admission.Delta_threshold
+        { delta = 2.0 *. g; max_width = None };
+    ]
+  in
+  let replay ~domains ~policy trace jobs =
+    let stream = Cst_service.Stream.create ~domains ~policy () in
+    let t0 = Unix.gettimeofday () in
+    List.iteri
+      (fun i job ->
+        let target = t0 +. trace.Cst_workloads.Arrivals.times.(i) in
+        let rec wait () =
+          let now = Unix.gettimeofday () in
+          if now < target then begin
+            Cst_service.Stream.tick stream;
+            Unix.sleepf (Float.min 0.001 (target -. now));
+            wait ()
+          end
+        in
+        wait ();
+        Cst_service.Stream.submit stream job)
+      jobs;
+    let outs = Cst_service.Stream.drain stream in
+    let dt = Unix.gettimeofday () -. t0 in
+    let s = Cst_service.Stream.stats stream in
+    Cst_service.Stream.shutdown stream;
+    assert (List.length outs = List.length jobs);
+    (s, dt)
+  in
+  List.concat_map
+    (fun n ->
+      let jobs = make_jobs n in
+      List.concat_map
+        (fun (pname, mk_trace) ->
+          List.concat_map
+            (fun domains ->
+              List.map
+                (fun policy ->
+                  let s, dt = replay ~domains ~policy (mk_trace ()) jobs in
+                  {
+                    st_process = pname;
+                    st_policy = Cst_service.Admission.name policy;
+                    st_policy_spec = Cst_service.Admission.to_string policy;
+                    st_domains = domains;
+                    st_pes = n;
+                    st_jobs = job_count;
+                    st_p50_ms = 1000.0 *. s.sojourn_p50;
+                    st_p99_ms = 1000.0 *. s.sojourn_p99;
+                    st_jobs_per_sec =
+                      float_of_int job_count /. Float.max dt 1e-9;
+                    st_epochs = s.epochs;
+                    st_job_power = s.job_connects + s.job_writes;
+                    st_recon_power = s.recon_power;
+                    st_total_power = Cst_service.Stream.total_power s;
+                  })
+                policies)
+            domain_grid)
+        processes)
+    pes_grid
+
 (* Execution-log overhead: the raw append rate on the hot path (the
    connect/deliver mix every producer emits), and the footprint of a
    real engine run — events recorded and bytes per event — at 2048 PEs.
@@ -992,6 +1119,8 @@ let bench_json ~fast file =
   let ps = plan_store_bench ~fast in
   section ();
   let srv = service_throughput ~fast in
+  section ();
+  let stm = streaming_bench ~fast in
   let grid_pes = if fast then [ 64; 256 ] else [ 256; 2048; 16384; 65536 ] in
   let grid_widths = if fast then [ 1; 8 ] else [ 1; 8; 64 ] in
   (* The dense engine and the per-round baselines are only timed on the
@@ -1073,6 +1202,33 @@ let bench_json ~fast file =
         r.srv_reps
         (if i = List.length srv - 1 then "" else ","))
     srv;
+  p "  ],\n";
+  (* One object per (process, policy, domains, pes) replay, rendered
+     through the shared Stats JSON renderer.  check_regression keys
+     streaming rows on the "policy" field — no other row carries one. *)
+  p "  \"streaming\": [\n";
+  List.iteri
+    (fun i (r : stream_row) ->
+      let open Cst_service.Stats in
+      p "    %s%s\n"
+        (fields_to_json
+           [
+             ("process", String r.st_process);
+             ("policy", String r.st_policy);
+             ("policy_spec", String r.st_policy_spec);
+             ("domains", Int r.st_domains);
+             ("pes", Int r.st_pes);
+             ("jobs", Int r.st_jobs);
+             ("p50_ms", Float r.st_p50_ms);
+             ("p99_ms", Float r.st_p99_ms);
+             ("jobs_per_sec", Float r.st_jobs_per_sec);
+             ("epochs", Int r.st_epochs);
+             ("job_power", Int r.st_job_power);
+             ("recon_power", Float r.st_recon_power);
+             ("total_power", Float r.st_total_power);
+           ])
+        (if i = List.length stm - 1 then "" else ","))
+    stm;
   p "  ],\n";
   p
     "  \"log_overhead\": {\"host\": %S, \"pes\": %d, \"events\": %d, \

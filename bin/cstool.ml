@@ -8,10 +8,14 @@
      log    run a scheduler and dump its canonical execution log
      sweep  width sweep comparing algorithms (the E3 experiment, ad hoc)
      plan   compile, import and list persistent plan files (plan store)
+     serve  long-running streaming scheduler on stdin/stdout
+            (SUBMIT / TICK / DRAIN / STATS / QUIT line protocol)
 
    Scheduling goes through Cst_service.Service — cstool is a thin client:
    it builds jobs, lets the service dispatch on registry capabilities and
-   renders the outcomes. *)
+   renders the outcomes.  route/batch/serve accept a uniform
+   --engine spec/mp/segmented; the older spellings (route --par,
+   batch --segmented) remain as aliases. *)
 
 open Cmdliner
 module Service = Cst_service.Service
@@ -68,6 +72,25 @@ let seed_arg =
 let exit_err msg =
   Format.eprintf "cstool: %s@." msg;
   exit 1
+
+(* One engine spelling across route/batch/serve. *)
+let engine_conv =
+  Arg.enum
+    [
+      ("spec", Service.Spec);
+      ("mp", Service.Message_passing);
+      ("segmented", Service.Segmented);
+    ]
+
+let engine_arg =
+  Arg.(
+    value
+    & opt (some engine_conv) None
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution engine: $(b,spec) (functional scheduler, default), \
+           $(b,mp) (message-passing engine), $(b,segmented) \
+           (segment-parallel engine).")
 
 (* gen *)
 let gen_cmd =
@@ -142,9 +165,9 @@ let route_cmd =
     | Error e -> exit_err e
     | Ok set -> (
         let engine =
-          if par then Service.Segmented
-          else if engine then Service.Message_passing
-          else Service.Spec
+          match engine with
+          | Some e -> e
+          | None -> if par then Service.Segmented else Service.Spec
         in
         match Service.run_job (Service.job ~engine ~id:0 ~algo set) with
         | Error e -> exit_err (Format.asprintf "%a" Service.pp_error e)
@@ -202,20 +225,13 @@ let route_cmd =
             (Printf.sprintf "Scheduler: %s."
                (String.concat ", " Cst_baselines.Registry.names)))
   in
-  let engine =
-    Arg.(
-      value & flag
-      & info [ "engine" ]
-          ~doc:"Execute through the message-passing engine (CSA only).")
-  in
   let par =
     Arg.(
       value & flag
       & info [ "par" ]
           ~doc:
-            "Execute through the segment-parallel engine: independent \
-             top-level blocks scheduled separately and merged (CSA only; \
-             implies the message-passing engine).")
+            "Alias for --engine segmented: independent top-level blocks \
+             scheduled separately and merged (CSA only).")
   in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every round.")
@@ -226,13 +242,13 @@ let route_cmd =
   Cmd.v
     (Cmd.info "route" ~doc:"Schedule a set on the CST")
     Term.(
-      const run $ file_arg $ workload_arg $ n_arg $ seed_arg $ algo $ engine
-      $ par $ verbose $ no_verify)
+      const run $ file_arg $ workload_arg $ n_arg $ seed_arg $ algo
+      $ engine_arg $ par $ verbose $ no_verify)
 
 (* batch: many jobs through the domain pool *)
 let batch_cmd =
   let run n jobs algos seed domains queue verbose cache_stats no_cache
-      segmented store_dir =
+      engine_opt segmented store_dir =
     let algos =
       match algos with
       | [] -> List.map (fun (a : Cst_baselines.Registry.algo) -> a.name)
@@ -260,14 +276,21 @@ let batch_cmd =
           g.make rng ~n
       in
       let engine =
-        (* --segmented routes every engine-capable job through the
-           segment-parallel path; algorithms without an engine keep the
-           spec scheduler instead of failing on a capability error. *)
-        if segmented then
-          match Cst_baselines.Registry.find algo with
-          | Some a when a.caps.engine_available -> Service.Segmented
-          | _ -> Service.Spec
-        else Service.Spec
+        (* --engine (or the --segmented alias) routes every
+           engine-capable job through the chosen path; algorithms
+           without an engine keep the spec scheduler instead of failing
+           on a capability error. *)
+        let requested =
+          match engine_opt with
+          | Some e -> e
+          | None -> if segmented then Service.Segmented else Service.Spec
+        in
+        match requested with
+        | Service.Spec -> Service.Spec
+        | e -> (
+            match Cst_baselines.Registry.find algo with
+            | Some a when a.caps.engine_available -> e
+            | _ -> Service.Spec)
       in
       Service.job ~engine ~id:i ~algo set
     in
@@ -295,9 +318,11 @@ let batch_cmd =
         if verbose || Result.is_error o.result then
           Format.printf "%a@." Service.pp_outcome o)
       outcomes;
-    Format.printf "%d jobs (%d failed) on %d domain(s) in %.3f s (%.0f jobs/s)@."
-      jobs (List.length failed) (Service.domains t) dt
-      (float_of_int jobs /. Float.max dt 1e-9);
+    Format.printf "%a@." Cst_service.Stats.pp
+      [
+        Cst_service.Stats.throughput ~jobs ~failed:(List.length failed)
+          ~domains:(Service.domains t) ~elapsed_s:dt;
+      ];
     if cache_stats then begin
       (* One consolidated stats block: the memory tier, the disk tier
          (when --store attached one; Plan_cache.pp_stats prints both),
@@ -370,8 +395,9 @@ let batch_cmd =
       value & flag
       & info [ "segmented" ]
           ~doc:
-            "Route engine-capable jobs through the segment-parallel engine \
-             (independent blocks cached and scheduled separately).")
+            "Alias for --engine segmented: route engine-capable jobs \
+             through the segment-parallel engine (independent blocks \
+             cached and scheduled separately).")
   in
   let store =
     Arg.(
@@ -389,7 +415,7 @@ let batch_cmd =
        ~doc:"Run generated scheduling jobs through the multicore service")
     Term.(
       const run $ n_arg $ jobs $ algos $ seed_arg $ domains $ queue $ verbose
-      $ cache_stats $ no_cache $ segmented $ store)
+      $ cache_stats $ no_cache $ engine_arg $ segmented $ store)
 
 (* sweep *)
 let sweep_cmd =
@@ -838,6 +864,193 @@ let plan_cmd =
        ~doc:"Compile, import and list persistent plan files")
     [ plan_export_cmd; plan_import_cmd; plan_ls_cmd ]
 
+(* serve: the streaming scheduler as a line protocol on stdin/stdout.
+
+   Grammar (one command per line; blank lines and #-comments ignored):
+     SUBMIT [key=value ...]   admit a job into the open epoch
+       keys: workload=NAME | file=PATH   (input set; workload default
+             "uniform"), n=N, seed=S, algo=NAME (default "csa"),
+             engine=spec|mp|segmented (default: --engine), id=K
+             (default: submission counter), leaves=L
+     TICK                     re-evaluate the admission policy
+     DRAIN                    commit, wait for everything, print outcomes
+     STATS                    one-line JSON (stream + cache tiers)
+     QUIT                     drain, shut the pool down, exit
+
+   Replies: "SUBMITTED <id>", "OK [..]", "BYE", one outcome line per
+   drained job ("<outcome> epoch=<e>"), or "ERR <reason>" — the protocol
+   never kills the server on a bad line. *)
+let serve_cmd =
+  let run policy recon_delta engine_opt domains queue no_cache store_dir =
+    let policy =
+      match Cst_service.Admission.of_string policy with
+      | Ok p -> p
+      | Error e -> exit_err e
+    in
+    let store = Option.map Cst_service.Plan_store.open_dir store_dir in
+    let default_engine = Option.value engine_opt ~default:Service.Spec in
+    let stream =
+      Cst_service.Stream.create ?domains ~queue_capacity:queue
+        ~cache:(not no_cache) ?store ~policy ~recon_delta ()
+    in
+    let next_id = ref 0 in
+    let parse_kvs tokens =
+      List.fold_left
+        (fun acc tok ->
+          Result.bind acc (fun kvs ->
+              match String.index_opt tok '=' with
+              | Some i when i > 0 ->
+                  Ok
+                    ((String.sub tok 0 i,
+                      String.sub tok (i + 1) (String.length tok - i - 1))
+                    :: kvs)
+              | _ -> Error (Printf.sprintf "malformed argument %S" tok)))
+        (Ok []) tokens
+    in
+    let int_kv kvs key ~default =
+      match List.assoc_opt key kvs with
+      | None -> Ok default
+      | Some v -> (
+          match int_of_string_opt v with
+          | Some i -> Ok i
+          | None -> Error (Printf.sprintf "%s must be an integer, got %S" key v))
+    in
+    let submit_job tokens =
+      let ( let* ) = Result.bind in
+      let* kvs = parse_kvs tokens in
+      let* n = int_kv kvs "n" ~default:64 in
+      let* seed = int_kv kvs "seed" ~default:1 in
+      let* id = int_kv kvs "id" ~default:!next_id in
+      let* leaves = int_kv kvs "leaves" ~default:0 in
+      let algo = Option.value (List.assoc_opt "algo" kvs) ~default:"csa" in
+      let* set =
+        match List.assoc_opt "file" kvs with
+        | Some path -> load_set path
+        | None ->
+            gen_set
+              ~workload:
+                (Option.value (List.assoc_opt "workload" kvs)
+                   ~default:"uniform")
+              ~n ~seed
+      in
+      let* engine =
+        match List.assoc_opt "engine" kvs with
+        | None -> Ok default_engine
+        | Some "spec" -> Ok Service.Spec
+        | Some "mp" -> Ok Service.Message_passing
+        | Some "segmented" -> Ok Service.Segmented
+        | Some e ->
+            Error (Printf.sprintf "unknown engine %S (spec|mp|segmented)" e)
+      in
+      let leaves = if leaves = 0 then None else Some leaves in
+      Ok (Service.job ~engine ?leaves ~id ~algo set)
+    in
+    let drain () =
+      let outs = Cst_service.Stream.drain stream in
+      List.iter
+        (fun ((o : Service.outcome), (tm : Cst_service.Stream.timing)) ->
+          Format.printf "%s epoch=%d@." (Service.outcome_to_string o) tm.epoch)
+        outs;
+      Format.printf "OK %d@." (List.length outs)
+    in
+    let rec loop () =
+      match input_line stdin with
+      | exception End_of_file ->
+          ignore (Cst_service.Stream.drain stream);
+          Cst_service.Stream.shutdown stream
+      | line -> (
+          let words =
+            String.split_on_char ' ' (String.trim line)
+            |> List.filter (fun w -> w <> "")
+          in
+          match words with
+          | [] -> loop ()
+          | cmd :: _ when String.length cmd > 0 && cmd.[0] = '#' -> loop ()
+          | "SUBMIT" :: rest ->
+              (match submit_job rest with
+              | Ok job ->
+                  next_id := max !next_id (job.id + 1);
+                  Cst_service.Stream.submit stream job;
+                  Format.printf "SUBMITTED %d@." job.id
+              | Error e -> Format.printf "ERR %s@." e);
+              loop ()
+          | [ "TICK" ] ->
+              Cst_service.Stream.tick stream;
+              Format.printf "OK@.";
+              loop ()
+          | [ "DRAIN" ] ->
+              drain ();
+              loop ()
+          | [ "STATS" ] ->
+              print_endline
+                (Cst_service.Stats.to_json
+                   (Cst_service.Stream.sections stream));
+              flush stdout;
+              loop ()
+          | [ "QUIT" ] ->
+              ignore (Cst_service.Stream.drain stream);
+              Cst_service.Stream.shutdown stream;
+              Format.printf "BYE@."
+          | cmd :: _ ->
+              Format.printf "ERR unknown command %S@." cmd;
+              loop ())
+    in
+    loop ()
+  in
+  let policy =
+    Arg.(
+      value & opt string "immediate"
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Admission policy: $(b,immediate), $(b,quantum:SECONDS) \
+             (commit on a fixed cadence) or $(b,delta:DELTA[:MAX_WIDTH]) \
+             (δ-aware ski rental: commit once accumulated waiting reaches \
+             DELTA job-seconds, or when the merged width would exceed \
+             MAX_WIDTH).")
+  in
+  let recon_delta =
+    Arg.(
+      value & opt float 16.0
+      & info [ "recon-delta" ] ~docv:"POWER"
+          ~doc:
+            "Reconfiguration power charged per committed epoch (the δ of \
+             the Costly-Circuits model); reported by STATS.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"D"
+          ~doc:"Worker domains (default: the runtime's recommendation).")
+  in
+  let queue =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"Q"
+          ~doc:"Submission channel capacity (backpressure bound).")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Disable the plan cache; every job schedules from scratch.")
+  in
+  let store =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:"Attach a persistent plan store rooted at $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the streaming scheduler on stdin/stdout (SUBMIT / TICK / \
+          DRAIN / STATS / QUIT)")
+    Term.(
+      const run $ policy $ recon_delta $ engine_arg $ domains $ queue
+      $ no_cache $ store)
+
 let () =
   let doc = "power-aware routing on the circuit switched tree" in
   exit
@@ -846,5 +1059,5 @@ let () =
           (Cmd.info "cstool" ~version:"1.0.0" ~doc)
           [
             gen_cmd; info_cmd; route_cmd; batch_cmd; sweep_cmd; waves_cmd;
-            dot_cmd; log_cmd; stats_cmd; plan_cmd;
+            dot_cmd; log_cmd; stats_cmd; plan_cmd; serve_cmd;
           ]))

@@ -1,0 +1,68 @@
+type t =
+  | Immediate
+  | Quantum of float
+  | Delta_threshold of { delta : float; max_width : int option }
+
+type queue_view = {
+  jobs : int;
+  opened : float;
+  accumulated_wait : float;
+  width : int;
+}
+
+type decision = Commit | Wait
+
+let decide policy ~now view =
+  if view.jobs <= 0 then Wait
+  else
+    match policy with
+    | Immediate -> Commit
+    | Quantum q -> if now -. view.opened >= q then Commit else Wait
+    | Delta_threshold { delta; max_width } ->
+        if view.accumulated_wait >= delta then Commit
+        else (
+          match max_width with
+          | Some w when view.width > w -> Commit
+          | _ -> Wait)
+
+let name = function
+  | Immediate -> "immediate"
+  | Quantum _ -> "quantum"
+  | Delta_threshold _ -> "delta"
+
+let to_string = function
+  | Immediate -> "immediate"
+  | Quantum q -> Printf.sprintf "quantum:%g" q
+  | Delta_threshold { delta; max_width = None } ->
+      Printf.sprintf "delta:%g" delta
+  | Delta_threshold { delta; max_width = Some w } ->
+      Printf.sprintf "delta:%g:%d" delta w
+
+let grammar = "immediate | quantum:SECONDS | delta:DELTA[:MAX_WIDTH]"
+
+let float_arg what s =
+  match float_of_string_opt s with
+  | Some f when Float.is_finite f && f >= 0.0 -> Ok f
+  | _ -> Error (Printf.sprintf "%s must be a non-negative number, got %S" what s)
+
+let of_string s =
+  match String.split_on_char ':' (String.trim s) with
+  | [ "immediate" ] -> Ok Immediate
+  | [ "quantum"; q ] ->
+      Result.map (fun q -> Quantum q) (float_arg "quantum" q)
+  | [ "delta"; d ] ->
+      Result.map
+        (fun delta -> Delta_threshold { delta; max_width = None })
+        (float_arg "delta" d)
+  | [ "delta"; d; w ] ->
+      Result.bind (float_arg "delta" d) (fun delta ->
+          match int_of_string_opt w with
+          | Some w when w >= 1 ->
+              Ok (Delta_threshold { delta; max_width = Some w })
+          | _ ->
+              Error
+                (Printf.sprintf "delta max width must be a positive integer, \
+                                 got %S" w))
+  | _ -> Error (Printf.sprintf "unknown policy %S (grammar: %s)" s grammar)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,64 @@
+(** Admission policies: when does the streaming scheduler commit the
+    open epoch?
+
+    An {e epoch} is the batch of queued jobs the scheduler dispatches
+    together after one switch reconfiguration ({!Stream}).  Committing
+    early minimizes sojourn; holding the epoch open coalesces more jobs
+    behind a single reconfiguration.  The δ model of "Costly Circuits,
+    Submodular Schedules" (PAPERS.md) prices each reconfiguration at a
+    fixed cost δ, which makes the tradeoff quantitative: the classic
+    ski-rental argument says to wait exactly until the waiting already
+    paid equals the reconfiguration cost a merge would save, then
+    commit.
+
+    [decide] is a pure function of the policy, the clock and a
+    {!queue_view}, so the decision boundary is unit-testable without a
+    pool (test/test_stream.ml). *)
+
+type t =
+  | Immediate  (** commit as soon as the epoch is non-empty: every job
+                   gets its own epoch; minimal sojourn, maximal
+                   reconfiguration power *)
+  | Quantum of float
+      (** commit once the epoch has been open for this many seconds:
+          fixed-cadence batching regardless of queue contents *)
+  | Delta_threshold of { delta : float; max_width : int option }
+      (** δ-aware ski rental: commit once the accumulated waiting of the
+          queued jobs (Σ over queued jobs of now − arrival, in
+          job-seconds) reaches [delta] — the epoch's reconfiguration
+          cost expressed in waiting units — or, when [max_width] is set,
+          as soon as the merged width exceeds it (Theorem 5: rounds =
+          width, so a width cap bounds the epoch's service time). *)
+
+type queue_view = {
+  jobs : int;  (** queued jobs in the open epoch *)
+  opened : float;  (** arrival time of the epoch's oldest job *)
+  accumulated_wait : float;
+      (** Σ over queued jobs of (now − arrival), in job-seconds *)
+  width : int;  (** merged width of the queued sets *)
+}
+(** What a policy may look at.  All times come from the scheduler's
+    clock ({!Stream.create}'s [clock]), so policies are deterministic
+    under a manual clock. *)
+
+type decision = Commit | Wait
+
+val decide : t -> now:float -> queue_view -> decision
+(** [Wait] whenever [view.jobs = 0]; otherwise the policy's rule above.
+    Boundary semantics: [Quantum q] commits when [now -. opened >= q],
+    [Delta_threshold] when [accumulated_wait >= delta] (at-threshold
+    commits) or [width > max_width] (at-cap waits). *)
+
+val name : t -> string
+(** ["immediate"], ["quantum"] or ["delta"] — the bench/CLI family
+    name. *)
+
+val to_string : t -> string
+(** Round-trips with {!of_string}: ["immediate"], ["quantum:S"],
+    ["delta:D"] or ["delta:D:W"]. *)
+
+val of_string : string -> (t, string) result
+(** Parses ["immediate"], ["quantum:SECONDS"], ["delta:DELTA"] and
+    ["delta:DELTA:MAX_WIDTH"]; [Error] explains the grammar. *)
+
+val pp : Format.formatter -> t -> unit

@@ -162,15 +162,23 @@ let stats t =
         store = Option.map Plan_store.stats t.store;
       })
 
-let pp_stats fmt s =
+let sections s =
   let total = s.hits + s.misses in
-  Format.fprintf fmt
-    "plan cache: %d hit(s) / %d lookup(s) (%.1f%%), %d eviction(s), %d \
-     plan(s) resident (%d / %d bytes)"
-    s.hits total
-    (if total = 0 then 0.0
-     else 100.0 *. float_of_int s.hits /. float_of_int total)
-    s.evictions s.entries s.bytes s.max_bytes;
-  match s.store with
-  | None -> ()
-  | Some st -> Format.fprintf fmt "@\n%a" Plan_store.pp_stats st
+  let hit_pct =
+    if total = 0 then 0.0
+    else 100.0 *. float_of_int s.hits /. float_of_int total
+  in
+  Stats.section "plan_cache"
+    [
+      ("hits", Stats.Int s.hits);
+      ("lookups", Stats.Int total);
+      ("hit_pct", Stats.Float hit_pct);
+      ("evictions", Stats.Int s.evictions);
+      ("entries", Stats.Int s.entries);
+      ("bytes", Stats.Int s.bytes);
+      ("max_bytes", Stats.Int s.max_bytes);
+    ]
+  ::
+  (match s.store with None -> [] | Some st -> Plan_store.sections st)
+
+let pp_stats fmt s = Stats.pp fmt (sections s)

@@ -75,6 +75,12 @@ type stats = {
 
 val stats : t -> stats
 
+val sections : stats -> Stats.t
+(** The memory tier as one ["plan_cache"] {!Stats.section} (with a
+    derived [hit_pct]), followed by the disk tier's section when a store
+    is attached ({!Plan_store.sections}).  Per-domain counters are not
+    included — render those from [per_domain] directly. *)
+
 val pp_stats : Format.formatter -> stats -> unit
-(** One line for the memory tier, plus one for the disk tier when
-    attached. *)
+(** [Stats.pp] of {!sections}: one line for the memory tier, plus one
+    for the disk tier when attached. *)

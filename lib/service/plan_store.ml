@@ -203,12 +203,25 @@ let stats t =
         max_bytes = t.max_bytes;
       })
 
-let pp_stats fmt s =
+let sections s =
   let total = s.hits + s.misses in
-  Format.fprintf fmt
-    "plan store: %d hit(s) / %d lookup(s) (%.1f%%), %d store(s), %d \
-     eviction(s), %d corrupt, %d file(s) resident (%d / %d bytes)"
-    s.hits total
-    (if total = 0 then 0.0
-     else 100.0 *. float_of_int s.hits /. float_of_int total)
-    s.stores s.evictions s.corrupt s.entries s.bytes s.max_bytes
+  let hit_pct =
+    if total = 0 then 0.0
+    else 100.0 *. float_of_int s.hits /. float_of_int total
+  in
+  [
+    Stats.section "plan_store"
+      [
+        ("hits", Stats.Int s.hits);
+        ("lookups", Stats.Int total);
+        ("hit_pct", Stats.Float hit_pct);
+        ("stores", Stats.Int s.stores);
+        ("evictions", Stats.Int s.evictions);
+        ("corrupt", Stats.Int s.corrupt);
+        ("entries", Stats.Int s.entries);
+        ("bytes", Stats.Int s.bytes);
+        ("max_bytes", Stats.Int s.max_bytes);
+      ];
+  ]
+
+let pp_stats fmt s = Stats.pp fmt (sections s)

@@ -71,4 +71,11 @@ type stats = {
 }
 
 val stats : t -> stats
+
+val sections : stats -> Stats.t
+(** The counters as one ["plan_store"] {!Stats.section} (adds a derived
+    [hit_pct] field) — the single source {!pp_stats}, [cstool], the
+    serve [STATS] reply and the bench print from. *)
+
 val pp_stats : Format.formatter -> stats -> unit
+(** [Stats.pp] of {!sections}. *)

@@ -74,6 +74,8 @@ let leaves_for job =
   | Some l -> l
   | None -> Cst_util.Bits.ceil_pow2 (max 2 (Cst_comm.Comm_set.n job.set))
 
+let job_leaves = leaves_for
+
 let result_of_schedule ~algo ~digest ~cache ?(control_messages = 0)
     ?(blocks = 0) ?(block_hits = 0) (s : Padr.Schedule.t) =
   let detail = Sched s in
@@ -413,14 +415,16 @@ type t = {
   results : (int, outcome) Hashtbl.t;  (* submission index -> outcome *)
   submitted : int ref;
   completed : int ref;
+  delivered : int ref;  (* next submission index [next_outcome] hands out *)
   stopped : bool ref;
   workers : unit Domain.t array;
   domain_count : int;
   cache : Plan_cache.t option;
+  on_outcome : (outcome -> unit) option;
 }
 
 let create ?domains ?(queue_capacity = 64) ?(cache = true) ?cache_bytes ?store
-    () =
+    ?on_outcome () =
   let domain_count =
     match domains with
     | Some d -> max 1 d
@@ -445,8 +449,16 @@ let create ?domains ?(queue_capacity = 64) ?(cache = true) ?cache_bytes ?store
         let result =
           run_job ?cache:(Option.map (fun c -> (c, i)) pc) job
         in
+        let o = { job_id = job.id; result } in
+        (* The callback runs on the worker domain, outside the pool
+           mutex, before the completion counter moves — so a [drain]
+           barrier also orders every callback before its return.  A
+           raising callback must not kill the worker. *)
+        (match on_outcome with
+        | Some f -> ( try f o with _ -> ())
+        | None -> ());
         Mutex.lock m;
-        Hashtbl.replace results idx { job_id = job.id; result };
+        if Option.is_none on_outcome then Hashtbl.replace results idx o;
         incr completed;
         Condition.broadcast completed_one;
         Mutex.unlock m;
@@ -459,10 +471,12 @@ let create ?domains ?(queue_capacity = 64) ?(cache = true) ?cache_bytes ?store
     results;
     submitted = ref 0;
     completed;
+    delivered = ref 0;
     stopped = ref false;
     workers = Array.init domain_count (fun i -> Domain.spawn (worker i));
     domain_count;
     cache = pc;
+    on_outcome;
   }
 
 let domains t = t.domain_count
@@ -489,6 +503,9 @@ let drain t =
     Hashtbl.fold (fun idx o acc -> (idx, o) :: acc) t.results []
   in
   Hashtbl.reset t.results;
+  (* A later [next_outcome] must not wait for indices this drain already
+     returned (or that went out through [on_outcome]). *)
+  t.delivered := !(t.submitted);
   Mutex.unlock t.m;
   (* Deterministic order regardless of completion interleaving: job id,
      ties broken by submission index. *)
@@ -500,10 +517,37 @@ let drain t =
     collected
   |> List.map snd
 
+let next_outcome t =
+  if Option.is_some t.on_outcome then
+    invalid_arg "Service: next_outcome on a pool with ~on_outcome";
+  Mutex.lock t.m;
+  let rec loop () =
+    let d = !(t.delivered) in
+    match Hashtbl.find_opt t.results d with
+    | Some o ->
+        Hashtbl.remove t.results d;
+        t.delivered := d + 1;
+        Some o
+    | None ->
+        if d >= !(t.submitted) && !(t.stopped) then None
+        else begin
+          Condition.wait t.completed_one t.m;
+          loop ()
+        end
+  in
+  let r = loop () in
+  Mutex.unlock t.m;
+  r
+
+let events t = Seq.of_dispenser (fun () -> next_outcome t)
+
 let shutdown t =
   Mutex.lock t.m;
   let already = !(t.stopped) in
   t.stopped := true;
+  (* Wake a [next_outcome] caller blocked waiting for more submissions:
+     with [stopped] set it can now answer [None]. *)
+  Condition.broadcast t.completed_one;
   Mutex.unlock t.m;
   if not already then begin
     Chan.close t.chan;

@@ -84,6 +84,10 @@ val job : ?engine:engine -> ?leaves:int -> id:int -> algo:string ->
   Cst_comm.Comm_set.t -> job
 (** Convenience constructor; [engine] defaults to [Spec]. *)
 
+val job_leaves : job -> int
+(** The CST size the job will run on: [leaves] when given, otherwise the
+    smallest adequate power of two (min 2). *)
+
 type error =
   | Unknown_algo of string
   | Unsupported of { algo : string; what : string }
@@ -155,7 +159,85 @@ val outcome_to_string : outcome -> string
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
-(** {2 Batch API} *)
+(** {2 The service}
+
+    The streaming interface is the primary one: {!create} spawns the
+    pool, {!submit} enqueues jobs as they arrive (blocking when the
+    bounded channel is full — backpressure), and completed outcomes are
+    consumed either {e pulled} — {!next_outcome} / {!events} deliver in
+    submission order, or {!drain} as an id-ordered barrier — or {e
+    pushed}, through the [~on_outcome] callback.  {!shutdown} closes the
+    queue and joins the domains.  The closed-batch {!run} below is a
+    thin wrapper (create / submit all / drain / shutdown) kept as the
+    convenient one-call form; {!run_job} is the shared per-job dispatch
+    both it and the workers go through.  One submitter and one consumer
+    at a time; workers are internal.
+
+    {!Stream} builds epoch coalescing and admission policies on top of
+    this interface; [cstool serve] exposes it as a line protocol. *)
+
+type t
+
+val create :
+  ?domains:int -> ?queue_capacity:int -> ?cache:bool -> ?cache_bytes:int ->
+  ?store:Plan_store.t -> ?on_outcome:(outcome -> unit) -> unit -> t
+(** Spawns the pool: [domains] worker domains (default
+    [Domain.recommended_domain_count ()], min 1), a submission channel
+    bounded by [queue_capacity] (default 64), the pool-wide plan cache
+    unless [~cache:false] ([cache_bytes] bounds it, default 32 MiB),
+    [store] its persistent disk tier.
+
+    [on_outcome] switches the pool to push delivery: each completed
+    outcome is handed to the callback {e on the worker domain that ran
+    the job}, outside every pool lock, before the completion counter
+    moves — a {!drain} barrier therefore also orders every callback
+    before its return.  Completion order is nondeterministic; the
+    callback must synchronize its own state and must not block on the
+    pool.  With [on_outcome] set, outcomes are delivered {e only}
+    through it: {!drain} still waits for quiescence but returns [[]],
+    and {!next_outcome} raises [Invalid_argument]. *)
+
+val domains : t -> int
+
+val cache_stats : t -> Plan_cache.stats option
+(** Aggregate and per-domain hit/miss/eviction counters of the pool's
+    plan cache, including the disk tier's counters when a store is
+    attached; [None] when the pool was created with [~cache:false].
+    Safe to call while jobs are in flight.  Render with
+    {!Plan_cache.sections} / {!Plan_cache.pp_stats}. *)
+
+val submit : t -> job -> unit
+(** Blocks while the submission channel is full (backpressure).  Raises
+    [Invalid_argument] after {!shutdown}. *)
+
+val next_outcome : t -> outcome option
+(** Pulls the next outcome in {e submission} order, blocking until that
+    job completes (or, when everything submitted has been delivered,
+    until another {!submit} or {!shutdown}); [None] once the pool is
+    shut down and every outcome has been delivered.  Submission order
+    makes consecutive calls deterministic for any domain count.  Raises
+    [Invalid_argument] on a pool created with [~on_outcome]. *)
+
+val events : t -> outcome Seq.t
+(** The pull interface as a sequence: [events t] is the stream of
+    outcomes in submission order, ending (once the pool is shut down)
+    after the last submitted job.  Each element is consumed from the
+    pool as the sequence is forced — the sequence is ephemeral, and
+    interleaving it with {!next_outcome} or {!drain} shares the same
+    cursor. *)
+
+val drain : t -> outcome list
+(** Barrier: waits for all jobs submitted so far, returns the outcomes
+    not yet delivered through {!next_outcome}, sorted by job id (ties by
+    submission order).  The service remains usable afterwards.  Returns
+    [[]] on a pool created with [~on_outcome] (delivery already
+    happened). *)
+
+val shutdown : t -> unit
+(** Closes the submission channel, lets workers finish queued jobs and
+    joins them.  Idempotent. *)
+
+(** {2 Closed batches} *)
 
 val run :
   ?domains:int ->
@@ -165,47 +247,7 @@ val run :
   ?store:Plan_store.t ->
   job list ->
   outcome list
-(** Runs the batch on [domains] worker domains (default
-    [Domain.recommended_domain_count ()], min 1) and returns one outcome
-    per job, sorted by job id (ties by submission order).  Blocks until
-    every job completes.  [queue_capacity] bounds the submission channel
-    (default 64): submission applies backpressure instead of queueing
-    unboundedly.  [cache] (default [true]) enables the pool-wide plan
-    cache, bounded by [cache_bytes] of frozen events (default 32 MiB);
-    [store] attaches its persistent disk tier (flushed before
-    returning) and is ignored with [~cache:false]. *)
-
-(** {2 Streaming API}
-
-    [create] spawns the pool; {!submit} enqueues (blocking when the
-    bounded channel is full); {!drain} waits for everything submitted
-    since the last drain and returns those outcomes id-ordered;
-    {!shutdown} closes the queue and joins the domains.  One submitter
-    and one drainer at a time; workers are internal. *)
-
-type t
-
-val create :
-  ?domains:int -> ?queue_capacity:int -> ?cache:bool -> ?cache_bytes:int ->
-  ?store:Plan_store.t -> unit -> t
-
-val domains : t -> int
-
-val cache_stats : t -> Plan_cache.stats option
-(** Aggregate and per-domain hit/miss/eviction counters of the pool's
-    plan cache, including the disk tier's counters when a store is
-    attached; [None] when the pool was created with [~cache:false].
-    Safe to call while jobs are in flight. *)
-
-val submit : t -> job -> unit
-(** Blocks while the submission channel is full (backpressure).  Raises
-    [Invalid_argument] after {!shutdown}. *)
-
-val drain : t -> outcome list
-(** Waits for all jobs submitted since the last [drain], returns their
-    outcomes sorted by job id (ties by submission order).  The service
-    remains usable afterwards. *)
-
-val shutdown : t -> unit
-(** Closes the submission channel, lets workers finish queued jobs and
-    joins them.  Idempotent. *)
+(** The one-call batch wrapper over the streaming path: [create], submit
+    every job, [drain], [shutdown] (pool torn down even on raise).
+    Returns one outcome per job, sorted by job id (ties by submission
+    order); parameters as on {!create}. *)

@@ -1,0 +1,432 @@
+type timing = {
+  arrival : float;
+  committed : float;
+  completed : float;
+  epoch : int;
+}
+
+(* Per-job bookkeeping between submit and completion.  [i_committed] and
+   [i_epoch] are stamped when the job's epoch commits. *)
+type info = {
+  i_arrival : float;
+  mutable i_committed : float;
+  mutable i_epoch : int;
+}
+
+type pending = { p_job : Service.job; p_subidx : int }
+
+(* The open epoch.  Congestion arrays are heap-indexed over a
+   [2 * e_leaves]-node tree, so all members must target the same tree
+   size; the merged width is the running maximum of the elementwise
+   sums — exactly the width of the union set. *)
+type epoch_state = {
+  e_leaves : int;
+  e_up : int array;
+  e_down : int array;
+  mutable e_width : int;
+  mutable e_members : pending list;  (* reversed *)
+  mutable e_jobs : int;
+  mutable e_opened : float;
+  mutable e_sum_arrivals : float;
+  mutable e_intervals : (int * int) list;  (* (base, align) block intervals *)
+  mutable e_disjoint : bool;
+}
+
+type t = {
+  svc : Service.t;
+  policy : Admission.t;
+  recon_delta : float;
+  clock : unit -> float;
+  m : Mutex.t;
+  done_one : Condition.t;
+  mutable epoch : epoch_state option;
+  (* job id -> submission indices awaiting completion, FIFO: the pool's
+     outcomes carry only the caller-chosen id, which need not be unique *)
+  awaiting : (int, int Queue.t) Hashtbl.t;
+  info : (int, info) Hashtbl.t;  (* submission index -> envelope *)
+  finished : (int, Service.outcome * timing) Hashtbl.t;
+  mutable sojourns : float list;  (* seconds, all completed jobs *)
+  mutable submitted : int;
+  mutable completed : int;
+  mutable epochs : int;
+  mutable coalesced_jobs : int;
+  mutable max_epoch_jobs : int;
+  mutable max_epoch_width : int;
+  mutable disjoint_epochs : int;
+  mutable crossing_jobs : int;
+  mutable max_wave_layers : int;
+  mutable job_connects : int;
+  mutable job_writes : int;
+  mutable stopped : bool;
+}
+
+(* --- completion (runs on worker domains) --------------------------- *)
+
+let record_completion t (o : Service.outcome) =
+  let now = t.clock () in
+  Mutex.lock t.m;
+  (match Hashtbl.find_opt t.awaiting o.job_id with
+  | Some q when not (Queue.is_empty q) ->
+      let subidx = Queue.pop q in
+      let info = Hashtbl.find t.info subidx in
+      Hashtbl.remove t.info subidx;
+      Hashtbl.replace t.finished subidx
+        ( o,
+          {
+            arrival = info.i_arrival;
+            committed = info.i_committed;
+            completed = now;
+            epoch = info.i_epoch;
+          } );
+      t.sojourns <- (now -. info.i_arrival) :: t.sojourns;
+      (match o.result with
+      | Ok r ->
+          let p : Padr.Schedule.power = r.power in
+          t.job_connects <- t.job_connects + p.total_connects;
+          t.job_writes <- t.job_writes + p.total_writes
+      | Error _ -> ())
+  | _ -> () (* outcome for a job this stream never admitted *));
+  t.completed <- t.completed + 1;
+  Condition.broadcast t.done_one;
+  Mutex.unlock t.m
+
+let create ?domains ?queue_capacity ?cache ?cache_bytes ?store
+    ?(policy = Admission.Immediate) ?(recon_delta = 16.0) ?clock () =
+  let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
+  (* The pool's [on_outcome] closes over the stream being built. *)
+  let cell = ref None in
+  let svc =
+    Service.create ?domains ?queue_capacity ?cache ?cache_bytes ?store
+      ~on_outcome:(fun o ->
+        match !cell with Some t -> record_completion t o | None -> ())
+      ()
+  in
+  let t =
+    {
+      svc;
+      policy;
+      recon_delta;
+      clock;
+      m = Mutex.create ();
+      done_one = Condition.create ();
+      epoch = None;
+      awaiting = Hashtbl.create 64;
+      info = Hashtbl.create 64;
+      finished = Hashtbl.create 64;
+      sojourns = [];
+      submitted = 0;
+      completed = 0;
+      epochs = 0;
+      coalesced_jobs = 0;
+      max_epoch_jobs = 0;
+      max_epoch_width = 0;
+      disjoint_epochs = 0;
+      crossing_jobs = 0;
+      max_wave_layers = 0;
+      job_connects = 0;
+      job_writes = 0;
+      stopped = false;
+    }
+  in
+  cell := Some t;
+  t
+
+(* --- epoch width / structure math ---------------------------------- *)
+
+(* A job participates in the congestion arrays only when it would run at
+   all: a set too large for its tree (or a non-power-of-two override)
+   errors out in the pool, so it contributes no width. *)
+let crossings_of job =
+  let leaves = Service.job_leaves job in
+  let set = job.Service.set in
+  if
+    Cst_util.Bits.is_power_of_two leaves
+    && Cst_comm.Comm_set.n set <= leaves
+  then Some (Cst_comm.Width.crossings ~leaves set)
+  else None
+
+let width_if (e : epoch_state) (cr : Cst_comm.Width.crossings option) =
+  match cr with
+  | None -> e.e_width
+  | Some cr ->
+      let m = ref e.e_width in
+      Array.iteri
+        (fun v c -> if c > 0 && e.e_up.(v) + c > !m then m := e.e_up.(v) + c)
+        cr.up;
+      Array.iteri
+        (fun v c ->
+          if c > 0 && e.e_down.(v) + c > !m then m := e.e_down.(v) + c)
+        cr.down;
+      !m
+
+(* Aligned top-level block intervals of a right-oriented well-nested
+   set; [None] when the set has no single well-nested plan. *)
+let intervals_of set =
+  if
+    Cst_comm.Comm_set.is_right_oriented set
+    && Result.is_ok (Cst_comm.Well_nested.check set)
+  then
+    Some
+      (List.map
+         (fun (b : Cst_comm.Decompose.block) -> (b.base, b.align))
+         (Cst_comm.Decompose.blocks ~check:false set))
+  else None
+
+let overlaps (b1, a1) (b2, a2) = b1 < b2 + a2 && b2 < b1 + a1
+
+let wave_layers set =
+  let right, left = Cst_comm.Decompose.split set in
+  Cst_comm.Wn_cover.num_layers right
+  + Cst_comm.Wn_cover.num_layers (Cst_comm.Mirror.set left)
+
+(* --- commit --------------------------------------------------------- *)
+
+(* Closes the open epoch under the stream lock and returns the member
+   jobs in arrival order.  The caller must dispatch them to the pool
+   AFTER releasing the lock: [Service.submit] blocks on backpressure,
+   and the workers that relieve it need the lock to record
+   completions. *)
+let commit_locked t now =
+  match t.epoch with
+  | None -> []
+  | Some e ->
+      let members = List.rev e.e_members in
+      let eid = t.epochs in
+      t.epochs <- t.epochs + 1;
+      if e.e_jobs >= 2 then begin
+        t.coalesced_jobs <- t.coalesced_jobs + e.e_jobs;
+        if e.e_disjoint then t.disjoint_epochs <- t.disjoint_epochs + 1
+      end;
+      if e.e_jobs > t.max_epoch_jobs then t.max_epoch_jobs <- e.e_jobs;
+      if e.e_width > t.max_epoch_width then t.max_epoch_width <- e.e_width;
+      List.iter
+        (fun p ->
+          let info = Hashtbl.find t.info p.p_subidx in
+          info.i_committed <- now;
+          info.i_epoch <- eid)
+        members;
+      t.epoch <- None;
+      List.map (fun p -> p.p_job) members
+
+let dispatch t jobs = List.iter (Service.submit t.svc) jobs
+
+let view (e : epoch_state) ~now : Admission.queue_view =
+  {
+    jobs = e.e_jobs;
+    opened = e.e_opened;
+    accumulated_wait = (float_of_int e.e_jobs *. now) -. e.e_sum_arrivals;
+    width = e.e_width;
+  }
+
+let evaluate_locked t now =
+  match t.epoch with
+  | None -> []
+  | Some e -> (
+      match Admission.decide t.policy ~now (view e ~now) with
+      | Admission.Commit -> commit_locked t now
+      | Admission.Wait -> [])
+
+(* --- driver interface ----------------------------------------------- *)
+
+let submit t (job : Service.job) =
+  Mutex.lock t.m;
+  if t.stopped then begin
+    Mutex.unlock t.m;
+    invalid_arg "Stream: submit after shutdown"
+  end;
+  let now = t.clock () in
+  let leaves = Service.job_leaves job in
+  let cr = crossings_of job in
+  let to_dispatch = ref [] in
+  let commit () = to_dispatch := commit_locked t now :: !to_dispatch in
+  (* Epoch boundaries the structure forces, before the policy speaks:
+     a different tree size cannot share congestion arrays, and a
+     width-capped policy flushes rather than let the merge exceed the
+     cap. *)
+  (match t.epoch with
+  | Some e when e.e_leaves <> leaves -> commit ()
+  | _ -> ());
+  (match (t.policy, t.epoch) with
+  | Admission.Delta_threshold { max_width = Some w; _ }, Some e
+    when e.e_jobs > 0 && width_if e cr > w ->
+      commit ()
+  | _ -> ());
+  let e =
+    match t.epoch with
+    | Some e -> e
+    | None ->
+        let e =
+          {
+            e_leaves = leaves;
+            e_up = Array.make (2 * leaves) 0;
+            e_down = Array.make (2 * leaves) 0;
+            e_width = 0;
+            e_members = [];
+            e_jobs = 0;
+            e_opened = now;
+            e_sum_arrivals = 0.0;
+            e_intervals = [];
+            e_disjoint = true;
+          }
+        in
+        t.epoch <- Some e;
+        e
+  in
+  let subidx = t.submitted in
+  t.submitted <- subidx + 1;
+  Hashtbl.replace t.info subidx
+    { i_arrival = now; i_committed = now; i_epoch = -1 };
+  let q =
+    match Hashtbl.find_opt t.awaiting job.id with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.replace t.awaiting job.id q;
+        q
+  in
+  Queue.push subidx q;
+  e.e_members <- { p_job = job; p_subidx = subidx } :: e.e_members;
+  e.e_jobs <- e.e_jobs + 1;
+  e.e_sum_arrivals <- e.e_sum_arrivals +. now;
+  (match cr with
+  | Some cr ->
+      Array.iteri (fun v c -> e.e_up.(v) <- e.e_up.(v) + c) cr.up;
+      Array.iteri (fun v c -> e.e_down.(v) <- e.e_down.(v) + c) cr.down;
+      let m = ref e.e_width in
+      Array.iter (fun c -> if c > !m then m := c) e.e_up;
+      Array.iter (fun c -> if c > !m then m := c) e.e_down;
+      e.e_width <- !m
+  | None -> ());
+  (match intervals_of job.set with
+  | Some ivs ->
+      if List.exists (fun i -> List.exists (overlaps i) e.e_intervals) ivs
+      then e.e_disjoint <- false
+      else e.e_intervals <- ivs @ e.e_intervals
+  | None ->
+      e.e_disjoint <- false;
+      t.crossing_jobs <- t.crossing_jobs + 1;
+      let layers = wave_layers job.set in
+      if layers > t.max_wave_layers then t.max_wave_layers <- layers);
+  to_dispatch := evaluate_locked t now :: !to_dispatch;
+  let jobs = List.concat (List.rev !to_dispatch) in
+  Mutex.unlock t.m;
+  dispatch t jobs
+
+let tick t =
+  Mutex.lock t.m;
+  let jobs = if t.stopped then [] else evaluate_locked t (t.clock ()) in
+  Mutex.unlock t.m;
+  dispatch t jobs
+
+let flush t =
+  Mutex.lock t.m;
+  let jobs = if t.stopped then [] else commit_locked t (t.clock ()) in
+  Mutex.unlock t.m;
+  dispatch t jobs
+
+let drain t =
+  flush t;
+  Mutex.lock t.m;
+  while t.completed < t.submitted do
+    Condition.wait t.done_one t.m
+  done;
+  let collected =
+    Hashtbl.fold (fun idx v acc -> (idx, v) :: acc) t.finished []
+  in
+  Hashtbl.reset t.finished;
+  Mutex.unlock t.m;
+  List.sort
+    (fun (i1, ((o1 : Service.outcome), _)) (i2, ((o2 : Service.outcome), _)) ->
+      match Int.compare o1.job_id o2.job_id with
+      | 0 -> Int.compare i1 i2
+      | c -> c)
+    collected
+  |> List.map snd
+
+let shutdown t =
+  flush t;
+  Mutex.lock t.m;
+  t.stopped <- true;
+  Mutex.unlock t.m;
+  Service.shutdown t.svc
+
+(* --- stats ----------------------------------------------------------- *)
+
+type stats = {
+  submitted : int;
+  completed : int;
+  epochs : int;
+  coalesced_jobs : int;
+  max_epoch_jobs : int;
+  max_epoch_width : int;
+  disjoint_epochs : int;
+  crossing_jobs : int;
+  max_wave_layers : int;
+  recon_delta : float;
+  recon_power : float;
+  job_connects : int;
+  job_writes : int;
+  sojourn_p50 : float;
+  sojourn_p99 : float;
+}
+
+let stats t =
+  Mutex.lock t.m;
+  let sojourns = Array.of_list t.sojourns in
+  let pct p =
+    if Array.length sojourns = 0 then 0.0
+    else Cst_util.Stats.percentile sojourns p
+  in
+  let s =
+    {
+      submitted = t.submitted;
+      completed = t.completed;
+      epochs = t.epochs;
+      coalesced_jobs = t.coalesced_jobs;
+      max_epoch_jobs = t.max_epoch_jobs;
+      max_epoch_width = t.max_epoch_width;
+      disjoint_epochs = t.disjoint_epochs;
+      crossing_jobs = t.crossing_jobs;
+      max_wave_layers = t.max_wave_layers;
+      recon_delta = t.recon_delta;
+      recon_power = t.recon_delta *. float_of_int t.epochs;
+      job_connects = t.job_connects;
+      job_writes = t.job_writes;
+      sojourn_p50 = pct 50.0;
+      sojourn_p99 = pct 99.0;
+    }
+  in
+  Mutex.unlock t.m;
+  s
+
+let total_power s =
+  float_of_int (s.job_connects + s.job_writes) +. s.recon_power
+
+let sections t =
+  let s = stats t in
+  Stats.section "stream"
+    [
+      ("submitted", Stats.Int s.submitted);
+      ("completed", Stats.Int s.completed);
+      ("epochs", Stats.Int s.epochs);
+      ("coalesced_jobs", Stats.Int s.coalesced_jobs);
+      ("max_epoch_jobs", Stats.Int s.max_epoch_jobs);
+      ("max_epoch_width", Stats.Int s.max_epoch_width);
+      ("disjoint_epochs", Stats.Int s.disjoint_epochs);
+      ("crossing_jobs", Stats.Int s.crossing_jobs);
+      ("max_wave_layers", Stats.Int s.max_wave_layers);
+      ("recon_delta", Stats.Float s.recon_delta);
+      ("recon_power", Stats.Float s.recon_power);
+      ("job_connects", Stats.Int s.job_connects);
+      ("job_writes", Stats.Int s.job_writes);
+      ("total_power", Stats.Float (total_power s));
+      ("sojourn_p50_ms", Stats.Float (1000.0 *. s.sojourn_p50));
+      ("sojourn_p99_ms", Stats.Float (1000.0 *. s.sojourn_p99));
+    ]
+  ::
+  (match Service.cache_stats t.svc with
+  | Some cs -> Plan_cache.sections cs
+  | None -> [])
+
+let cache_stats t = Service.cache_stats t.svc
+let domains t = Service.domains t.svc

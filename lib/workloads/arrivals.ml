@@ -1,0 +1,44 @@
+type t = { times : float array }
+
+let jobs t = Array.length t.times
+let span t = if jobs t = 0 then 0.0 else t.times.(jobs t - 1)
+
+(* Inverse-CDF exponential draw; [Prng.float rng 1.0] is in [0, 1), so
+   the argument of [log] stays in (0, 1]. *)
+let exp_draw rng ~mean = -.mean *. log (1.0 -. Cst_util.Prng.float rng 1.0)
+
+let poisson rng ~rate ~jobs =
+  if rate <= 0.0 then invalid_arg "Arrivals.poisson: rate must be positive";
+  if jobs < 0 then invalid_arg "Arrivals.poisson: negative job count";
+  let mean = 1.0 /. rate in
+  let t = ref 0.0 in
+  {
+    times =
+      Array.init jobs (fun i ->
+          if i > 0 then t := !t +. exp_draw rng ~mean;
+          !t);
+  }
+
+let bursty rng ~burst ~gap ?(within = 0.0) ~jobs () =
+  if burst < 1 then invalid_arg "Arrivals.bursty: burst must be >= 1";
+  if gap < 0.0 || within < 0.0 then
+    invalid_arg "Arrivals.bursty: negative time";
+  if jobs < 0 then invalid_arg "Arrivals.bursty: negative job count";
+  let times = Array.make (max jobs 0) 0.0 in
+  let t = ref 0.0 and i = ref 0 in
+  while !i < jobs do
+    let size =
+      max 1 (Cst_util.Prng.int_in rng (burst - (burst / 2)) (3 * burst / 2))
+    in
+    let size = min size (jobs - !i) in
+    for k = 0 to size - 1 do
+      if k > 0 then t := !t +. within;
+      times.(!i) <- !t;
+      incr i
+    done;
+    if !i < jobs then t := !t +. exp_draw rng ~mean:gap
+  done;
+  { times }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>%d arrival(s) over %.6fs@]" (jobs t) (span t)

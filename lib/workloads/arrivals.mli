@@ -1,0 +1,36 @@
+(** Open-loop arrival processes for the streaming scheduler.
+
+    An arrival trace is a nondecreasing array of offsets in seconds from
+    the trace start; the bench replays one against {!Cst_service.Stream}
+    in wall time ("open loop": arrival times do not react to service
+    times).  Both generators draw from {!Cst_util.Prng}, so a seed fully
+    determines the trace. *)
+
+type t = { times : float array }
+(** [times.(0) = 0.]; nondecreasing. *)
+
+val jobs : t -> int
+
+val span : t -> float
+(** Last arrival offset (0 for an empty trace). *)
+
+val poisson : Cst_util.Prng.t -> rate:float -> jobs:int -> t
+(** Memoryless arrivals: i.i.d. exponential inter-arrival gaps with mean
+    [1. /. rate] seconds ([rate] arrivals per second, > 0). *)
+
+val bursty :
+  Cst_util.Prng.t ->
+  burst:int ->
+  gap:float ->
+  ?within:float ->
+  jobs:int ->
+  unit ->
+  t
+(** ON-OFF arrivals: bursts of [burst/2 .. 3*burst/2] jobs (uniform,
+    min 1) spaced [within] seconds apart (default 0: back-to-back),
+    separated by OFF gaps drawn exponential with mean [gap] seconds.
+    The shape that rewards coalescing: a δ-aware policy merges each
+    burst into one epoch where [immediate] pays one reconfiguration per
+    job. *)
+
+val pp : Format.formatter -> t -> unit
