@@ -96,6 +96,20 @@ type stream_row = {
   sr_total_power : float;
 }
 
+(* One row per tree shape from the topology section (schema v2+): the
+   fixed onion trace scheduled on binary, k-ary and capacity-weighted
+   fat trees.  Keyed on the "shape" field — no other row carries one. *)
+type topo_row = {
+  tp_shape : string;
+  tp_pes : int;
+  tp_cap : int;
+  tp_width : int;
+  tp_rounds : int;
+  tp_connects : int;
+  tp_writes : int;
+  tp_ns : float;
+}
+
 let find_field line key =
   let pat = Printf.sprintf "\"%s\": " key in
   let plen = String.length pat in
@@ -153,6 +167,11 @@ type parsed = {
   plan_cache : cache_row option;
   par_engine : par_row option;
   plan_store : store_row list;
+  topology : topo_row list;
+  schema : string option;
+      (** the producing file's schema tag; topology rows are required
+          from ["cst-padr/bench-engine/v2"] on and merely tolerated as
+          absent in v1 files (the committed baselines) *)
   fast : bool;
   nproc : int option;
       (** core count of the producing host; [None] on files predating
@@ -170,19 +189,41 @@ let parse_rows file =
   let plan_cache = ref None in
   let par_engine = ref None in
   let plan_store = ref [] in
+  let topology = ref [] in
+  let schema = ref None in
   let fast = ref false in
   let nproc = ref None in
   (try
      while true do
        let line = input_line ic in
-       (match (find_field line "schema", bool_field line "fast") with
-       | Some _, _ -> ()
+       (match (string_field line "schema", bool_field line "fast") with
+       | Some s, _ -> if !schema = None then schema := Some s
        | None, Some f -> fast := f
        | None, None -> ());
        (* the top-level metadata line — no benchmark row carries nproc *)
        (match (number_field line "nproc", find_field line "pes") with
        | Some n, None -> nproc := Some (int_of_float n)
        | _ -> ());
+       match string_field line "shape" with
+       | Some shape ->
+           let num ~default key =
+             Option.value ~default (number_field line key)
+           in
+           let int ~default key = int_of_float (num ~default key) in
+           topology :=
+             {
+               tp_shape = shape;
+               tp_pes = int ~default:0.0 "pes";
+               tp_cap = int ~default:0.0 "cap";
+               tp_width = int ~default:0.0 "width";
+               tp_rounds = int ~default:0.0 "rounds";
+               tp_connects = int ~default:(-1.0) "connects";
+               tp_writes = int ~default:(-1.0) "writes";
+               tp_ns =
+                 Option.value ~default:(-1.0) (number_field line "ns_per_op");
+             }
+             :: !topology
+       | None -> (
        match
          (string_field line "policy", number_field line "p99_ms")
        with
@@ -315,7 +356,7 @@ let parse_rows file =
                    srv_jobs_per_sec = jps;
                  }
                  :: !service
-           | _ -> ()))))))
+           | _ -> ())))))))
      done
    with End_of_file -> ());
   close_in ic;
@@ -327,6 +368,8 @@ let parse_rows file =
     plan_cache = !plan_cache;
     par_engine = !par_engine;
     plan_store = List.rev !plan_store;
+    topology = List.rev !topology;
+    schema = !schema;
     fast = !fast;
     nproc = !nproc;
   }
@@ -337,6 +380,8 @@ let skey s = Printf.sprintf "service/%d/%dd" s.srv_pes s.srv_domains
 let stkey (r : stream_row) =
   Printf.sprintf "streaming/%s/%s/%d/%dd" r.sr_process r.sr_policy r.sr_pes
     r.sr_domains
+
+let tkey (r : topo_row) = Printf.sprintf "topology/%s" r.tp_shape
 
 (* Violations accumulate as (section/metric, detail): every gate is
    checked, every failure reported, then one summary line and exit 1. *)
@@ -597,6 +642,68 @@ let validate ?out file =
                speedup ps.ps_pes)
       end)
     p.plan_store;
+  (* Generalized topologies (schema v2+): the same controlled trace on
+     binary, k-ary and capacity-weighted fat trees.  The scheduler meets
+     the capacity-weighted width bound on every shape, and a fat tree
+     with uplink capacity c must cut the binary round count by exactly
+     ceil(bin/c) — the paper's Theorem 5 divided by the oversubscription
+     ratio.  v1 files (the committed baselines) predate the section and
+     are tolerated without it, with a note so the skip is visible. *)
+  let v2 =
+    match p.schema with
+    | Some s -> s <> "cst-padr/bench-engine/v1"
+    | None -> false
+  in
+  if (not v2) && p.topology = [] then
+    Printf.printf
+      "check_regression: note: no topology section (schema v1 file)\n";
+  if v2 && p.topology = [] then
+    fail_gate "topology"
+      (Printf.sprintf "%s is missing the topology section" file);
+  let bin_row =
+    List.find_opt
+      (fun (r : topo_row) ->
+        String.length r.tp_shape >= 4 && String.sub r.tp_shape 0 4 = "bin:")
+      p.topology
+  in
+  if v2 && p.topology <> [] && bin_row = None then
+    fail_gate "topology/bin"
+      "topology section has no binary-tree reference row";
+  List.iter
+    (fun (r : topo_row) ->
+      if (not (Float.is_finite r.tp_ns)) || r.tp_ns <= 0.0 then
+        fail_gate
+          (Printf.sprintf "%s/ns_per_op" (tkey r))
+          (Printf.sprintf "bad timing %f" r.tp_ns);
+      if r.tp_width < 1 then
+        fail_gate
+          (Printf.sprintf "%s/width" (tkey r))
+          (Printf.sprintf "capacity-weighted width %d below 1" r.tp_width);
+      if r.tp_rounds <> r.tp_width then
+        fail_gate
+          (Printf.sprintf "%s/rounds" (tkey r))
+          (Printf.sprintf
+             "scheduler must meet the width bound on the bench trace: %d \
+              rounds, width %d"
+             r.tp_rounds r.tp_width);
+      if r.tp_connects + r.tp_writes <= 0 then
+        fail_gate
+          (Printf.sprintf "%s/power" (tkey r))
+          (Printf.sprintf
+             "a non-empty schedule must spend power: %d connects, %d writes"
+             r.tp_connects r.tp_writes);
+      match bin_row with
+      | Some b when r.tp_cap > 1 ->
+          let expect = (b.tp_rounds + r.tp_cap - 1) / r.tp_cap in
+          if r.tp_rounds <> expect then
+            fail_gate
+              (Printf.sprintf "%s/cap_rounds" (tkey r))
+              (Printf.sprintf
+                 "capacity-%d uplinks must cut the binary round count to \
+                  ceil(%d/%d) = %d, measured %d"
+                 r.tp_cap b.tp_rounds r.tp_cap expect r.tp_rounds)
+      | _ -> ())
+    p.topology;
   (* Multi-domain scaling: running wider must not collapse throughput.
      Only meaningful when the producing host had the cores — at nproc=1
      every extra domain is pure contention, so the gate is skipped (with
@@ -658,6 +765,28 @@ let validate ?out file =
                 (if ok then "pass" else "fail"))
             delta_gates))
   in
+  let topology_json =
+    let bin_rounds =
+      match bin_row with Some b -> string_of_int b.tp_rounds | None -> "null"
+    in
+    Printf.sprintf "{\"rows\": %d, \"bin_rounds\": %s, \"shapes\": [%s]}"
+      (List.length p.topology) bin_rounds
+      (String.concat ", "
+         (List.map
+            (fun (r : topo_row) ->
+              Printf.sprintf
+                "{\"shape\": \"%s\", \"cap\": %d, \"rounds\": %d, \"gates\": \
+                 {\"rounds_meet_width\": \"%s\", \"cap_speedup\": \"%s\"}}"
+                (json_escape r.tp_shape) r.tp_cap r.tp_rounds
+                (if r.tp_rounds = r.tp_width then "pass" else "fail")
+                (match bin_row with
+                | Some b when r.tp_cap > 1 ->
+                    if r.tp_rounds = (b.tp_rounds + r.tp_cap - 1) / r.tp_cap
+                    then "pass"
+                    else "fail"
+                | _ -> "skipped"))
+            p.topology))
+  in
   finish ?out ~mode:"validate"
     ~extra:
       [
@@ -666,6 +795,7 @@ let validate ?out file =
           match p.nproc with Some n -> string_of_int n | None -> "null" );
         ("plan_store", plan_store_json);
         ("streaming", streaming_json);
+        ("topology", topology_json);
       ]
     ~ok_message:
       (Printf.sprintf
@@ -846,6 +976,21 @@ let compare_files ?out ~threshold baseline fresh =
               (Printf.sprintf "%s/digest_ok" section)
               "fresh run lost replay digest identity with a fresh run")
     base.plan_store;
+  (* Topology rows: the scheduling time on each shape gates like any
+     timed kernel.  v1 baselines carry no topology rows, so the loop is
+     naturally empty against them. *)
+  List.iter
+    (fun (b : topo_row) ->
+      match
+        List.find_opt
+          (fun (f : topo_row) -> f.tp_shape = b.tp_shape)
+          cur.topology
+      with
+      | None -> missing ~section:(tkey b) ~label:(tkey b) b.tp_ns
+      | Some f ->
+          gate ~slower:true ~section:(tkey b) ~metric:"ns_per_op"
+            ~label:(tkey b) b.tp_ns f.tp_ns)
+    base.topology;
   finish ?out ~mode:"compare"
     ~extra:
       [

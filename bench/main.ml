@@ -1065,7 +1065,7 @@ let plan_store_bench ~fast =
             let st = Cst_service.Plan_store.open_dir dir in
             match
               Cst_service.Plan_store.find st ~algo:"csa" ~engine:true
-                ~leaves:n ~canon
+                ~shape:(Cst.Topology.shape topo) ~base:0 ~canon
             with
             | Some p -> ignore (Padr.Plan.replay ~keep_configs:false p topo set)
             | None -> failwith "plan store bench: warm store missed")
@@ -1101,6 +1101,73 @@ let plan_store_bench ~fast =
       })
     sizes
 
+(* Generalized topologies: one nested trace (16 centre-straddling pairs
+   on 256 PEs, binary width 16) scheduled on the classic binary tree, a
+   4-ary tree and two capacity-weighted two-layer fat trees.  The fat
+   tree with uplink capacity c must finish in ceil(16/c) rounds —
+   Theorem 5 divided by the oversubscription ratio — which is the gate
+   check_regression holds the rows to. *)
+
+type topo_row = {
+  tb_shape : string;
+  tb_pes : int;
+  tb_cap : int;  (** leaf-tier uplink capacity (1 on unit-capacity trees) *)
+  tb_width : int;  (** capacity-weighted width of the trace on this shape *)
+  tb_rounds : int;
+  tb_connects : int;
+  tb_writes : int;
+  tb_ns : float;
+  tb_reps : int;
+}
+
+let topology_bench ~fast =
+  let budget_s = if fast then 0.02 else 0.25 in
+  let n = 256 in
+  let set = Cst_workloads.Gen_wn.onion ~n ~width:16 in
+  let fat caps =
+    match
+      Cst.Shape.fat_tree ~level_sizes:[| n; 16 |]
+        ~capacities:[| caps; caps |]
+    with
+    | Ok s -> s
+    | Error _ -> assert false
+  in
+  let shapes =
+    [
+      Cst.Shape.binary ~leaves:n;
+      Cst.Shape.kary ~k:4 ~leaves:n;
+      fat 2;
+      fat 4;
+    ]
+  in
+  List.map
+    (fun shape ->
+      let topo = Cst.Topology.of_shape shape in
+      let width =
+        Cst_comm.Width.width_on
+          ~parent:(Cst.Topology.parent_table topo)
+          ~first_leaf:(Cst.Topology.first_leaf topo)
+          ~cap:(Cst.Topology.cap_table topo)
+          set
+      in
+      let sched = Padr.Csa.run_exn ~keep_configs:false topo set in
+      let ns, _, reps =
+        measure ~budget_s (fun () ->
+            ignore (Padr.Csa.run_exn ~keep_configs:false topo set))
+      in
+      {
+        tb_shape = Cst.Shape.to_string shape;
+        tb_pes = n;
+        tb_cap = Cst.Shape.cap_at shape ~depth:(Cst.Shape.levels shape);
+        tb_width = width;
+        tb_rounds = Padr.Schedule.num_rounds sched;
+        tb_connects = sched.power.total_connects;
+        tb_writes = sched.power.total_writes;
+        tb_ns = ns;
+        tb_reps = reps;
+      })
+    shapes
+
 let bench_json ~fast file =
   (* The named sections are measured first, on the young process, in a
      fixed order with a full major collection between them: the engine
@@ -1121,6 +1188,8 @@ let bench_json ~fast file =
   let srv = service_throughput ~fast in
   section ();
   let stm = streaming_bench ~fast in
+  section ();
+  let topo_rows = topology_bench ~fast in
   let grid_pes = if fast then [ 64; 256 ] else [ 256; 2048; 16384; 65536 ] in
   let grid_widths = if fast then [ 1; 8 ] else [ 1; 8; 64 ] in
   (* The dense engine and the per-round baselines are only timed on the
@@ -1182,7 +1251,7 @@ let bench_json ~fast file =
      detectable. *)
   let nproc = Domain.recommended_domain_count () in
   let host = try Unix.gethostname () with Unix.Unix_error _ -> "unknown" in
-  p "  \"schema\": \"cst-padr/bench-engine/v1\",\n";
+  p "  \"schema\": \"cst-padr/bench-engine/v2\",\n";
   p "  \"fast\": %b,\n" fast;
   p "  \"nproc\": %d,\n" nproc;
   p "  \"host\": %S,\n" host;
@@ -1270,6 +1339,20 @@ let bench_json ~fast file =
         r.ps_codec_ns_per_event r.ps_digest_ok r.ps_reps
         (if i = List.length ps - 1 then "" else ","))
     ps;
+  p "  ],\n";
+  (* check_regression keys topology rows on the "shape" field — no other
+     row carries one — and holds fat rows to rounds = ceil(bin / cap). *)
+  p "  \"topology\": [\n";
+  List.iteri
+    (fun i r ->
+      p
+        "    {\"shape\": \"%s\", \"pes\": %d, \"cap\": %d, \"width\": %d, \
+         \"rounds\": %d, \"connects\": %d, \"writes\": %d, \"ns_per_op\": \
+         %.1f, \"reps\": %d}%s\n"
+        r.tb_shape r.tb_pes r.tb_cap r.tb_width r.tb_rounds r.tb_connects
+        r.tb_writes r.tb_ns r.tb_reps
+        (if i = List.length topo_rows - 1 then "" else ","))
+    topo_rows;
   p "  ],\n";
   p "  \"results\": [\n";
   let rows = List.rev !rows in

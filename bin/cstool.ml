@@ -92,6 +92,27 @@ let engine_arg =
            $(b,mp) (message-passing engine), $(b,segmented) \
            (segment-parallel engine).")
 
+(* One tree-shape spelling across route/dot/log/serve. *)
+let shape_conv =
+  let parse s =
+    match Cst.Shape.of_string s with
+    | Ok sh -> Ok sh
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv ~docv:"SHAPE" (parse, Cst.Shape.pp)
+
+let shape_arg =
+  Arg.(
+    value
+    & opt (some shape_conv) None
+    & info [ "shape" ] ~docv:"SHAPE"
+        ~doc:
+          "Tree to schedule on: $(b,bin:N) (classic complete binary \
+           tree, the default), $(b,kary:K:N) (complete K-ary tree) or \
+           $(b,fat:L0,L1[:c0,c1]) (level sizes leaf-to-root, root \
+           implied, with per-tier uplink capacities).  Only \
+           shape-generic algorithms accept non-binary shapes.")
+
 (* gen *)
 let gen_cmd =
   let run workload n seed out =
@@ -160,7 +181,7 @@ let info_cmd =
 
 (* route *)
 let route_cmd =
-  let run file workload n seed algo engine par verbose no_verify =
+  let run file workload n seed algo engine par verbose no_verify shape =
     match obtain_set file workload n seed with
     | Error e -> exit_err e
     | Ok set -> (
@@ -169,7 +190,7 @@ let route_cmd =
           | Some e -> e
           | None -> if par then Service.Segmented else Service.Spec
         in
-        match Service.run_job (Service.job ~engine ~id:0 ~algo set) with
+        match Service.run_job (Service.job ~engine ?shape ~id:0 ~algo set) with
         | Error e -> exit_err (Format.asprintf "%a" Service.pp_error e)
         | Ok r ->
             (if verbose then
@@ -193,12 +214,22 @@ let route_cmd =
               let ok =
                 match r.detail with
                 | Service.Sched sched ->
+                    (* Exactly-width rounds are a theorem only on the
+                       binary tree; the greedy capacity allocator meets
+                       the bound on benched traces but does not promise
+                       it, so the optimality check stays binary-only. *)
                     let round_optimal =
-                      match Cst_baselines.Registry.find algo with
+                      (match Cst_baselines.Registry.find algo with
                       | Some a -> a.caps.round_optimal
-                      | None -> false
+                      | None -> false)
+                      && Option.fold ~none:true ~some:Cst.Shape.is_binary
+                           shape
                     in
-                    let topo = Cst.Topology.create ~leaves:sched.leaves in
+                    let topo =
+                      match shape with
+                      | Some s -> Cst.Topology.of_shape s
+                      | None -> Cst.Topology.create ~leaves:sched.leaves
+                    in
                     let report =
                       Padr.Verify.schedule ~check_rounds_optimal:round_optimal
                         topo set sched
@@ -243,7 +274,7 @@ let route_cmd =
     (Cmd.info "route" ~doc:"Schedule a set on the CST")
     Term.(
       const run $ file_arg $ workload_arg $ n_arg $ seed_arg $ algo
-      $ engine_arg $ par $ verbose $ no_verify)
+      $ engine_arg $ par $ verbose $ no_verify $ shape_arg)
 
 (* batch: many jobs through the domain pool *)
 let batch_cmd =
@@ -609,30 +640,38 @@ let waves_cmd =
 
 (* dot: Graphviz export of a round's configured network *)
 let dot_cmd =
-  let run file workload n seed round out =
-    match obtain_set file workload n seed with
-    | Error e -> exit_err e
-    | Ok set -> (
-        match Padr.schedule set with
-        | Error e -> exit_err (Format.asprintf "%a" Padr.pp_error e)
-        | Ok sched ->
-            if round < 1 || round > Padr.Schedule.num_rounds sched then
-              exit_err
-                (Printf.sprintf "round %d out of range (schedule has %d)"
-                   round
-                   (Padr.Schedule.num_rounds sched));
-            let topo = Cst.Topology.create ~leaves:sched.leaves in
-            let net = Cst.Net.create topo in
-            Array.iter
-              (fun (node, cfg) -> Cst.Net.reconfigure net ~node cfg)
-              sched.rounds.(round - 1).configs;
-            let dot = Cst.Dot.of_net net in
-            (match out with
-            | None -> print_string dot
-            | Some path ->
-                Cst.Dot.write_file ~path dot;
-                Format.printf "wrote %s (render with: dot -Tsvg %s)@." path
-                  path))
+  let run file workload n seed round out shape =
+    let emit dot =
+      match out with
+      | None -> print_string dot
+      | Some path ->
+          Cst.Dot.write_file ~path dot;
+          Format.printf "wrote %s (render with: dot -Tsvg %s)@." path path
+    in
+    match shape with
+    | Some s when not (Cst.Shape.is_binary s) ->
+        (* Non-binary rounds carry no [Switch_config] snapshots (the
+           crossbar state is not representable), so render the shaped
+           tree itself: real fanout per node, [:xc] capacity labels. *)
+        emit (Cst.Dot.of_topology (Cst.Topology.of_shape s))
+    | _ -> (
+        match obtain_set file workload n seed with
+        | Error e -> exit_err e
+        | Ok set -> (
+            match Padr.schedule ?shape set with
+            | Error e -> exit_err (Format.asprintf "%a" Padr.pp_error e)
+            | Ok sched ->
+                if round < 1 || round > Padr.Schedule.num_rounds sched then
+                  exit_err
+                    (Printf.sprintf "round %d out of range (schedule has %d)"
+                       round
+                       (Padr.Schedule.num_rounds sched));
+                let topo = Cst.Topology.create ~leaves:sched.leaves in
+                let net = Cst.Net.create topo in
+                Array.iter
+                  (fun (node, cfg) -> Cst.Net.reconfigure net ~node cfg)
+                  sched.rounds.(round - 1).configs;
+                emit (Cst.Dot.of_net net)))
   in
   let round =
     Arg.(value & opt int 1 & info [ "r"; "round" ] ~docv:"ROUND" ~doc:"Round to render (1-based).")
@@ -641,12 +680,17 @@ let dot_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default: stdout).")
   in
   Cmd.v
-    (Cmd.info "dot" ~doc:"Export a scheduled round as Graphviz")
-    Term.(const run $ file_arg $ workload_arg $ n_arg $ seed_arg $ round $ out)
+    (Cmd.info "dot"
+       ~doc:
+         "Export a scheduled round as Graphviz (with a non-binary \
+          --shape: the shaped tree itself)")
+    Term.(
+      const run $ file_arg $ workload_arg $ n_arg $ seed_arg $ round $ out
+      $ shape_arg)
 
 (* log: dump a run's canonical execution log *)
 let log_cmd =
-  let run file workload n seed algo narrate summary =
+  let run file workload n seed algo narrate summary shape =
     match obtain_set file workload n seed with
     | Error e -> exit_err e
     | Ok set -> (
@@ -657,10 +701,21 @@ let log_cmd =
                  (String.concat ", " Cst_baselines.Registry.names))
         | Some a ->
             let topo =
-              Cst.Topology.create
-                ~leaves:
-                  (Cst_util.Bits.ceil_pow2 (max 2 (Cst_comm.Comm_set.n set)))
+              match shape with
+              | Some s -> Cst.Topology.of_shape s
+              | None ->
+                  Cst.Topology.create
+                    ~leaves:
+                      (Cst_util.Bits.ceil_pow2
+                         (max 2 (Cst_comm.Comm_set.n set)))
             in
+            if (not (Cst.Topology.is_binary topo))
+               && not a.caps.shape_generic
+            then
+              exit_err
+                (Printf.sprintf
+                   "algorithm %S does not run on non-binary topologies"
+                   algo);
             let log = Cst.Exec_log.create () in
             (try ignore (a.run ~log topo set)
              with Invalid_argument m -> exit_err m);
@@ -713,7 +768,7 @@ let log_cmd =
        ~doc:"Run a scheduler and dump its canonical execution log")
     Term.(
       const run $ file_arg $ workload_arg $ n_arg $ seed_arg $ algo $ narrate
-      $ summary)
+      $ summary $ shape_arg)
 
 (* stats: post-hoc schedule analysis *)
 let stats_cmd =
@@ -871,7 +926,9 @@ let plan_cmd =
        keys: workload=NAME | file=PATH   (input set; workload default
              "uniform"), n=N, seed=S, algo=NAME (default "csa"),
              engine=spec|mp|segmented (default: --engine), id=K
-             (default: submission counter), leaves=L
+             (default: submission counter), leaves=L,
+             shape=bin:N|kary:K:N|fat:L0,L1[:c0,c1] (exclusive with
+             leaves=; a shape change forces an epoch boundary)
      TICK                     re-evaluate the admission policy
      DRAIN                    commit, wait for everything, print outcomes
      STATS                    one-line JSON (stream + cache tiers)
@@ -922,6 +979,19 @@ let serve_cmd =
       let* seed = int_kv kvs "seed" ~default:1 in
       let* id = int_kv kvs "id" ~default:!next_id in
       let* leaves = int_kv kvs "leaves" ~default:0 in
+      let* shape =
+        match List.assoc_opt "shape" kvs with
+        | None -> Ok None
+        | Some spec -> (
+            match Cst.Shape.of_string spec with
+            | Ok sh -> Ok (Some sh)
+            | Error e -> Error e)
+      in
+      let* () =
+        if Option.is_some shape && leaves <> 0 then
+          Error "leaves= and shape= are exclusive"
+        else Ok ()
+      in
       let algo = Option.value (List.assoc_opt "algo" kvs) ~default:"csa" in
       let* set =
         match List.assoc_opt "file" kvs with
@@ -943,7 +1013,7 @@ let serve_cmd =
             Error (Printf.sprintf "unknown engine %S (spec|mp|segmented)" e)
       in
       let leaves = if leaves = 0 then None else Some leaves in
-      Ok (Service.job ~engine ?leaves ~id ~algo set)
+      Ok (Service.job ~engine ?leaves ?shape ~id ~algo set)
     in
     let drain () =
       let outs = Cst_service.Stream.drain stream in

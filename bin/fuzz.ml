@@ -184,6 +184,89 @@ let check_codec seed rng =
           | Ok _ -> complain seed "truncation to %d bytes went undetected" cut
           | Error _ -> ())))
 
+(* Random non-binary shapes: complete k-ary trees and capacity-weighted
+   two-layer fat trees (leaves <= 81). *)
+let random_shape rng =
+  if Cst_util.Prng.int rng 2 = 0 then begin
+    let k = 3 + Cst_util.Prng.int rng 2 in
+    let d = if k = 3 then 2 + Cst_util.Prng.int rng 2 else 2 in
+    let leaves = ref 1 in
+    for _ = 1 to d do
+      leaves := !leaves * k
+    done;
+    Cst.Shape.kary ~k ~leaves:!leaves
+  end
+  else
+    let leaves = 16 lsl Cst_util.Prng.int rng 3 in
+    let mid = 4 lsl Cst_util.Prng.int rng 2 in
+    let c = 1 + Cst_util.Prng.int rng 3 in
+    match
+      Cst.Shape.fat_tree ~level_sizes:[| leaves; mid |]
+        ~capacities:[| c; c |]
+    with
+    | Ok s -> s
+    | Error _ -> assert false
+
+(* Shape differential: the capacity scheduler on random k-ary/fat
+   shapes must deliver the matching, respect the capacity-weighted
+   width bound, pass the capacity-aware verifier and digest-match the
+   segment-parallel engine; a capacity-1 fat-tree ladder is
+   structurally the binary tree and must reproduce its digests
+   exactly. *)
+let check_shapes seed rng =
+  let shape = random_shape rng in
+  let topo = Cst.Topology.of_shape shape in
+  let n = Cst.Shape.leaves shape in
+  let density = 0.05 +. Cst_util.Prng.float rng 0.95 in
+  let set = Cst_workloads.Gen_wn.uniform rng ~n ~density in
+  let expected = Cst_comm.Comm_set.matching set in
+  let width =
+    Cst_comm.Width.width_on
+      ~parent:(Cst.Topology.parent_table topo)
+      ~first_leaf:(Cst.Topology.first_leaf topo)
+      ~cap:(Cst.Topology.cap_table topo)
+      set
+  in
+  let log = Cst.Exec_log.create () in
+  (match Padr.Csa.run ~log topo set with
+  | Error e ->
+      complain seed "capacity scheduler rejected the set: %a"
+        Padr.Csa.pp_error e
+  | Ok sched ->
+      if Padr.Schedule.all_deliveries sched <> expected then
+        complain seed "shape scheduler deliveries diverge";
+      if Padr.Schedule.num_rounds sched < width then
+        complain seed "shape scheduler beat the capacity-width bound";
+      let report =
+        Padr.Verify.schedule ~check_rounds_optimal:false topo set sched
+      in
+      if not report.ok then
+        complain seed "shape verification: %s"
+          (String.concat "; " report.issues);
+      let par_log = Cst.Exec_log.create () in
+      (match Padr.Par_engine.run ~domains:2 ~log:par_log topo set with
+      | Error e ->
+          complain seed "segmented shape run failed: %a" Padr.Csa.pp_error e
+      | Ok _ ->
+          if Cst.Exec_log.digest par_log <> Cst.Exec_log.digest log then
+            complain seed "segmented shape digest diverges"));
+  let n2 = 1 lsl (2 + Cst_util.Prng.int rng 5) in
+  let set2 = Cst_workloads.Gen_wn.uniform rng ~n:n2 ~density in
+  let rec down sz = if sz < 2 then [] else sz :: down (sz / 2) in
+  let level_sizes = Array.of_list (down n2) in
+  let capacities = Array.make (Array.length level_sizes) 1 in
+  match Cst.Shape.fat_tree ~level_sizes ~capacities with
+  | Error e ->
+      complain seed "binary ladder rejected: %a" Cst.Shape.pp_error e
+  | Ok s ->
+      if not (Cst.Shape.is_binary s) then
+        complain seed "capacity-1 ladder not recognized as binary";
+      let l1 = Cst.Exec_log.create () and l2 = Cst.Exec_log.create () in
+      ignore (Padr.Csa.run_exn ~log:l1 (Cst.Topology.of_shape s) set2);
+      ignore (Padr.Csa.run_exn ~log:l2 (Cst.Topology.create ~leaves:n2) set2);
+      if Cst.Exec_log.digest l1 <> Cst.Exec_log.digest l2 then
+        complain seed "capacity-1 ladder diverges from the binary tree"
+
 let check_algos seed rng =
   let n = 1 lsl (1 + Cst_util.Prng.int rng 6) in
   let a = Array.init n (fun _ -> Cst_util.Prng.int_in rng (-1000) 1000) in
@@ -232,10 +315,11 @@ let () =
   for i = 1 to iterations do
     let seed = base_seed + i in
     let rng = Cst_util.Prng.create seed in
-    (match i mod 4 with
+    (match i mod 5 with
     | 0 -> check_well_nested seed rng
     | 1 -> check_arbitrary seed rng
     | 2 -> check_codec seed rng
+    | 3 -> check_shapes seed rng
     | _ -> check_algos seed rng);
     if i mod 100 = 0 then
       Format.printf "... %d/%d iterations, %d failure(s)@." i iterations

@@ -6,6 +6,7 @@ type capability = {
   engine_available : bool;
   round_optimal : bool;
   power_optimal : bool;
+  shape_generic : bool;
 }
 
 type algo = {
@@ -26,6 +27,7 @@ let well_nested_only =
     engine_available = false;
     round_optimal = false;
     power_optimal = false;
+    shape_generic = false;
   }
 
 let csa =
@@ -39,6 +41,7 @@ let csa =
         engine_available = true;
         round_optimal = true;
         power_optimal = true;
+        shape_generic = true;
       };
     run = (fun ?log topo set -> Padr.Csa.run_exn ?log topo set);
   }

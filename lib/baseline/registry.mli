@@ -25,6 +25,11 @@ type capability = {
   round_optimal : bool;
       (** guarantees exactly-width rounds on well-nested input *)
   power_optimal : bool;  (** guarantees O(1) configuration changes *)
+  shape_generic : bool;
+      (** [run] dispatches through the shape-aware schedulers
+          ({!Padr.Csa}/{!Padr.Engine}) and accepts any {!Cst.Shape} —
+          the baselines hard-code left/right binary arithmetic and run
+          only on binary topologies; true only for the CSA *)
 }
 
 type algo = {

@@ -18,6 +18,16 @@ let aligned_interval ~lo ~hi =
   done;
   (lo / !align * !align, !align)
 
+(* Same, over an explicit ascending ladder of admissible subtree spans
+   (each dividing the next, so the intervals stay laminar).  The default
+   ladder is 1, 2, 4, ... as above. *)
+let aligned_interval_in ~spans ~lo ~hi =
+  let rec go i =
+    let s = spans.(i) in
+    if lo / s = hi / s then ((lo / s) * s, s) else go (i + 1)
+  in
+  go 0
+
 (* A group under construction: a run of top-level nesting roots whose
    aligned intervals have been merged.  [start] is the index of its
    first communication in the source-sorted array; members are the
@@ -33,7 +43,7 @@ type group = {
 let intersects g ~base ~align =
   g.g_base < base + align && base < g.g_base + g.g_align
 
-let blocks ?(check = true) set =
+let blocks ?(check = true) ?spans set =
   if check then begin
     if not (Comm_set.is_right_oriented set) then
       invalid_arg "Decompose.blocks: set is not right-oriented";
@@ -43,6 +53,21 @@ let blocks ?(check = true) set =
         invalid_arg
           (Format.asprintf "Decompose.blocks: %a" Well_nested.pp_violation v)
   end;
+  let aligned_interval =
+    match spans with
+    | None -> fun ~lo ~hi -> aligned_interval ~lo ~hi
+    | Some spans ->
+        if Array.length spans = 0 || spans.(0) <> 1 then
+          invalid_arg "Decompose.blocks: spans must start at 1";
+        Array.iteri
+          (fun i s ->
+            if i > 0 && (s <= spans.(i - 1) || s mod spans.(i - 1) <> 0) then
+              invalid_arg
+                "Decompose.blocks: spans must be increasing and each divide \
+                 the next")
+          spans;
+        fun ~lo ~hi -> aligned_interval_in ~spans ~lo ~hi
+  in
   let comms = Comm_set.comms set in
   let n = Comm_set.n set in
   (* Stack of groups, innermost-rightmost on top.  Aligned power-of-two

@@ -21,14 +21,16 @@ val is_oriented : Comm_set.t -> bool
 
 type block = {
   base : int;  (** First leaf of the block's aligned interval. *)
-  align : int;  (** Power-of-two width of the interval. *)
+  align : int;
+      (** Width of the interval: a power of two by default, a subtree
+          span from the supplied ladder when [?spans] is given. *)
   set : Comm_set.t;
       (** The block's members in the {e original} coordinates, over the
           original [n] PEs.  Every endpoint lies in
           [[base, base + align)]. *)
 }
 
-val blocks : ?check:bool -> Comm_set.t -> block list
+val blocks : ?check:bool -> ?spans:int array -> Comm_set.t -> block list
 (** Partition a right-oriented well-nested set into its maximal
     independent top-level blocks, ordered by [base].
 
@@ -46,7 +48,14 @@ val blocks : ?check:bool -> Comm_set.t -> block list
     Raises [Invalid_argument] if the set is not right-oriented or not
     well-nested.  [~check:false] skips that validation for callers that
     have already run {!Well_nested.check} on this exact set (the
-    decomposition itself assumes the laminar structure it certifies). *)
+    decomposition itself assumes the laminar structure it certifies).
+
+    [?spans] replaces the power-of-two ladder with the tree's actual
+    ascending subtree span sizes (leaf-to-root, starting at 1, each
+    dividing the next, the last at least the whole leaf range — e.g.
+    [1; 16; 256] for a 256-leaf two-layer fat tree).  Blocks then align
+    to real subtrees of that shape, which is what makes them
+    link-disjoint on non-binary topologies. *)
 
 val localize : block -> Comm_set.t
 (** The block's members translated to block-local coordinates: a set

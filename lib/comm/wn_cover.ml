@@ -30,6 +30,12 @@ let layers set =
 
 let num_layers set = List.length (layers set)
 
+let capacity_rounds ~cap set =
+  if cap < 1 then invalid_arg "Wn_cover.capacity_rounds: cap must be >= 1";
+  List.fold_left
+    (fun acc layer -> acc + ((Width.width_auto layer + cap - 1) / cap))
+    0 (layers set)
+
 let clique_lower_bound set =
   check_right set;
   let comms = Array.to_list (Comm_set.comms set) in

@@ -21,6 +21,12 @@ val layers : Comm_set.t -> Comm_set.t list
 
 val num_layers : Comm_set.t -> int
 
+val capacity_rounds : cap:int -> Comm_set.t -> int
+(** Rounds to perform the set on a tree whose links all have capacity
+    [cap]: each well-nested layer of width [w] runs in [ceil (w / cap)]
+    rounds (Theorem 5 generalized to fat links), summed over the
+    first-fit cover.  [cap = 1] is the plain sum of layer widths. *)
+
 val clique_lower_bound : Comm_set.t -> int
 (** Size of a largest family of pairwise-crossing communications: every
     cover needs at least this many layers.  0 for the empty set. *)

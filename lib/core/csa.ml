@@ -1,25 +1,24 @@
-type error =
+type error = Sched_error.t =
   | Too_large of { n : int; leaves : int }
   | Not_well_nested of Cst_comm.Well_nested.violation
   | Stalled of { round : int; remaining : int }
 
-let pp_error fmt = function
-  | Too_large { n; leaves } ->
-      Format.fprintf fmt "set over %d PEs does not fit a %d-leaf CST" n leaves
-  | Not_well_nested v ->
-      Format.fprintf fmt "set is not schedulable by the CSA: %a"
-        Cst_comm.Well_nested.pp_violation v
-  | Stalled { round; remaining } ->
-      Format.fprintf fmt
-        "scheduler stalled in round %d with %d communications pending \
-         (internal invariant broken)"
-        round remaining
+let pp_error = Sched_error.pp
 
 exception Stall of { round : int; remaining : int }
 (* Internal signal raised from inside a scheduling loop and converted to
    [Error (Stalled _)] at the run boundary. *)
 
 let run ?keep_configs ?(eager_clear = false) ?net ?log topo set =
+  if not (Cst.Topology.is_binary topo) then begin
+    (* The 3-sided switch protocol below is meaningless off the binary
+       shape; the capacity engine is the spec there. *)
+    if net <> None then invalid_arg "Csa.run: ?net requires a binary topology";
+    match Cap_engine.run ?keep_configs ?log topo set with
+    | Ok (sched, _stats) -> Ok sched
+    | Error e -> Error e
+  end
+  else
   let leaves = Cst.Topology.leaves topo in
   if Cst_comm.Comm_set.n set > leaves then
     Error (Too_large { n = Cst_comm.Comm_set.n set; leaves })

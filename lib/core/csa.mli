@@ -8,7 +8,7 @@
     the round's connections, clearing everything else — the behaviour the
     ablation experiment contrasts against. *)
 
-type error =
+type error = Sched_error.t =
   | Too_large of { n : int; leaves : int }
   | Not_well_nested of Cst_comm.Well_nested.violation
   | Stalled of { round : int; remaining : int }
@@ -17,6 +17,8 @@ type error =
           reported as data so harnesses like [bin/fuzz.ml] can detect a
           broken internal invariant structurally instead of catching
           [Failure _]. *)
+(** Re-export of {!Sched_error.t}, the error type shared with
+    {!Cap_engine}. *)
 
 val pp_error : Format.formatter -> error -> unit
 
@@ -37,6 +39,9 @@ val run :
     when a fresh net is created — exclusive with [?net]) and the
     returned schedule is derived from it ({!Schedule.of_log}); build a
     narration with [Cst.Trace.of_log] if wanted.
+    On a non-binary topology the run is delegated to {!Cap_engine} (the
+    3-sided message protocol does not generalize); [?net] is then
+    rejected and [eager_clear] ignored.
     [keep_configs] (default true) stores per-round configuration snapshots
     in the schedule for verification; disable for timing benchmarks.
     [net] runs the schedule on an existing network whose switch

@@ -1,4 +1,4 @@
-type stats = {
+type stats = Cap_engine.stats = {
   cycles : int;
   control_messages : int;
   max_message_words : int;
@@ -75,6 +75,7 @@ let make_workspace topo =
    hardware still clocks every level and still exchanges the null
    messages; the simulator just does not spend wall-clock on them. *)
 let simulate ?log topo set =
+  assert (Cst.Topology.is_binary topo);
   let leaves = Cst.Topology.leaves topo in
   if Cst_comm.Comm_set.n set > leaves then
     Error (Csa.Too_large { n = Cst_comm.Comm_set.n set; leaves })
@@ -248,19 +249,24 @@ let simulate ?log topo set =
           Error (Csa.Stalled { round; remaining })
 
 let run ?(keep_configs = true) ?log topo set =
-  match simulate ?log topo set with
-  | Error e -> Error e
-  | Ok (log, from, stats) ->
-      let sched =
-        Schedule.of_log ~from ~keep_configs ~set ~topo ~cycles:stats.cycles
-          log
-      in
-      Ok (sched, stats)
+  if not (Cst.Topology.is_binary topo) then
+    Cap_engine.run ~keep_configs ?log topo set
+  else
+    match simulate ?log topo set with
+    | Error e -> Error e
+    | Ok (log, from, stats) ->
+        let sched =
+          Schedule.of_log ~from ~keep_configs ~set ~topo ~cycles:stats.cycles
+            log
+        in
+        Ok (sched, stats)
 
 let run_log ~log topo set =
-  match simulate ~log topo set with
-  | Error e -> Error e
-  | Ok (_, _, stats) -> Ok stats
+  if not (Cst.Topology.is_binary topo) then Cap_engine.run_log ~log topo set
+  else
+    match simulate ~log topo set with
+    | Error e -> Error e
+    | Ok (_, _, stats) -> Ok stats
 
 let run_exn ?keep_configs ?log topo set =
   match run ?keep_configs ?log topo set with
@@ -273,6 +279,9 @@ let run_exn ?keep_configs ?log topo set =
    produces byte-identical schedules and stats, and the benchmark
    baseline times both. *)
 let run_dense ?(keep_configs = true) ?log topo set =
+  if not (Cst.Topology.is_binary topo) then
+    Cap_engine.run ~keep_configs ?log topo set
+  else
   let leaves = Cst.Topology.leaves topo in
   if Cst_comm.Comm_set.n set > leaves then
     Error (Csa.Too_large { n = Cst_comm.Comm_set.n set; leaves })

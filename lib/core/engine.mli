@@ -19,9 +19,13 @@
     simulation cost differs.
 
     Tests assert that the engine's schedule is identical, round for round,
-    to {!Csa.run}'s. *)
+    to {!Csa.run}'s.
 
-type stats = {
+    On a non-binary topology every entry point delegates to
+    {!Cap_engine} — the 3-sided message protocol is binary-only — so
+    sparse, dense and spec runs remain log-identical on every shape. *)
+
+type stats = Cap_engine.stats = {
   cycles : int;  (** total clock cycles, Phase 1 included *)
   control_messages : int;  (** messages exchanged over tree links *)
   max_message_words : int;  (** largest message, in words — a constant *)

@@ -26,6 +26,10 @@ module Csa : module type of Csa
 module Engine : module type of Engine
 (** Message-passing execution with cycle and message statistics. *)
 
+module Cap_engine : module type of Cap_engine
+(** Capacity-aware greedy circuit allocator — the scheduler behind every
+    non-binary ({!Cst.Shape}) topology. *)
+
 module Par_engine : module type of Par_engine
 (** Segment-parallel engine: independent top-level blocks scheduled
     concurrently, logs rebased and merged — byte-identical to
@@ -61,16 +65,20 @@ val topology_for : Cst_comm.Comm_set.t -> Cst.Topology.t
 (** Smallest power-of-two CST accommodating the set. *)
 
 val schedule :
+  ?shape:Cst.Shape.t ->
   ?leaves:int ->
   ?keep_configs:bool ->
   ?log:Cst.Exec_log.t ->
   Cst_comm.Comm_set.t ->
   (Schedule.t, error) result
 (** Schedules a right-oriented well-nested set on a CST with [leaves]
-    leaves (default: smallest adequate).  The run is appended to [?log]
-    (or a private log); derive a narration with [Cst.Trace.of_log]. *)
+    leaves (default: smallest adequate), or on an arbitrary [?shape]
+    (exclusive with [?leaves]; non-binary shapes run on the capacity
+    engine).  The run is appended to [?log] (or a private log); derive a
+    narration with [Cst.Trace.of_log]. *)
 
 val schedule_exn :
+  ?shape:Cst.Shape.t ->
   ?leaves:int ->
   ?keep_configs:bool ->
   ?log:Cst.Exec_log.t ->

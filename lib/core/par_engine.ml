@@ -3,6 +3,15 @@
    argument; the digest/schedule identity with the sequential engine is
    property-tested in test/test_par_engine.ml. *)
 
+(* Ascending subtree-span ladder of a shape (1, ..., leaves), the block
+   alignment grid for non-binary topologies. *)
+let span_ladder topo =
+  let shape = Cst.Topology.shape topo in
+  let levels = Cst.Shape.levels shape in
+  let leaves = Cst.Shape.leaves shape in
+  Array.init (levels + 1) (fun i ->
+      leaves / Cst.Shape.size_at shape ~depth:(levels - i))
+
 let decompose topo set =
   let leaves = Cst.Topology.leaves topo in
   if Cst_comm.Comm_set.n set > leaves then
@@ -10,24 +19,38 @@ let decompose topo set =
   else
     match Cst_comm.Well_nested.check set with
     | Error v -> Error (Csa.Not_well_nested v)
-    | Ok _ -> Ok (Cst_comm.Decompose.blocks ~check:false set)
+    | Ok _ ->
+        let spans =
+          if Cst.Topology.is_binary topo then None else Some (span_ladder topo)
+        in
+        Ok (Cst_comm.Decompose.blocks ~check:false ?spans set)
 
 let run_block ?small topo (b : Cst_comm.Decompose.block) =
-  let small =
-    match small with
-    | Some t -> t
-    | None -> Cst.Topology.create ~leaves:b.align
-  in
-  let local = Cst_comm.Decompose.localize b in
-  let log = Cst.Exec_log.create () in
-  match Engine.run_log ~log small local with
-  | Error e -> Error e
-  | Ok _stats ->
-      (* The log is private to this call: rebase it in place. *)
-      Ok
-        (Cst.Exec_log.rebase ~in_place:true log ~src_leaves:b.align
-           ~src_base:0 ~dst_leaves:(Cst.Topology.leaves topo)
-           ~dst_base:b.base ~align:b.align)
+  if not (Cst.Topology.is_binary topo) then begin
+    (* Non-binary blocks run in absolute coordinates on the shared full
+       topology — rebase's subtree congruence is a binary property, and
+       the capacity engine is cheap on the block's own links only. *)
+    let log = Cst.Exec_log.create () in
+    match Cap_engine.run_log ~log topo b.set with
+    | Error e -> Error e
+    | Ok _stats -> Ok log
+  end
+  else
+    let small =
+      match small with
+      | Some t -> t
+      | None -> Cst.Topology.create ~leaves:b.align
+    in
+    let local = Cst_comm.Decompose.localize b in
+    let log = Cst.Exec_log.create () in
+    match Engine.run_log ~log small local with
+    | Error e -> Error e
+    | Ok _stats ->
+        (* The log is private to this call: rebase it in place. *)
+        Ok
+          (Cst.Exec_log.rebase ~in_place:true log ~src_leaves:b.align
+             ~src_base:0 ~dst_leaves:(Cst.Topology.leaves topo)
+             ~dst_base:b.base ~align:b.align)
 
 let merge_blocks ?(keep_configs = true) ?log topo set block_logs =
   let levels = Cst.Topology.levels topo in
@@ -46,15 +69,26 @@ let merge_blocks ?(keep_configs = true) ?log topo set block_logs =
       merged
   in
   let stats =
-    {
-      Engine.cycles = 1 + levels + (rounds * (levels + 2));
-      control_messages = 2 * (leaves - 1) * (rounds + 1);
-      max_message_words =
-        (if rounds > 0 then
-           max Phase1.up_words_per_message (Downmsg.words Downmsg.null)
-         else Phase1.up_words_per_message);
-      state_words_per_switch = Csa_state.words (Csa_state.zero ());
-    }
+    if Cst.Topology.is_binary topo then
+      {
+        Engine.cycles = 1 + levels + (rounds * (levels + 2));
+        control_messages = 2 * (leaves - 1) * (rounds + 1);
+        max_message_words =
+          (if rounds > 0 then
+             max Phase1.up_words_per_message (Downmsg.words Downmsg.null)
+           else Phase1.up_words_per_message);
+        state_words_per_switch = Csa_state.words (Csa_state.zero ());
+      }
+    else
+      (* Match [Cap_engine]'s closed-form model so segmented and
+         whole-set runs report identical stats. *)
+      {
+        Engine.cycles = 1 + levels + (rounds * (levels + 2));
+        control_messages =
+          2 * (Cst.Topology.num_nodes topo - 1) * (rounds + 1);
+        max_message_words = 2;
+        state_words_per_switch = 5;
+      }
   in
   (sched, stats)
 
@@ -68,14 +102,18 @@ let run ?(domains = 1) ?keep_configs ?log topo set =
          each small topology once.  Topologies are immutable after
          [create], so sharing them across domains is safe. *)
       let small_topos =
-        Array.fold_left
-          (fun acc (b : Cst_comm.Decompose.block) ->
-            if List.mem_assoc b.align acc then acc
-            else (b.align, Cst.Topology.create ~leaves:b.align) :: acc)
-          [] arr
+        if not (Cst.Topology.is_binary topo) then []
+        else
+          Array.fold_left
+            (fun acc (b : Cst_comm.Decompose.block) ->
+              if List.mem_assoc b.align acc then acc
+              else (b.align, Cst.Topology.create ~leaves:b.align) :: acc)
+            [] arr
       in
       let run_one (b : Cst_comm.Decompose.block) =
-        run_block ~small:(List.assoc b.align small_topos) topo b
+        match List.assoc_opt b.align small_topos with
+        | Some small -> run_block ~small topo b
+        | None -> run_block topo b
       in
       let results = Array.make nblocks None in
       let body () =

@@ -17,7 +17,14 @@
 
     Latency becomes O(largest block) on real cores; on a single core the
     path costs only the decomposition and the merge on top of the
-    sequential engine (benchmarked and gated, see EXPERIMENTS.md). *)
+    sequential engine (benchmarked and gated, see EXPERIMENTS.md).
+
+    On a non-binary topology blocks align to the shape's real subtree
+    spans ([Decompose.blocks ~spans]), each block runs through
+    {!Cap_engine} in absolute coordinates on the shared topology (rebase
+    is a binary-subtree congruence), and the merged log is
+    digest-identical to the whole-set capacity run: per-round greedy
+    admission decomposes exactly over link-disjoint blocks. *)
 
 val decompose :
   Cst.Topology.t ->

@@ -2,6 +2,7 @@ type producer = Spec | Engine
 
 type t = {
   producer : producer;
+  shape : Cst.Shape.t;
   leaves : int;
   base : int;
   canon : Cst.Canon.t;
@@ -34,6 +35,7 @@ let of_log ~producer ~topo ~set ~rounds ~cycles ?(control_messages = 0) log =
   let placed = Cst.Canon.place set in
   {
     producer;
+    shape = Cst.Topology.shape topo;
     leaves = Cst.Topology.leaves topo;
     base = placed.base;
     canon = placed.canon;
@@ -75,7 +77,21 @@ let replay ?(keep_configs = true) t topo set =
     invalid_arg "Padr.Plan.replay: set does not match the plan's signature";
   if Cst_comm.Comm_set.n set > leaves then
     invalid_arg "Padr.Plan.replay: set does not fit the topology";
-  if not (Cst.Canon.compatible t.canon ~leaves ~base:placed.base) then
+  if not (Cst.Shape.is_binary t.shape) then begin
+    (* Translation is not a congruence off the binary shape (subtrees at
+       one depth need not be isomorphic, and capacities are positional),
+       so a non-binary plan replays only at its compiled shape and
+       placement. *)
+    if not (Cst.Shape.equal (Cst.Topology.shape topo) t.shape) then
+      invalid_arg "Padr.Plan.replay: topology shape differs from the plan's";
+    if placed.base <> t.base then
+      invalid_arg
+        "Padr.Plan.replay: non-binary plans replay only at their compiled \
+         placement"
+  end
+  else if not (Cst.Topology.is_binary topo) then
+    invalid_arg "Padr.Plan.replay: binary plan on a non-binary topology"
+  else if not (Cst.Canon.compatible t.canon ~leaves ~base:placed.base) then
     invalid_arg "Padr.Plan.replay: placement incompatible with the topology";
   let log =
     if leaves = t.leaves && placed.base = t.base then t.log
@@ -113,15 +129,21 @@ let pp fmt (t : t) =
     (Cst.Exec_log.length t.log)
     Cst.Canon.pp t.canon
 
-(* Binary codec: 80-byte plan header + canon offsets + the embedded
-   event-log section.  The meta digest covers the header (minus its own
-   slot) and the offsets; the log section carries its own arena digest
-   and, in its canon-hash slot, the hash of this plan's canon — decode
-   rebuilds the canon from the offsets and requires the two hashes to
-   agree, so metadata and events cannot be spliced from different
-   plans.  Multi-byte fields are read with a wrap-mod-2^63 [get64], so
-   crafted top bytes surface as negative values; every count is
-   range-checked after the digests pass. *)
+(* Binary codec: 80-byte plan header + (version 2 only) a shape block +
+   canon offsets + the embedded event-log section.  The meta digest
+   covers the header (minus its own slot), the shape block and the
+   offsets; the log section carries its own arena digest and, in its
+   canon-hash slot, the hash of this plan's canon — decode rebuilds the
+   canon from the offsets and requires the two hashes to agree, so
+   metadata and events cannot be spliced from different plans.  Encode
+   picks the version from the shape: binary plans emit the historical
+   version-1 bytes (no shape block, version-1 log section), so every
+   classic plan file is byte-identical; non-binary plans emit version 2
+   with the level table serialized as [levels][sizes...][caps...] u32s
+   and the shape fingerprint echoed in the log section's header.
+   Multi-byte fields are read with a wrap-mod-2^63 [get64], so crafted
+   top bytes surface as negative values; every count is range-checked
+   after the digests pass. *)
 module Codec = struct
   type error =
     | Truncated of { expected : int; got : int }
@@ -146,10 +168,14 @@ module Codec = struct
     | Log e ->
         Format.fprintf fmt "log section: %a" Cst.Exec_log.Codec.pp_error e
 
-  let version = 1
+  let version = 2
   let magic = "CSTPLAN1"
   let header_bytes = 80
   let fnv_prime = 0x100000001b3
+
+  let shape_block_len shape =
+    if Cst.Shape.is_binary shape then 0
+    else 4 * (1 + (2 * (Cst.Shape.levels shape + 1)))
 
   let put32 b pos v =
     for i = 0 to 3 do
@@ -174,27 +200,33 @@ module Codec = struct
     done;
     !v
 
-  let meta_digest b ~offsets_len =
+  (* [extra_len] = shape block + offsets: everything between the header
+     and the log section, contiguous from [header_bytes]. *)
+  let meta_digest b ~extra_len =
     let h = ref 0x3bf29ce484222325 in
     let mix c = h := ((!h lxor c) * fnv_prime) land max_int in
     for i = 0 to 71 do
       mix (Char.code (Bytes.get b i))
     done;
-    for i = header_bytes to header_bytes + offsets_len - 1 do
+    for i = header_bytes to header_bytes + extra_len - 1 do
       mix (Char.code (Bytes.get b i))
     done;
     !h
 
   let encoded_bytes (t : t) =
-    header_bytes
+    header_bytes + shape_block_len t.shape
     + (8 * Cst.Canon.size t.canon)
-    + Cst.Exec_log.Codec.encoded_bytes t.log
+    + Cst.Exec_log.Codec.encoded_bytes
+        ~shape_fp:(Cst.Shape.fingerprint t.shape)
+        t.log
 
   let encode (t : t) =
     let n = Cst.Canon.size t.canon in
+    let binary = Cst.Shape.is_binary t.shape in
+    let shape_len = shape_block_len t.shape in
     let b = Bytes.create (encoded_bytes t) in
     Bytes.blit_string magic 0 b 0 8;
-    put32 b 8 version;
+    put32 b 8 (if binary then 1 else version);
     Bytes.set b 12
       (Char.chr (match t.producer with Spec -> 0 | Engine -> 1));
     Bytes.set b 13 '\000';
@@ -207,17 +239,59 @@ module Codec = struct
     put64 b 48 t.control_messages;
     put64 b 56 (Cst.Canon.align t.canon);
     put64 b 64 n;
+    if not binary then begin
+      let levels = Cst.Shape.levels t.shape in
+      let sizes = Cst.Shape.sizes t.shape and caps = Cst.Shape.caps t.shape in
+      put32 b header_bytes levels;
+      for d = 0 to levels do
+        put32 b (header_bytes + 4 + (4 * d)) sizes.(d);
+        put32 b (header_bytes + 4 + (4 * (levels + 1)) + (4 * d)) caps.(d)
+      done
+    end;
+    let offs_pos = header_bytes + shape_len in
     Array.iteri
       (fun i (s, d) ->
-        put32 b (header_bytes + (8 * i)) s;
-        put32 b (header_bytes + (8 * i) + 4) d)
+        put32 b (offs_pos + (8 * i)) s;
+        put32 b (offs_pos + (8 * i) + 4) d)
       (Cst.Canon.offsets t.canon);
-    put64 b 72 (meta_digest b ~offsets_len:(8 * n));
+    put64 b 72 (meta_digest b ~extra_len:(shape_len + (8 * n)));
     ignore
       (Cst.Exec_log.Codec.encode_into
-         ~canon_hash:(Cst.Canon.hash t.canon) t.log b
-         ~pos:(header_bytes + (8 * n)));
+         ~canon_hash:(Cst.Canon.hash t.canon)
+         ~shape_fp:(Cst.Shape.fingerprint t.shape)
+         t.log b
+         ~pos:(offs_pos + (8 * n)));
     b
+
+  (* Reads and validates the version-2 shape block at [header_bytes];
+     returns its byte length and the reconstructed shape. *)
+  let decode_shape_block b ~len =
+    if len < header_bytes + 4 then
+      Error (Truncated { expected = header_bytes + 4; got = len })
+    else
+      let levels = get32 b header_bytes in
+      if levels < 1 || levels > 60 then Error (Bad_field "shape levels")
+      else
+        let shape_len = 4 * (1 + (2 * (levels + 1))) in
+        if len < header_bytes + shape_len then
+          Error (Truncated { expected = header_bytes + shape_len; got = len })
+        else
+          let size_at d = get32 b (header_bytes + 4 + (4 * d)) in
+          let cap_at d =
+            get32 b (header_bytes + 4 + (4 * (levels + 1)) + (4 * d))
+          in
+          if size_at 0 <> 1 || cap_at 0 <> 0 then Error (Bad_field "shape root")
+          else
+            (* [create] takes the table leaf-to-root without the root. *)
+            let level_sizes = Array.init levels (fun i -> size_at (levels - i))
+            and capacities = Array.init levels (fun i -> cap_at (levels - i)) in
+            match Cst.Shape.create ~level_sizes ~capacities with
+            | Error _ -> Error (Bad_field "shape table")
+            | Ok shape ->
+                if Cst.Shape.is_binary shape then
+                  (* Binary plans are canonically version 1. *)
+                  Error (Bad_field "binary shape in a version-2 plan")
+                else Ok (shape_len, shape)
 
   let decode b =
     let len = Bytes.length b in
@@ -227,74 +301,108 @@ module Codec = struct
       Error Bad_magic
     else
       let v = get32 b 8 in
-      if v <> version then
+      if v <> 1 && v <> version then
         Error (Unsupported_version { found = v; expected = version })
       else
-        let n = get64 b 64 in
-        if n < 0 || n > (len - header_bytes) / 8 then
-          Error
-            (Truncated
-               {
-                 expected =
-                   (if n < 0 || n > (max_int - header_bytes) / 8 then max_int
-                    else header_bytes + (8 * n));
-                 got = len;
-               })
-        else if get64 b 72 <> meta_digest b ~offsets_len:(8 * n) then
-          Error Digest_mismatch
-        else begin
-          let producer =
-            match Char.code (Bytes.get b 12) with
-            | 0 -> Ok Spec
-            | 1 -> Ok Engine
-            | _ -> Error (Bad_field "producer")
-          in
-          match producer with
-          | Error e -> Error e
-          | Ok producer -> (
-              let leaves = get64 b 16
-              and base = get64 b 24
-              and rounds = get64 b 32
-              and cycles = get64 b 40
-              and control_messages = get64 b 48
-              and align = get64 b 56 in
-              let offs =
-                Array.init n (fun i ->
-                    ( get32 b (header_bytes + (8 * i)),
-                      get32 b (header_bytes + (8 * i) + 4) ))
+        let shape_part =
+          if v = 1 then Ok (0, None)
+          else
+            match decode_shape_block b ~len with
+            | Ok (shape_len, shape) -> Ok (shape_len, Some shape)
+            | Error e -> Error e
+        in
+        match shape_part with
+        | Error e -> Error e
+        | Ok (shape_len, shape) -> (
+            let offs_pos = header_bytes + shape_len in
+            let n = get64 b 64 in
+            if n < 0 || n > (len - offs_pos) / 8 then
+              Error
+                (Truncated
+                   {
+                     expected =
+                       (if n < 0 || n > (max_int - offs_pos) / 8 then max_int
+                        else offs_pos + (8 * n));
+                     got = len;
+                   })
+            else if
+              get64 b 72 <> meta_digest b ~extra_len:(shape_len + (8 * n))
+            then Error Digest_mismatch
+            else
+              let producer =
+                match Char.code (Bytes.get b 12) with
+                | 0 -> Ok Spec
+                | 1 -> Ok Engine
+                | _ -> Error (Bad_field "producer")
               in
-              match Cst.Canon.of_offsets ~align offs with
-              | exception Invalid_argument _ ->
-                  Error (Bad_field "canon offsets")
-              | canon -> (
-                  let log_pos = header_bytes + (8 * n) in
-                  match Cst.Exec_log.Codec.decode ~pos:log_pos b with
-                  | Error e -> Error (Log e)
-                  | Ok (log, next) ->
-                      if next <> len then Error (Bad_field "trailing bytes")
-                      else if
-                        Cst.Exec_log.Codec.canon_hash ~pos:log_pos b
-                        <> Ok (Cst.Canon.hash canon)
-                      then Error Canon_mismatch
-                      else if rounds < 0 || cycles < 0 || control_messages < 0
-                      then Error (Bad_field "negative count")
-                      else if leaves < 1 || leaves land (leaves - 1) <> 0 then
-                        Error (Bad_field "leaves not a power of two")
-                      else if not (Cst.Canon.compatible canon ~leaves ~base)
-                      then Error (Bad_field "placement")
-                      else
-                        Ok
-                          {
-                            producer;
-                            leaves;
-                            base;
-                            canon;
-                            rounds;
-                            cycles;
-                            control_messages;
-                            log;
-                          }))
-        end
+              match producer with
+              | Error e -> Error e
+              | Ok producer -> (
+                  let leaves = get64 b 16
+                  and base = get64 b 24
+                  and rounds = get64 b 32
+                  and cycles = get64 b 40
+                  and control_messages = get64 b 48
+                  and align = get64 b 56 in
+                  let offs =
+                    Array.init n (fun i ->
+                        ( get32 b (offs_pos + (8 * i)),
+                          get32 b (offs_pos + (8 * i) + 4) ))
+                  in
+                  match Cst.Canon.of_offsets ~align offs with
+                  | exception Invalid_argument _ ->
+                      Error (Bad_field "canon offsets")
+                  | canon -> (
+                      let log_pos = offs_pos + (8 * n) in
+                      match Cst.Exec_log.Codec.decode ~pos:log_pos b with
+                      | Error e -> Error (Log e)
+                      | Ok (log, next) ->
+                          if next <> len then Error (Bad_field "trailing bytes")
+                          else if
+                            Cst.Exec_log.Codec.canon_hash ~pos:log_pos b
+                            <> Ok (Cst.Canon.hash canon)
+                          then Error Canon_mismatch
+                          else if
+                            rounds < 0 || cycles < 0 || control_messages < 0
+                          then Error (Bad_field "negative count")
+                          else
+                            let placement_ok shape_opt =
+                              match shape_opt with
+                              | None ->
+                                  leaves >= 1
+                                  && leaves land (leaves - 1) = 0
+                                  && Cst.Canon.compatible canon ~leaves ~base
+                              | Some shape ->
+                                  leaves = Cst.Shape.leaves shape
+                                  && base >= 0
+                                  && base mod align = 0
+                                  && base + align <= leaves
+                            in
+                            if not (placement_ok shape) then
+                              Error (Bad_field "placement")
+                            else
+                              let shape =
+                                match shape with
+                                | Some s -> s
+                                | None -> Cst.Shape.binary ~leaves
+                              in
+                              if
+                                Cst.Exec_log.Codec.shape_fp ~pos:log_pos b
+                                <> Ok (Cst.Shape.fingerprint shape)
+                              then Error (Bad_field "shape fingerprint")
+                              else
+                                Ok
+                                  {
+                                    producer;
+                                    shape;
+                                    leaves;
+                                    base;
+                                    canon;
+                                    rounds;
+                                    cycles;
+                                    control_messages;
+                                    log;
+                                  })))
 
   let write_file ~path t =
     let b = encode t in

@@ -19,6 +19,7 @@ type producer = Spec | Engine
 
 type t = private {
   producer : producer;
+  shape : Cst.Shape.t;  (** topology shape the plan was compiled on *)
   leaves : int;  (** tree size the plan was compiled at *)
   base : int;  (** leaf offset of the compiled set's aligned block *)
   canon : Cst.Canon.t;  (** structural signature of the compiled set *)
@@ -66,7 +67,14 @@ val replay :
 (** Reconstructs the schedule of [set] on [topo] from the plan.  [set]
     must carry the plan's signature (checked; [Invalid_argument]
     otherwise) and fit the topology.  O(events + size·log leaves) — no
-    scheduling. *)
+    scheduling.
+
+    Binary plans relocate freely: any compatible placement on any
+    binary tree size, via {!Cst.Exec_log.rebase}.  Non-binary plans
+    replay only on a topology of the {e identical} shape with the set
+    at the {e identical} placement — translation is not a congruence
+    once subtrees at one depth stop being isomorphic and capacities are
+    positional — and raise [Invalid_argument] otherwise. *)
 
 val bytes : t -> int
 (** Approximate heap footprint (event arena + signature + boxing);
@@ -78,13 +86,14 @@ val pp : Format.formatter -> t -> unit
 
     Self-contained little-endian serialization of a plan — the record
     the persistent plan store writes to disk.  Layout: an 80-byte plan
-    header, the canon offsets, then the embedded event-log section
-    ({!Cst.Exec_log.Codec}) whose header carries the canon hash:
+    header, a shape block (version 2 only), the canon offsets, then the
+    embedded event-log section ({!Cst.Exec_log.Codec}) whose header
+    carries the canon hash:
 
     {v
     offset  size  field
          0     8  magic "CSTPLAN1"
-         8     4  format version (u32 LE)
+         8     4  format version (u32 LE): 1 or 2
         12     1  producer (0 = Spec, 1 = Engine)
         13     3  reserved, zero
         16     8  leaves            (u64 LE)
@@ -94,21 +103,34 @@ val pp : Format.formatter -> t -> unit
         48     8  control messages  (u64 LE)
         56     8  canon align       (u64 LE)
         64     8  canon offset count n (u64 LE)
-        72     8  meta digest       (u64 LE, FNV-1a over bytes 0-71
-                                     and the offsets section)
-        80    8n  offsets: n × (u32 LE src, u32 LE dst)
-     80+8n     -  Exec_log.Codec section (canon hash in its header)
+        72     8  meta digest       (u64 LE, FNV-1a over bytes 0-71,
+                                     the shape block and the offsets)
+      [ 80  4+8(L+1)  shape block — version 2 only: levels L (u32),
+                                     then L+1 sizes and L+1 caps (u32),
+                                     both root-first ]
+      then    8n  offsets: n × (u32 LE src, u32 LE dst)
+      then     -  Exec_log.Codec section (canon hash + shape
+                  fingerprint in its header)
     v}
 
+    {!Codec.encode} picks the version from the plan's shape: binary
+    shapes emit the historical version-1 bytes (no shape block,
+    version-1 log section), so every pre-existing plan file — and every
+    new binary plan — is byte-identical to the classic format.
+    Non-binary plans emit version 2.  {!Codec.decode} accepts both;
+    version-1 input reads back with [shape = Cst.Shape.binary].
+
     Decode re-derives everything it can and believes nothing it
-    cannot: the meta digest guards the header and offsets, the
-    embedded log section's own digest guards the arena, the canon is
-    rebuilt through {!Cst.Canon.of_offsets} (which re-validates
-    canonicality and recomputes the hash), and the rebuilt hash must
-    equal the one stored in the log header — so a plan whose offsets
-    and log were spliced from different plans is rejected as
+    cannot: the meta digest guards the header, shape block and offsets,
+    the embedded log section's own digest guards the arena, the canon
+    is rebuilt through {!Cst.Canon.of_offsets} (which re-validates
+    canonicality and recomputes the hash), the rebuilt hash must equal
+    the one stored in the log header — so a plan whose offsets and log
+    were spliced from different plans is rejected as
     {!Codec.error.Canon_mismatch}, not returned as a plausible
-    frankenplan. *)
+    frankenplan — and the shape block is revalidated through
+    {!Cst.Shape.create} with its fingerprint checked against the log
+    section's. *)
 module Codec : sig
   type error =
     | Truncated of { expected : int; got : int }

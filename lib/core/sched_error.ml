@@ -1,0 +1,22 @@
+(* Scheduling error, shared by every engine.  A leaf module so that both
+   [Csa] (the spec scheduler) and [Cap_engine] (the generalized-topology
+   scheduler) can name the same type without depending on each other;
+   [Csa.error] re-exports the constructors, so callers keep writing
+   [Csa.Too_large]. *)
+
+type t =
+  | Too_large of { n : int; leaves : int }
+  | Not_well_nested of Cst_comm.Well_nested.violation
+  | Stalled of { round : int; remaining : int }
+
+let pp fmt = function
+  | Too_large { n; leaves } ->
+      Format.fprintf fmt "set over %d PEs does not fit a %d-leaf CST" n leaves
+  | Not_well_nested v ->
+      Format.fprintf fmt "set is not schedulable by the CSA: %a"
+        Cst_comm.Well_nested.pp_violation v
+  | Stalled { round; remaining } ->
+      Format.fprintf fmt
+        "scheduler stalled in round %d with %d communications pending \
+         (internal invariant broken)"
+        round remaining

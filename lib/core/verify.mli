@@ -5,10 +5,10 @@
     {ol
     {- {e delivery correctness} (Theorem 4): the union of per-round
        deliveries equals the set's source-to-destination matching;}
-    {- {e compatibility}: each round's communications share no directed
-       link;}
+    {- {e compatibility}: no directed link carries more circuits in one
+       round than its capacity (1 everywhere on the classic binary tree);}
     {- {e round optimality} (Theorem 5): the number of rounds equals the
-       set's width;}
+       set's capacity-weighted width;}
     {- {e replay}: when configuration snapshots were kept, re-installing
        them on a fresh network reproduces each round's deliveries through
        the physical data plane;}

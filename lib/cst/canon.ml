@@ -54,6 +54,13 @@ let equal a b =
   a.hash = b.hash && a.align = b.align && a.offsets = b.offsets
 
 let hash t = t.hash
+
+let hash_with ~shape_fp t =
+  (* Binary shapes (fingerprint 0) keep the plain hash, so every
+     existing plan-store filename and cache key is unchanged. *)
+  if shape_fp = 0 then t.hash
+  else (t.hash lxor shape_fp) * fnv_prime land max_int
+
 let align t = t.align
 let size t = Array.length t.offsets
 let offsets t = Array.copy t.offsets

@@ -37,6 +37,12 @@ val equal : t -> t -> bool
 val hash : t -> int
 (** FNV-1a over alignment and offsets, truncated to native int. *)
 
+val hash_with : shape_fp:int -> t -> int
+(** {!hash} mixed with a topology's {!Shape.fingerprint}: plans for the
+    same set on different shapes must never collide in a store or
+    cache.  Fingerprint 0 (every binary shape) returns {!hash}
+    unchanged, keeping historical filenames and keys stable. *)
+
 val align : t -> int
 (** Side of the minimal aligned block: a power of two [>= 1]. *)
 

@@ -17,9 +17,22 @@ let base_tree buf topo =
     Buffer.add_string buf (Printf.sprintf " pe%d;" pe)
   done;
   Buffer.add_string buf " }\n  // tree links\n";
+  (* One edge per child, whatever the node's fanout.  Binary keeps the
+     historical "L"/"R" tail labels byte-for-byte; wider nodes label
+     children by index, and a capacity-[c] uplink (fat trees) shows as
+     ["j:xc"]. *)
   Seq.iter
     (fun v ->
-      let child name c =
+      let fanout = Topology.fanout_of topo v in
+      for j = 0 to fanout - 1 do
+        let c = Topology.child topo v j in
+        let name =
+          if fanout = 2 then if j = 0 then "L" else "R" else string_of_int j
+        in
+        let name =
+          let cap = Topology.uplink_cap topo c in
+          if cap > 1 then Printf.sprintf "%s:x%d" name cap else name
+        in
         if Topology.is_leaf topo c then
           Buffer.add_string buf
             (Printf.sprintf
@@ -31,9 +44,7 @@ let base_tree buf topo =
             (Printf.sprintf
                "  n%d -> n%d [dir=none, color=gray, taillabel=\"%s\"];\n" v c
                name)
-      in
-      child "L" (Topology.left topo v);
-      child "R" (Topology.right topo v))
+      done)
     (Topology.internal_nodes topo)
 
 let of_topology topo =

@@ -6,7 +6,10 @@
     switches they traverse. *)
 
 val of_topology : Topology.t -> string
-(** The bare tree. *)
+(** The bare tree, whatever its shape: one edge per child at each
+    node's real fanout.  Binary trees keep the classic ["L"]/["R"] tail
+    labels; wider nodes label children by index, and a capacity-[c]
+    uplink renders as ["j:xc"]. *)
 
 val of_net : Net.t -> string
 (** The tree plus every live switch connection (as edge labels on the

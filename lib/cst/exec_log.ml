@@ -584,10 +584,13 @@ let pp fmt t =
    structural [digest] above, which canonicalizes config order) — it is
    an integrity check on the bytes, so encode computes it during the
    same pass that writes the words and decode during the same pass that
-   reads them.  Words are 63-bit non-negative ints, so byte 7 of an
-   honest word never has its top bit set; [get64] silently drops that
-   bit (OCaml ints wrap mod 2^63), which is why the word scan checks
-   the stored top byte explicitly rather than the reassembled value. *)
+   reads them.  Words are non-negative OCaml ints, so byte 7 of an
+   honest word never has either of its top two bits set; [get64]
+   silently drops bit 63 (ints wrap mod 2^63) and a bit-62 flip slides
+   through the digest (an odd prime times 2^62 is 2^62 mod 2^63, and
+   the final [land max_int] clears that bit again), which is why the
+   word scan checks the stored top byte explicitly rather than the
+   reassembled value. *)
 module Codec = struct
   type error =
     | Truncated of { expected : int; got : int }
@@ -607,10 +610,21 @@ module Codec = struct
     | Bad_word { index } ->
         Format.fprintf fmt "invalid event word at index %d" index
 
-  let version = 1
+  let version = 2
   let header_bytes = 40
+  let header_bytes_v2 = 48
   let magic = "CSTELOG1"
-  let encoded_bytes t = header_bytes + (8 * t.len)
+
+  (* Version selection is driven by the shape fingerprint: binary-shape
+     logs (fingerprint 0) keep the historical 40-byte v1 layout — every
+     file ever written for the classic topology stays byte-identical —
+     and only non-binary logs pay the 48-byte v2 header that records
+     their fingerprint at offset 40. *)
+  let header_bytes_for ~shape_fp =
+    if shape_fp = 0 then header_bytes else header_bytes_v2
+
+  let encoded_bytes ?(shape_fp = 0) t =
+    header_bytes_for ~shape_fp + (8 * t.len)
 
   let put32 b pos v =
     for i = 0 to 3 do
@@ -636,16 +650,17 @@ module Codec = struct
     done;
     !v
 
-  let encode_into ?(canon_hash = 0) t b ~pos =
-    let need = encoded_bytes t in
+  let encode_into ?(canon_hash = 0) ?(shape_fp = 0) t b ~pos =
+    let need = encoded_bytes ~shape_fp t in
     if pos < 0 || pos + need > Bytes.length b then
       invalid_arg "Exec_log.Codec.encode_into: buffer too small";
     Bytes.blit_string magic 0 b pos 8;
-    put32 b (pos + 8) version;
+    put32 b (pos + 8) (if shape_fp = 0 then 1 else version);
     put32 b (pos + 12) 0;
     put64 b (pos + 16) canon_hash;
     put64 b (pos + 24) t.len;
-    let base = pos + header_bytes in
+    if shape_fp <> 0 then put64 b (pos + 40) shape_fp;
+    let base = pos + header_bytes_for ~shape_fp in
     let h = ref 0x3bf29ce484222325 in
     for i = 0 to t.len - 1 do
       let w = t.buf.(i) in
@@ -655,11 +670,13 @@ module Codec = struct
     put64 b (pos + 32) !h;
     pos + need
 
-  let encode ?canon_hash t =
-    let b = Bytes.create (encoded_bytes t) in
-    ignore (encode_into ?canon_hash t b ~pos:0);
+  let encode ?canon_hash ?shape_fp t =
+    let b = Bytes.create (encoded_bytes ?shape_fp t) in
+    ignore (encode_into ?canon_hash ?shape_fp t b ~pos:0);
     b
 
+  (* Checks magic + version and returns the header size of the version
+     found (v1: 40, v2: 48). *)
   let check_header b pos =
     if pos < 0 || Bytes.length b - pos < header_bytes then
       Error
@@ -667,32 +684,40 @@ module Codec = struct
            { expected = header_bytes; got = max 0 (Bytes.length b - pos) })
     else if not (String.equal (Bytes.sub_string b pos 8) magic) then
       Error Bad_magic
+    else if get32 b (pos + 12) <> 0 then
+      (* The reserved pad word is always written as zero; anything else
+         is a corrupted preamble (it is the one header slot no digest
+         covers). *)
+      Error Bad_magic
     else
       let v = get32 b (pos + 8) in
-      if v <> version then
+      if v <> 1 && v <> version then
         Error (Unsupported_version { found = v; expected = version })
-      else Ok ()
+      else
+        let hdr = if v = 1 then header_bytes else header_bytes_v2 in
+        if Bytes.length b - pos < hdr then
+          Error (Truncated { expected = hdr; got = Bytes.length b - pos })
+        else Ok hdr
 
   let decode ?(pos = 0) b =
     match check_header b pos with
     | Error e -> Error e
-    | Ok () ->
+    | Ok hdr ->
         let count = get64 b (pos + 24) in
-        let avail = Bytes.length b - pos - header_bytes in
+        let avail = Bytes.length b - pos - hdr in
         if count < 0 || count > avail / 8 then
           Error
             (Truncated
                {
                  expected =
-                   (if count < 0 || count > (max_int - header_bytes) / 8 then
-                      max_int
-                    else header_bytes + (8 * count));
-                 got = header_bytes + avail;
+                   (if count < 0 || count > (max_int - hdr) / 8 then max_int
+                    else hdr + (8 * count));
+                 got = hdr + avail;
                })
         else begin
           let stored = get64 b (pos + 32) in
           let t = create ~capacity:(max 1 count) () in
-          let base = pos + header_bytes in
+          let base = pos + hdr in
           let h = ref 0x3bf29ce484222325 in
           let bad = ref (-1) in
           for i = 0 to count - 1 do
@@ -702,7 +727,7 @@ module Codec = struct
             if
               !bad < 0
               && (w land 7 > 6
-                 || Char.code (Bytes.unsafe_get b (off + 7)) land 0x80 <> 0)
+                 || Char.code (Bytes.unsafe_get b (off + 7)) land 0xc0 <> 0)
             then bad := i;
             t.buf.(i) <- w
           done;
@@ -717,5 +742,10 @@ module Codec = struct
   let canon_hash ?(pos = 0) b =
     match check_header b pos with
     | Error e -> Error e
-    | Ok () -> Ok (get64 b (pos + 16))
+    | Ok _hdr -> Ok (get64 b (pos + 16))
+
+  let shape_fp ?(pos = 0) b =
+    match check_header b pos with
+    | Error e -> Error e
+    | Ok hdr -> Ok (if hdr = header_bytes then 0 else get64 b (pos + 40))
 end

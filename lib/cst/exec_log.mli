@@ -185,19 +185,27 @@ val pp : Format.formatter -> t -> unit
 (** {1 Binary codec}
 
     Versioned little-endian serialization of a log, the unit of the
-    persistent plan store.  The layout is a fixed 40-byte header
-    followed by the raw event arena, one 8-byte word per event:
+    persistent plan store.  The layout is a fixed header followed by
+    the raw event arena, one 8-byte word per event:
 
     {v
     offset  size  field
          0     8  magic "CSTELOG1"
-         8     4  format version (u32 LE)
+         8     4  format version (u32 LE): 1 or 2
         12     4  reserved, zero
         16     8  canon hash     (u64 LE, caller-supplied tag; 0 if unused)
         24     8  event count    (u64 LE)
         32     8  arena digest   (u64 LE, FNV-1a over the packed words)
-        40  8<i>n</i>  the packed words, little-endian
+      [ 40     8  shape fingerprint (u64 LE) — version 2 only ]
+     40/48 8<i>n</i>  the packed words, little-endian
     v}
+
+    Version 1 (40-byte header) is the historical binary-topology format;
+    version 2 appends the topology's {!Shape.fingerprint}.  {!Codec.encode}
+    picks the version from the fingerprint it is given: fingerprint 0 —
+    every binary shape — emits version 1, so classic files remain
+    byte-identical; non-binary logs emit version 2.  {!Codec.decode}
+    accepts both, and version-1 input reads back with fingerprint 0.
 
     Encode and decode are O(events) straight word blits with no
     per-event allocation.  Decode trusts nothing: it verifies the
@@ -210,6 +218,7 @@ module Codec : sig
     | Truncated of { expected : int; got : int }
         (** fewer bytes than the header (or its declared count) demands *)
     | Bad_magic
+        (** wrong magic string, or a corrupted reserved preamble slot *)
     | Unsupported_version of { found : int; expected : int }
     | Digest_mismatch
         (** the arena does not hash to the header's stored digest — a
@@ -221,20 +230,27 @@ module Codec : sig
   val pp_error : Format.formatter -> error -> unit
 
   val version : int
-  (** Current format version, written by {!encode}. *)
+  (** Newest format version (2); {!encode} still emits version 1 for
+      fingerprint-0 logs. *)
 
   val header_bytes : int
-  (** Fixed header size: 40. *)
+  (** Version-1 header size: 40. *)
 
-  val encoded_bytes : t -> int
-  (** [header_bytes + 8 * length t]. *)
+  val header_bytes_v2 : int
+  (** Version-2 header size: 48. *)
 
-  val encode : ?canon_hash:int -> t -> bytes
+  val encoded_bytes : ?shape_fp:int -> t -> int
+  (** Header size for the version [shape_fp] (default 0) selects, plus
+      [8 * length t]. *)
+
+  val encode : ?canon_hash:int -> ?shape_fp:int -> t -> bytes
   (** Fresh buffer holding header + arena.  [canon_hash] (default 0)
       is stored verbatim in the header — the plan codec uses it to bind
-      a log to its structural signature. *)
+      a log to its structural signature.  [shape_fp] (default 0) is the
+      topology's {!Shape.fingerprint}; a non-zero value selects the
+      version-2 header. *)
 
-  val encode_into : ?canon_hash:int -> t -> bytes -> pos:int -> int
+  val encode_into : ?canon_hash:int -> ?shape_fp:int -> t -> bytes -> pos:int -> int
   (** Writes the encoding at [pos] and returns the position one past
       it.  Raises [Invalid_argument] if the buffer is too small. *)
 
@@ -246,4 +262,8 @@ module Codec : sig
   val canon_hash : ?pos:int -> bytes -> (int, error) result
   (** Reads the header's canon-hash field without decoding the arena
       (magic, version and header length still checked). *)
+
+  val shape_fp : ?pos:int -> bytes -> (int, error) result
+  (** Reads the header's shape fingerprint without decoding the arena;
+      0 for version-1 input. *)
 end

@@ -1,0 +1,89 @@
+(** Level-table description of a tree topology.
+
+    A shape fixes, for every depth [d] (0 = root, [levels] = leaves),
+    the number of nodes at that depth and the capacity of each node's
+    uplink.  {!Topology} derives all parent/child/interval arithmetic
+    from the table; the classic complete binary tree is the shape with
+    all fanouts 2 and all capacities 1 and keeps its heap numbering
+    bit-for-bit. *)
+
+type t
+
+(** Why a level table was rejected. *)
+type error =
+  | Too_few_leaves of int
+  | Root_not_single of int
+  | Increasing_level_size of { depth : int; size : int; child_size : int }
+      (** Level sizes must strictly decrease leaf-to-root. *)
+  | Fractional_fanout of { depth : int; size : int; child_size : int }
+      (** Each level size must divide its child level size. *)
+  | Bad_capacity of { depth : int; cap : int }
+  | Capacity_arity of { expected : int; got : int }
+      (** One capacity per uplink tier. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val binary : leaves:int -> t
+(** The complete binary tree on [leaves] leaves (power of two [>= 2];
+    raises [Invalid_argument] otherwise, matching
+    {!Topology.create}). *)
+
+val kary : k:int -> leaves:int -> t
+(** Complete [k]-ary tree, unit capacities.  [leaves] must be a power
+    of [k]; raises [Invalid_argument] otherwise.  [kary ~k:2] is
+    {!binary}. *)
+
+val create :
+  level_sizes:int array -> capacities:int array -> (t, error) result
+(** General constructor.  [level_sizes] lists node counts leaf-to-root
+    {e excluding} the implied single root (e.g. [[|256; 16|]] is a
+    two-layer fat tree: 256 leaves under 16 switches under one root);
+    [capacities.(i)] is the uplink capacity of every node in tier
+    [i]. *)
+
+val fat_tree :
+  level_sizes:int array -> capacities:int array -> (t, error) result
+(** Alias of {!create}, the conventional name for capacity-weighted
+    two-layer tables. *)
+
+val levels : t -> int
+val leaves : t -> int
+val num_nodes : t -> int
+
+val size_at : t -> depth:int -> int
+(** Nodes at [depth] (0 = root). *)
+
+val fanout_at : t -> depth:int -> int
+(** Children per node at [depth], for [depth < levels]. *)
+
+val cap_at : t -> depth:int -> int
+(** Capacity of the uplink of a depth-[depth] node, [depth >= 1]. *)
+
+val sizes : t -> int array
+(** Copy of the per-depth node counts, root first. *)
+
+val caps : t -> int array
+(** Copy of the per-depth uplink capacities, root first
+    ([caps.(0) = 0]: the root has no uplink). *)
+
+val is_binary : t -> bool
+(** Structurally the complete binary tree with unit capacities — such
+    shapes take every legacy binary fast path, whatever constructor
+    built them. *)
+
+val fingerprint : t -> int
+(** Stable non-negative hash of the level table.  Pinned to [0] for
+    binary shapes so canon hashes, digests and codec headers are
+    unchanged on the classic topology. *)
+
+val equal : t -> t -> bool
+
+val of_string : string -> (t, string) result
+(** Parse ["bin:N"], ["kary:K:N"] or ["fat:L0,L1[,...][:c0,c1,...]"]
+    (level sizes leaf-to-root, root implied; capacities default 1). *)
+
+val to_string : t -> string
+(** Inverse of {!of_string} up to normalization ([kary ~k:2] prints as
+    [bin:N]). *)
+
+val pp : Format.formatter -> t -> unit

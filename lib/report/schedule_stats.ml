@@ -1,7 +1,11 @@
 type link_use = { node : int; dir : Cst.Compat.dir; rounds_used : int }
 
-let link_utilization (sched : Padr.Schedule.t) =
-  let topo = Cst.Topology.create ~leaves:sched.leaves in
+let link_utilization ?topo (sched : Padr.Schedule.t) =
+  let topo =
+    match topo with
+    | Some t -> t
+    | None -> Cst.Topology.create ~leaves:sched.leaves
+  in
   let tbl = Hashtbl.create 64 in
   Array.iter
     (fun (r : Padr.Schedule.round) ->
@@ -23,8 +27,8 @@ let link_utilization (sched : Padr.Schedule.t) =
          | 0 -> compare (a.node, a.dir) (b.node, b.dir)
          | c -> c)
 
-let max_link_use sched =
-  match link_utilization sched with [] -> 0 | u :: _ -> u.rounds_used
+let max_link_use ?topo sched =
+  match link_utilization ?topo sched with [] -> 0 | u :: _ -> u.rounds_used
 
 type occupancy = {
   rounds : int;

@@ -6,14 +6,18 @@
 
 type link_use = { node : int; dir : Cst.Compat.dir; rounds_used : int }
 
-val link_utilization : Padr.Schedule.t -> link_use list
+val link_utilization : ?topo:Cst.Topology.t -> Padr.Schedule.t -> link_use list
 (** Every directed link used at least once, by descending use.  A link's
     use count never exceeds the round count; links at width-saturated
-    positions reach it exactly. *)
+    positions reach it exactly.  Paths are walked through [topo]'s
+    parent arithmetic — any fanout, any shape; omitted, the schedule's
+    tree is assumed to be the classic binary one on [sched.leaves]. *)
 
-val max_link_use : Padr.Schedule.t -> int
+val max_link_use : ?topo:Cst.Topology.t -> Padr.Schedule.t -> int
 (** Highest entry of {!link_utilization}; equals the set's width for CSA
-    schedules (each round drains every saturated link once). *)
+    schedules on unit-capacity links (each round drains every saturated
+    link once), and up to [cap] times the round count on a capacity-[cap]
+    fat-tree link. *)
 
 type occupancy = {
   rounds : int;

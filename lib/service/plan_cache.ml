@@ -1,7 +1,8 @@
 type key = {
   algo : string;
   engine : bool;
-  leaves : int;
+  shape : Cst.Shape.t;
+  base : int;
   canon : Cst.Canon.t;
 }
 
@@ -9,11 +10,18 @@ module Key = struct
   type t = key
 
   let equal a b =
-    a.engine = b.engine && a.leaves = b.leaves
+    a.engine = b.engine && a.base = b.base
     && String.equal a.algo b.algo
+    && Cst.Shape.equal a.shape b.shape
     && Cst.Canon.equal a.canon b.canon
 
-  let hash k = Hashtbl.hash (k.algo, k.engine, k.leaves, Cst.Canon.hash k.canon)
+  let hash k =
+    Hashtbl.hash
+      ( k.algo,
+        k.engine,
+        k.base,
+        Cst.Canon.hash_with ~shape_fp:(Cst.Shape.fingerprint k.shape) k.canon
+      )
 end
 
 module H = Hashtbl.Make (Key)
@@ -112,7 +120,7 @@ let find t ~worker key =
           | Some st -> (
               match
                 Plan_store.find st ~algo:key.algo ~engine:key.engine
-                  ~leaves:key.leaves ~canon:key.canon
+                  ~shape:key.shape ~base:key.base ~canon:key.canon
               with
               | None -> None
               | Some plan ->

@@ -31,7 +31,11 @@
 type key = {
   algo : string;  (** registry name *)
   engine : bool;  (** message-passing engine vs functional scheduler *)
-  leaves : int;  (** tree size jobs of this key run on *)
+  shape : Cst.Shape.t;  (** topology shape jobs of this key run on *)
+  base : int;
+      (** placement pin: [0] for binary shapes (whose plans replay at
+          any compatible placement); the set's aligned-block base for
+          non-binary shapes, whose plans replay only where compiled *)
   canon : Cst.Canon.t;  (** full structural signature (collision-proof) *)
 }
 

@@ -34,6 +34,10 @@ let sanitize s =
       | _ -> '_')
     s
 
+(* [hash] is [Canon.hash_with ~shape_fp]: 0-fingerprint (binary) shapes
+   produce the exact historical filenames, non-binary shapes get their
+   fingerprint mixed in so the same set on different topologies never
+   shares a file. *)
 let filename ~algo ~engine ~leaves ~hash =
   Printf.sprintf "h%016x-%s-%c-l%d.plan" hash (sanitize algo)
     (if engine then 'e' else 's')
@@ -114,8 +118,12 @@ let quarantine_locked t f e =
   try Sys.rename path (path ^ ".corrupt")
   with Sys_error _ -> ( try Sys.remove path with Sys_error _ -> ())
 
-let find t ~algo ~engine ~leaves ~canon =
-  let f = filename ~algo ~engine ~leaves ~hash:(Cst.Canon.hash canon) in
+let find t ~algo ~engine ~shape ~base ~canon =
+  let leaves = Cst.Shape.leaves shape in
+  let shape_fp = Cst.Shape.fingerprint shape in
+  let f =
+    filename ~algo ~engine ~leaves ~hash:(Cst.Canon.hash_with ~shape_fp canon)
+  in
   locked t (fun () ->
       match Hashtbl.find_opt t.table f with
       | None ->
@@ -137,7 +145,8 @@ let find t ~algo ~engine ~leaves ~canon =
           | Ok plan ->
               if
                 Cst.Canon.equal plan.canon canon
-                && plan.leaves = leaves
+                && Cst.Shape.equal plan.shape shape
+                && (shape_fp = 0 || plan.base = base)
                 && (plan.producer = Padr.Plan.Engine) = engine
               then begin
                 e.stamp <- t.clock;
@@ -159,7 +168,10 @@ let store t ~algo ~engine (plan : Padr.Plan.t) =
   if size <= t.max_bytes then
     let f =
       filename ~algo ~engine ~leaves:plan.leaves
-        ~hash:(Cst.Canon.hash plan.canon)
+        ~hash:
+          (Cst.Canon.hash_with
+             ~shape_fp:(Cst.Shape.fingerprint plan.shape)
+             plan.canon)
     in
     locked t (fun () ->
         let path = Filename.concat t.dir f in

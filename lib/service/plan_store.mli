@@ -16,9 +16,12 @@
     miss, never an exception — a corrupt store degrades to recompiles,
     it cannot crash the service.
 
-    {b Keys and collisions.} Filenames carry only the canon {e hash};
-    full structural equality is re-checked against the decoded plan, so
-    a hash collision is a plain miss, not a wrong plan.
+    {b Keys and collisions.} Filenames carry only the canon hash —
+    mixed with the topology's {!Cst.Shape.fingerprint} via
+    {!Cst.Canon.hash_with}, which leaves binary-shape filenames exactly
+    as they always were; full structural equality (canon {e and} shape)
+    is re-checked against the decoded plan, so a hash collision is a
+    plain miss, not a wrong plan.
 
     {b Budget.} Like the in-memory tier the store is byte-bounded LRU
     (default 256 MiB of encoded plans).  Recency is kept in memory and
@@ -44,13 +47,16 @@ val find :
   t ->
   algo:string ->
   engine:bool ->
-  leaves:int ->
+  shape:Cst.Shape.t ->
+  base:int ->
   canon:Cst.Canon.t ->
   Padr.Plan.t option
 (** Faults the plan for a cache key in from disk: decode, verify (codec
-    digests, full {!Cst.Canon.equal}, producer/leaves consistency),
-    bump recency.  [None] on absence, hash collision, or quarantined
-    corruption. *)
+    digests, full {!Cst.Canon.equal} and {!Cst.Shape.equal},
+    producer consistency, and — non-binary shapes only, since their
+    plans replay solely at their compiled placement — [base]
+    equality), bump recency.  [None] on absence, hash collision, or
+    quarantined corruption. *)
 
 val store : t -> algo:string -> engine:bool -> Padr.Plan.t -> unit
 (** Atomically writes the plan under its key (leaves and canon come

@@ -6,10 +6,13 @@ type job = {
   algo : string;
   engine : engine;
   leaves : int option;
+  shape : Cst.Shape.t option;
 }
 
-let job ?(engine = Spec) ?leaves ~id ~algo set =
-  { id; set; algo; engine; leaves }
+let job ?(engine = Spec) ?leaves ?shape ~id ~algo set =
+  if Option.is_some leaves && Option.is_some shape then
+    invalid_arg "Service.job: ?leaves and ?shape are exclusive";
+  { id; set; algo; engine; leaves; shape }
 
 type error =
   | Unknown_algo of string
@@ -70,9 +73,12 @@ type outcome = { job_id : int; result : (job_result, error) result }
    equal. *)
 
 let leaves_for job =
-  match job.leaves with
-  | Some l -> l
-  | None -> Cst_util.Bits.ceil_pow2 (max 2 (Cst_comm.Comm_set.n job.set))
+  match job.shape with
+  | Some s -> Cst.Shape.leaves s
+  | None -> (
+      match job.leaves with
+      | Some l -> l
+      | None -> Cst_util.Bits.ceil_pow2 (max 2 (Cst_comm.Comm_set.n job.set)))
 
 let job_leaves = leaves_for
 
@@ -141,14 +147,25 @@ let dispatch ?cache (job : job) =
       let n = Cst_comm.Comm_set.n job.set in
       if n > leaves then Error (Too_large { n; leaves })
       else
-        let topo = Cst.Topology.create ~leaves in
+        let topo =
+          match job.shape with
+          | Some s -> Cst.Topology.of_shape s
+          | None -> Cst.Topology.create ~leaves
+        in
+        let binary = Cst.Topology.is_binary topo in
+        if (not binary) && not a.caps.shape_generic then
+          Error (Unsupported { algo = a.name; what = "non-binary topologies" })
+        else
+        let shape = Cst.Topology.shape topo in
         let with_cache ~engine ~producer ~hit ~fresh =
           match cache with
           | None -> fresh ~cache_status:Bypass ~freeze:None
           | Some (pc, worker) -> (
               let placed = Cst.Canon.place job.set in
               let key : Plan_cache.key =
-                { algo = a.name; engine; leaves; canon = placed.canon }
+                { algo = a.name; engine; shape;
+                  base = (if binary then 0 else placed.base);
+                  canon = placed.canon }
               in
               match Plan_cache.find pc ~worker key with
               | Some plan -> hit (Padr.Plan.replay plan topo job.set)
@@ -181,6 +198,13 @@ let dispatch ?cache (job : job) =
                    ~digest:(Cst.Exec_log.digest r.log) r.schedule))
         in
         let waves () =
+          if not binary then
+            (* The wave cover schedules layer-by-layer through the
+               binary spec scheduler; no non-binary counterpart yet. *)
+            Error
+              (Unsupported
+                 { algo = a.name; what = "wave covers on a non-binary topology" })
+          else
           let log = Cst.Exec_log.create () in
           match Padr.Waves.schedule ~leaves ~log job.set with
           | Ok w ->
@@ -250,7 +274,8 @@ let dispatch ?cache (job : job) =
                     | Some (pc, worker) -> (
                         let placed = Cst.Canon.place b.set in
                         let key : Plan_cache.key =
-                          { algo = a.name; engine = true; leaves;
+                          { algo = a.name; engine = true; shape;
+                            base = (if binary then 0 else placed.base);
                             canon = placed.canon }
                         in
                         match Plan_cache.find pc ~worker key with
@@ -276,14 +301,20 @@ let dispatch ?cache (job : job) =
                                   | Cst.Exec_log.Run_end { rounds } -> rounds
                                   | _ -> assert false
                                 in
+                                let control_messages =
+                                  if binary then 2 * (leaves - 1) * (rounds + 1)
+                                  else
+                                    (* [Cap_engine]'s closed form *)
+                                    2
+                                    * (Cst.Topology.num_nodes topo - 1)
+                                    * (rounds + 1)
+                                in
                                 Plan_cache.add pc ~worker key
                                   (Padr.Plan.of_log ~producer:Padr.Plan.Engine
                                      ~topo ~set:b.set ~rounds
                                      ~cycles:
                                        (1 + levels + (rounds * (levels + 2)))
-                                     ~control_messages:
-                                       (2 * (leaves - 1) * (rounds + 1))
-                                     blog);
+                                     ~control_messages blog);
                                 Ok blog))
                   in
                   let rec collect acc = function

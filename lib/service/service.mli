@@ -78,15 +78,24 @@ type job = {
   engine : engine;
   leaves : int option;
       (** CST size override; default: smallest adequate power of two *)
+  shape : Cst.Shape.t option;
+      (** topology override: the job runs on
+          [Cst.Topology.of_shape shape].  Non-binary shapes dispatch
+          only through {!Cst_baselines.Registry.capability.shape_generic}
+          algorithms (the CSA) — every other algorithm answers
+          [Unsupported] — and crossing or mixed sets are not wave-covered
+          on them. *)
 }
 
-val job : ?engine:engine -> ?leaves:int -> id:int -> algo:string ->
-  Cst_comm.Comm_set.t -> job
-(** Convenience constructor; [engine] defaults to [Spec]. *)
+val job : ?engine:engine -> ?leaves:int -> ?shape:Cst.Shape.t -> id:int ->
+  algo:string -> Cst_comm.Comm_set.t -> job
+(** Convenience constructor; [engine] defaults to [Spec].  [leaves] and
+    [shape] are exclusive ([Invalid_argument] when both are given). *)
 
 val job_leaves : job -> int
-(** The CST size the job will run on: [leaves] when given, otherwise the
-    smallest adequate power of two (min 2). *)
+(** The CST size the job will run on: the shape's leaf count when
+    [shape] is given, else [leaves] when given, otherwise the smallest
+    adequate power of two (min 2). *)
 
 type error =
   | Unknown_algo of string

@@ -15,12 +15,16 @@ type info = {
 
 type pending = { p_job : Service.job; p_subidx : int }
 
-(* The open epoch.  Congestion arrays are heap-indexed over a
-   [2 * e_leaves]-node tree, so all members must target the same tree
-   size; the merged width is the running maximum of the elementwise
-   sums — exactly the width of the union set. *)
+(* The open epoch.  Congestion arrays are node-indexed over the epoch's
+   tree (heap-indexed [2 * e_leaves] words on the classic binary shape,
+   [num_nodes + 1] on a non-binary one), so all members must target the
+   same tree; the merged width is the running maximum of the
+   capacity-ceiled elementwise sums — exactly the width of the union
+   set on that topology. *)
 type epoch_state = {
   e_leaves : int;
+  e_shape : Cst.Shape.t option;  (* non-binary topology override *)
+  e_caps : int array option;  (* per-node uplink capacities, same case *)
   e_up : int array;
   e_down : int array;
   mutable e_width : int;
@@ -133,30 +137,59 @@ let create ?domains ?queue_capacity ?cache ?cache_bytes ?store
 
 (* --- epoch width / structure math ---------------------------------- *)
 
+(* A job's non-binary topology override, normalized: binary shapes are
+   indistinguishable from a plain [leaves] override everywhere in the
+   stack, so they take the classic path. *)
+let nonbinary_shape (job : Service.job) =
+  match job.Service.shape with
+  | Some s when not (Cst.Shape.is_binary s) -> Some s
+  | _ -> None
+
 (* A job participates in the congestion arrays only when it would run at
    all: a set too large for its tree (or a non-power-of-two override)
-   errors out in the pool, so it contributes no width. *)
-let crossings_of job =
-  let leaves = Service.job_leaves job in
+   errors out in the pool, so it contributes no width.  [topo] is the
+   job's non-binary topology when it has one. *)
+let crossings_of ?topo job =
   let set = job.Service.set in
-  if
-    Cst_util.Bits.is_power_of_two leaves
-    && Cst_comm.Comm_set.n set <= leaves
-  then Some (Cst_comm.Width.crossings ~leaves set)
-  else None
+  match topo with
+  | Some topo ->
+      if Cst_comm.Comm_set.n set <= Cst.Topology.leaves topo then
+        Some
+          (Cst_comm.Width.crossings_on
+             ~parent:(Cst.Topology.parent_table topo)
+             ~first_leaf:(Cst.Topology.first_leaf topo)
+             set)
+      else None
+  | None ->
+      let leaves = Service.job_leaves job in
+      if
+        Cst_util.Bits.is_power_of_two leaves
+        && Cst_comm.Comm_set.n set <= leaves
+      then Some (Cst_comm.Width.crossings ~leaves set)
+      else None
+
+(* Per-link uplink capacity: 1 everywhere on the classic shape; slots
+   holding 0 in a capacity table (the root and the pseudo-nodes) carry
+   no schedulable link and are skipped. *)
+let cap_of (e : epoch_state) v =
+  match e.e_caps with None -> 1 | Some caps -> caps.(v)
 
 let width_if (e : epoch_state) (cr : Cst_comm.Width.crossings option) =
   match cr with
   | None -> e.e_width
   | Some cr ->
       let m = ref e.e_width in
-      Array.iteri
-        (fun v c -> if c > 0 && e.e_up.(v) + c > !m then m := e.e_up.(v) + c)
-        cr.up;
-      Array.iteri
-        (fun v c ->
-          if c > 0 && e.e_down.(v) + c > !m then m := e.e_down.(v) + c)
-        cr.down;
+      let bump merged v c =
+        if c > 0 then begin
+          let k = cap_of e v in
+          if k > 0 then begin
+            let w = (merged + c + k - 1) / k in
+            if w > !m then m := w
+          end
+        end
+      in
+      Array.iteri (fun v c -> bump e.e_up.(v) v c) cr.up;
+      Array.iteri (fun v c -> bump e.e_down.(v) v c) cr.down;
       !m
 
 (* Aligned top-level block intervals of a right-oriented well-nested
@@ -236,15 +269,20 @@ let submit t (job : Service.job) =
   end;
   let now = t.clock () in
   let leaves = Service.job_leaves job in
-  let cr = crossings_of job in
+  let shape = nonbinary_shape job in
+  let topo_nb = Option.map Cst.Topology.of_shape shape in
+  let cr = crossings_of ?topo:topo_nb job in
   let to_dispatch = ref [] in
   let commit () = to_dispatch := commit_locked t now :: !to_dispatch in
   (* Epoch boundaries the structure forces, before the policy speaks:
-     a different tree size cannot share congestion arrays, and a
-     width-capped policy flushes rather than let the merge exceed the
-     cap. *)
+     a different tree size or topology shape cannot share congestion
+     arrays, and a width-capped policy flushes rather than let the
+     merge exceed the cap. *)
   (match t.epoch with
-  | Some e when e.e_leaves <> leaves -> commit ()
+  | Some e
+    when e.e_leaves <> leaves
+         || not (Option.equal Cst.Shape.equal e.e_shape shape) ->
+      commit ()
   | _ -> ());
   (match (t.policy, t.epoch) with
   | Admission.Delta_threshold { max_width = Some w; _ }, Some e
@@ -255,11 +293,18 @@ let submit t (job : Service.job) =
     match t.epoch with
     | Some e -> e
     | None ->
+        let nodes =
+          match shape with
+          | Some s -> Cst.Shape.num_nodes s + 1
+          | None -> 2 * leaves
+        in
         let e =
           {
             e_leaves = leaves;
-            e_up = Array.make (2 * leaves) 0;
-            e_down = Array.make (2 * leaves) 0;
+            e_shape = shape;
+            e_caps = Option.map Cst.Topology.cap_table topo_nb;
+            e_up = Array.make nodes 0;
+            e_down = Array.make nodes 0;
             e_width = 0;
             e_members = [];
             e_jobs = 0;
@@ -293,8 +338,17 @@ let submit t (job : Service.job) =
       Array.iteri (fun v c -> e.e_up.(v) <- e.e_up.(v) + c) cr.up;
       Array.iteri (fun v c -> e.e_down.(v) <- e.e_down.(v) + c) cr.down;
       let m = ref e.e_width in
-      Array.iter (fun c -> if c > !m then m := c) e.e_up;
-      Array.iter (fun c -> if c > !m then m := c) e.e_down;
+      let bump v total =
+        if total > 0 then begin
+          let k = cap_of e v in
+          if k > 0 then begin
+            let w = (total + k - 1) / k in
+            if w > !m then m := w
+          end
+        end
+      in
+      Array.iteri bump e.e_up;
+      Array.iteri bump e.e_down;
       e.e_width <- !m
   | None -> ());
   (match intervals_of job.set with

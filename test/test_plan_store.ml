@@ -34,7 +34,7 @@ let store_roundtrip () =
   Store.store st ~algo:"csa" ~engine:true plan;
   check_int "one entry" 1 (Store.stats st).entries;
   (match
-     Store.find st ~algo:"csa" ~engine:true ~leaves:plan.leaves
+     Store.find st ~algo:"csa" ~engine:true ~shape:plan.shape ~base:plan.base
        ~canon:plan.canon
    with
   | None -> Alcotest.fail "stored plan must be found"
@@ -44,11 +44,11 @@ let store_roundtrip () =
         (Cst.Exec_log.digest p.log = Cst.Exec_log.digest plan.log));
   (* same canon under another key is a miss, not a false share *)
   check_true "engine:false misses"
-    (Store.find st ~algo:"csa" ~engine:false ~leaves:plan.leaves
+    (Store.find st ~algo:"csa" ~engine:false ~shape:plan.shape ~base:plan.base
        ~canon:plan.canon
     = None);
   check_true "other algo misses"
-    (Store.find st ~algo:"upper" ~engine:true ~leaves:plan.leaves
+    (Store.find st ~algo:"upper" ~engine:true ~shape:plan.shape ~base:plan.base
        ~canon:plan.canon
     = None);
   let s = Store.stats st in
@@ -57,7 +57,7 @@ let store_roundtrip () =
   (* a fresh handle on the same directory sees the persisted entry *)
   let st2 = Store.open_dir dir in
   check_true "warm reopen hits"
-    (Store.find st2 ~algo:"csa" ~engine:true ~leaves:plan.leaves
+    (Store.find st2 ~algo:"csa" ~engine:true ~shape:plan.shape ~base:plan.base
        ~canon:plan.canon
     <> None)
 
@@ -97,7 +97,7 @@ let corrupt_and_probe ~name corrupt check_err =
   let st2 = Store.open_dir dir in
   check_true
     (name ^ ": store misses")
-    (Store.find st2 ~algo:"csa" ~engine:true ~leaves:plan.leaves
+    (Store.find st2 ~algo:"csa" ~engine:true ~shape:plan.shape ~base:plan.base
        ~canon:plan.canon
     = None);
   let s = Store.stats st2 in
@@ -179,7 +179,7 @@ let eviction () =
   (* the newest plan survived *)
   let last = List.nth plans 2 in
   check_true "most recent resident"
-    (Store.find st ~algo:"csa" ~engine:true ~leaves:last.leaves
+    (Store.find st ~algo:"csa" ~engine:true ~shape:last.shape ~base:last.base
        ~canon:last.canon
     <> None)
 
@@ -189,8 +189,8 @@ let cache_flush_warm () =
   let cache = Cache.create ~store:st ~domains:1 () in
   let plan = compile ~n:8 [ (0, 3); (1, 2) ] in
   let key =
-    { Cache.algo = "csa"; engine = true; leaves = plan.leaves;
-      canon = plan.canon }
+    { Cache.algo = "csa"; engine = true; shape = plan.shape;
+      base = plan.base; canon = plan.canon }
   in
   Cache.add cache ~worker:0 key plan;
   check_int "nothing on disk before flush" 0 (Store.stats st).stores;

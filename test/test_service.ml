@@ -400,7 +400,8 @@ let key_of ~id s : Plan_cache.key =
   {
     algo = Printf.sprintf "a%d" id;
     engine = false;
-    leaves = 8;
+    shape = Cst.Shape.binary ~leaves:8;
+    base = 0;
     canon = (Cst.Canon.place s).canon;
   }
 

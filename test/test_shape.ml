@@ -1,0 +1,262 @@
+open Helpers
+
+(* Level-table validation, the CLI grammar, and — via qcheck — the
+   table-driven topology arithmetic checked against brute-force walks
+   of the parent relation on random k-ary and fat-tree shapes. *)
+
+let shape_err =
+  Alcotest.testable Cst.Shape.pp_error (fun a b -> a = b)
+
+let check_rejects name ~level_sizes ~capacities expected =
+  case name (fun () ->
+      match Cst.Shape.create ~level_sizes ~capacities with
+      | Ok s ->
+          Alcotest.failf "expected rejection, got %s" (Cst.Shape.to_string s)
+      | Error e -> Alcotest.check shape_err name expected e)
+
+let rejections =
+  [
+    check_rejects "empty table" ~level_sizes:[||] ~capacities:[||]
+      (Cst.Shape.Too_few_leaves 0);
+    check_rejects "one leaf" ~level_sizes:[| 1 |] ~capacities:[| 1 |]
+      (Cst.Shape.Too_few_leaves 1);
+    check_rejects "growing level" ~level_sizes:[| 4; 8 |]
+      ~capacities:[| 1; 1 |]
+      (Cst.Shape.Increasing_level_size { depth = 1; size = 8; child_size = 4 });
+    check_rejects "equal levels" ~level_sizes:[| 4; 4 |]
+      ~capacities:[| 1; 1 |]
+      (Cst.Shape.Increasing_level_size { depth = 1; size = 4; child_size = 4 });
+    check_rejects "fractional fanout" ~level_sizes:[| 9; 2 |]
+      ~capacities:[| 1; 1 |]
+      (Cst.Shape.Fractional_fanout { depth = 1; size = 2; child_size = 9 });
+    check_rejects "zero capacity" ~level_sizes:[| 4; 2 |]
+      ~capacities:[| 0; 1 |]
+      (Cst.Shape.Bad_capacity { depth = 2; cap = 0 });
+    check_rejects "negative capacity" ~level_sizes:[| 4; 2 |]
+      ~capacities:[| 2; -1 |]
+      (Cst.Shape.Bad_capacity { depth = 1; cap = -1 });
+    check_rejects "capacity arity" ~level_sizes:[| 4; 2 |]
+      ~capacities:[| 1 |]
+      (Cst.Shape.Capacity_arity { expected = 2; got = 1 });
+    case "pp_error covers every constructor" (fun () ->
+        (* Cst.Shape.Root_not_single is unreachable through the public
+           constructors (the root level is implied); the printer is
+           still total. *)
+        List.iter
+          (fun (e : Cst.Shape.error) ->
+            check_true "non-empty message"
+              (Format.asprintf "%a" Cst.Shape.pp_error e <> ""))
+          [
+            Cst.Shape.Too_few_leaves 0;
+            Cst.Shape.Root_not_single 3;
+            Cst.Shape.Increasing_level_size { depth = 0; size = 4; child_size = 2 };
+            Cst.Shape.Fractional_fanout { depth = 0; size = 2; child_size = 9 };
+            Cst.Shape.Bad_capacity { depth = 1; cap = 0 };
+            Cst.Shape.Capacity_arity { expected = 2; got = 1 };
+          ]);
+    case "binary rejects non-powers" (fun () ->
+        check_raises_invalid "3 leaves" (fun () ->
+            Cst.Shape.binary ~leaves:3);
+        check_raises_invalid "1 leaf" (fun () -> Cst.Shape.binary ~leaves:1));
+    case "kary rejects bad arity" (fun () ->
+        check_raises_invalid "k=1" (fun () ->
+            Cst.Shape.kary ~k:1 ~leaves:4);
+        check_raises_invalid "leaves < k" (fun () ->
+            Cst.Shape.kary ~k:4 ~leaves:2);
+        check_raises_invalid "not a power of k" (fun () ->
+            Cst.Shape.kary ~k:3 ~leaves:10));
+  ]
+
+let fat level_sizes capacities =
+  Result.get_ok (Cst.Shape.fat_tree ~level_sizes ~capacities)
+
+let grammar =
+  [
+    case "round-trips" (fun () ->
+        List.iter
+          (fun s ->
+            match Cst.Shape.of_string s with
+            | Error e -> Alcotest.failf "%s: %s" s e
+            | Ok sh ->
+                Alcotest.(check string) s s (Cst.Shape.to_string sh))
+          [ "bin:64"; "kary:3:27"; "kary:4:256"; "fat:256,16:2,4" ]);
+    case "normalization" (fun () ->
+        (* kary of arity 2 is the binary tree; a unit-capacity fat table
+           with uniform fanout is a kary — to_string canonicalizes. *)
+        Alcotest.(check string)
+          "kary 2" "bin:16"
+          (Cst.Shape.to_string (Cst.Shape.kary ~k:2 ~leaves:16));
+        Alcotest.(check string)
+          "fat as kary" "kary:8:64"
+          (Cst.Shape.to_string (fat [| 64; 8 |] [| 1; 1 |]));
+        Alcotest.(check string)
+          "halving ladder is binary" "bin:16"
+          (Cst.Shape.to_string (fat [| 16; 8; 4; 2 |] [| 1; 1; 1; 1 |])));
+    case "parse errors" (fun () ->
+        List.iter
+          (fun s ->
+            match Cst.Shape.of_string s with
+            | Error _ -> ()
+            | Ok sh ->
+                Alcotest.failf "%S parsed as %s" s (Cst.Shape.to_string sh))
+          [ ""; "bogus"; "bin:x"; "bin:3"; "kary:3:10"; "fat:4,8"; "fat:8,2:0,1" ]);
+    case "fingerprint pinned to 0 on binary" (fun () ->
+        check_int "binary" 0
+          (Cst.Shape.fingerprint (Cst.Shape.binary ~leaves:64));
+        check_int "kary 2" 0
+          (Cst.Shape.fingerprint (Cst.Shape.kary ~k:2 ~leaves:64));
+        check_int "unit ladder" 0
+          (Cst.Shape.fingerprint (fat [| 8; 4; 2 |] [| 1; 1; 1 |]));
+        check_true "kary 4 nonzero"
+          (Cst.Shape.fingerprint (Cst.Shape.kary ~k:4 ~leaves:64) <> 0);
+        check_true "capacities distinguish"
+          (Cst.Shape.fingerprint (fat [| 64; 8 |] [| 2; 2 |])
+          <> Cst.Shape.fingerprint (fat [| 64; 8 |] [| 1; 1 |])));
+    case "equal" (fun () ->
+        check_true "same table"
+          (Cst.Shape.equal
+             (Cst.Shape.kary ~k:4 ~leaves:64)
+             (fat [| 64; 16; 4 |] [| 1; 1; 1 |]));
+        check_true "different caps differ"
+          (not
+             (Cst.Shape.equal
+                (fat [| 64; 8 |] [| 2; 2 |])
+                (fat [| 64; 8 |] [| 1; 1 |]))));
+    case "accessors" (fun () ->
+        let s = fat [| 64; 8 |] [| 2; 3 |] in
+        check_int "levels" 2 (Cst.Shape.levels s);
+        check_int "leaves" 64 (Cst.Shape.leaves s);
+        check_int "nodes" (1 + 8 + 64) (Cst.Shape.num_nodes s);
+        check_int "root fanout" 8 (Cst.Shape.fanout_at s ~depth:0);
+        check_int "switch fanout" 8 (Cst.Shape.fanout_at s ~depth:1);
+        check_int "leaf uplink cap" 2 (Cst.Shape.cap_at s ~depth:2);
+        check_int "switch uplink cap" 3 (Cst.Shape.cap_at s ~depth:1));
+  ]
+
+(* Random small shapes for the walker properties.  Kept small so the
+   O(nodes^2) brute-force comparisons stay cheap. *)
+let gen_shape =
+  QCheck.Gen.(
+    let pow k d =
+      let r = ref 1 in
+      for _ = 1 to d do
+        r := !r * k
+      done;
+      !r
+    in
+    oneof
+      [
+        (let* k = int_range 2 4 in
+         let* d = int_range 2 (if k = 2 then 5 else 3) in
+         return (Cst.Shape.kary ~k ~leaves:(pow k d)));
+        (let* l1 = int_range 2 6 in
+         let* f = int_range 2 5 in
+         let* c0 = int_range 1 3 in
+         let* c1 = int_range 1 3 in
+         return
+           (Result.get_ok
+              (Cst.Shape.fat_tree ~level_sizes:[| l1 * f; l1 |]
+                 ~capacities:[| c0; c1 |])));
+        (let* l2 = int_range 2 3 in
+         let* f1 = int_range 2 3 in
+         let* f0 = int_range 2 4 in
+         let* c = int_range 1 2 in
+         return
+           (Result.get_ok
+              (Cst.Shape.fat_tree
+                 ~level_sizes:[| l2 * f1 * f0; l2 * f1; l2 |]
+                 ~capacities:[| c; 1; c |])));
+      ])
+
+let arbitrary_shape = QCheck.make ~print:Cst.Shape.to_string gen_shape
+
+let shape_prop name ?(count = 60) f =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count ~name arbitrary_shape f)
+
+(* Brute-force reference walks over the parent relation only. *)
+let brute_path topo v =
+  let rec up v acc =
+    if v = Cst.Topology.root then List.rev (v :: acc)
+    else up (Cst.Topology.parent topo v) (v :: acc)
+  in
+  up v []
+
+let brute_lca topo a b =
+  let pa = brute_path topo a in
+  List.find (fun v -> List.mem v pa) (brute_path topo b)
+
+let brute_interval topo v =
+  let leaves = Cst.Topology.leaves topo in
+  let covered = ref [] in
+  for p = leaves - 1 downto 0 do
+    if List.mem v (brute_path topo (Cst.Topology.node_of_pe topo p)) then
+      covered := p :: !covered
+  done;
+  match !covered with
+  | [] -> Alcotest.fail "node covers no leaves"
+  | lo :: _ as l -> (lo, List.nth l (List.length l - 1) + 1)
+
+let all_nodes topo =
+  List.init (Cst.Topology.num_nodes topo) (fun i -> i + Cst.Topology.root)
+
+let props =
+  [
+    shape_prop "lca agrees with the path walk" (fun shape ->
+        let topo = Cst.Topology.of_shape shape in
+        let nodes = all_nodes topo in
+        List.for_all
+          (fun a ->
+            List.for_all
+              (fun b -> Cst.Topology.lca topo a b = brute_lca topo a b)
+              nodes)
+          nodes);
+    shape_prop "interval agrees with leaf coverage" (fun shape ->
+        let topo = Cst.Topology.of_shape shape in
+        List.for_all
+          (fun v -> Cst.Topology.interval topo v = brute_interval topo v)
+          (all_nodes topo));
+    shape_prop "mid is the end of the first child's interval"
+      (fun shape ->
+        let topo = Cst.Topology.of_shape shape in
+        List.for_all
+          (fun v ->
+            Cst.Topology.is_leaf topo v
+            || Cst.Topology.mid topo v
+               = snd (brute_interval topo (Cst.Topology.child topo v 0)))
+          (all_nodes topo));
+    shape_prop "path_to_root is the parent walk" (fun shape ->
+        let topo = Cst.Topology.of_shape shape in
+        List.for_all
+          (fun v -> Cst.Topology.path_to_root topo v = brute_path topo v)
+          (all_nodes topo));
+    shape_prop "children partition the parent's interval" (fun shape ->
+        let topo = Cst.Topology.of_shape shape in
+        List.for_all
+          (fun v ->
+            Cst.Topology.is_leaf topo v
+            ||
+            let lo, hi = Cst.Topology.interval topo v in
+            let f = Cst.Topology.fanout_of topo v in
+            let bounds =
+              List.init f (fun i ->
+                  Cst.Topology.interval topo (Cst.Topology.child topo v i))
+            in
+            List.for_all2
+              (fun i (clo, chi) ->
+                clo = lo + (i * (hi - lo) / f) && chi - clo = (hi - lo) / f)
+              (List.init f Fun.id) bounds)
+          (all_nodes topo));
+    shape_prop "uplink_cap matches the shape table" (fun shape ->
+        let topo = Cst.Topology.of_shape shape in
+        List.for_all
+          (fun v ->
+            v = Cst.Topology.root
+            || Cst.Topology.uplink_cap topo v
+               = Cst.Shape.cap_at shape
+                   ~depth:
+                     (Cst.Topology.levels topo - Cst.Topology.level topo v))
+          (all_nodes topo));
+  ]
+
+let suite = rejections @ grammar @ props
